@@ -1,0 +1,303 @@
+//! HDF5 chunked layout (§2.1): *"The chunked mode divides the array into
+//! fixed-size sub-arrays (chunks) ... HDF5 also allows for the definition of
+//! filters, which are operations to perform on individual chunks, such as
+//! compression."*
+//!
+//! Chunks are aligned to the write-time decomposition (one chunk per rank
+//! block — the natural parallel-write configuration), so chunked writes are
+//! per-process and need **no rearrangement**: size coordination is one
+//! allgather, exactly like ADIOS's process groups. Each chunk can pass
+//! through a [`pserial::Filter`]; the chunk table records grid offsets,
+//! file offset, stored and raw lengths.
+//!
+//! File layout (mode-2 HDF5-flavoured container):
+//!
+//! ```text
+//! [signature 8B][mode=2 u8][nvars u32]
+//! per var: [name][ndims u8][global dims]
+//! [table-pointer region: nvars x u64]          (patched after data)
+//! per var: [chunk table][chunk data ...]
+//! chunk table: [nchunks u32] then per chunk:
+//!   [offsets: ndims x u64][data_off u64][stored u64][raw u64]
+//! ```
+
+use crate::pio::{bytes_to_f64, f64_bytes, PioError, Result};
+use mpi_sim::{Comm, MpiFile};
+use pserial::filter::Filter;
+use workloads::BlockDecomp;
+
+use super::hdf5_vol::HDF5_SIGNATURE;
+
+const MODE_CHUNKED: u8 = 2;
+
+/// Encode the chunked-mode header (rank 0, define phase).
+/// Returns (bytes, offset of the table-pointer region).
+pub fn encode_chunked_header(decomp: &BlockDecomp, vars: &[String]) -> (Vec<u8>, u64) {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&HDF5_SIGNATURE);
+    buf.push(MODE_CHUNKED);
+    buf.extend_from_slice(&(vars.len() as u32).to_le_bytes());
+    for name in vars {
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.push(decomp.global_dims.len() as u8);
+        for &d in &decomp.global_dims {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+    let ptr_region = buf.len() as u64;
+    buf.extend_from_slice(&vec![0u8; vars.len() * 8]);
+    (buf, ptr_region)
+}
+
+/// Decode the chunked-mode header: (var names, global dims, table pointers).
+pub fn decode_chunked_header(bytes: &[u8]) -> Result<(Vec<String>, Vec<u64>, Vec<u64>)> {
+    if bytes.len() < 13 || bytes[..8] != HDF5_SIGNATURE || bytes[8] != MODE_CHUNKED {
+        return Err(PioError::Format("not a chunked HDF5 container".into()));
+    }
+    let nvars = u32::from_le_bytes(bytes[9..13].try_into().unwrap()) as usize;
+    let mut pos = 13;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if *pos + n > bytes.len() {
+            return Err(PioError::Format("truncated chunked header".into()));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let mut names = Vec::with_capacity(nvars);
+    let mut gdims = Vec::new();
+    for _ in 0..nvars {
+        let nlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+            .map_err(|_| PioError::Format("bad var name".into()))?;
+        let nd = take(&mut pos, 1)?[0] as usize;
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+        }
+        gdims = dims; // identical for all vars in this workload
+        names.push(name);
+    }
+    let mut ptrs = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        ptrs.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+    }
+    Ok((names, gdims, ptrs))
+}
+
+/// One chunk-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEntry {
+    pub grid_offsets: Vec<u64>,
+    pub data_off: u64,
+    pub stored: u64,
+    pub raw: u64,
+}
+
+pub fn table_len(nprocs: usize, ndims: usize) -> u64 {
+    4 + nprocs as u64 * (8 * ndims as u64 + 24)
+}
+
+pub fn encode_table(entries: &[ChunkEntry]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        for &o in &e.grid_offsets {
+            buf.extend_from_slice(&o.to_le_bytes());
+        }
+        buf.extend_from_slice(&e.data_off.to_le_bytes());
+        buf.extend_from_slice(&e.stored.to_le_bytes());
+        buf.extend_from_slice(&e.raw.to_le_bytes());
+    }
+    buf
+}
+
+pub fn decode_table(bytes: &[u8], ndims: usize) -> Result<Vec<ChunkEntry>> {
+    if bytes.len() < 4 {
+        return Err(PioError::Format("truncated chunk table".into()));
+    }
+    let n = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    let entry_len = 8 * ndims + 24;
+    if bytes.len() < 4 + n * entry_len {
+        return Err(PioError::Format("chunk table too short".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 4;
+    for _ in 0..n {
+        let mut grid_offsets = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            grid_offsets.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
+            pos += 8;
+        }
+        let data_off = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let stored = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+        let raw = u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().unwrap());
+        pos += 24;
+        out.push(ChunkEntry { grid_offsets, data_off, stored, raw });
+    }
+    Ok(out)
+}
+
+/// Collective chunked write of every variable. Returns total stored bytes
+/// (after filtering) for diagnostics.
+pub fn write_chunked(
+    comm: &Comm,
+    file: &MpiFile,
+    decomp: &BlockDecomp,
+    vars: &[String],
+    blocks: &[Vec<f64>],
+    filter: Option<&'static dyn Filter>,
+) -> Result<u64> {
+    let rank = comm.rank() as u64;
+    let (my_off, _) = decomp.block(rank);
+    let nd = decomp.global_dims.len();
+    let p = comm.size();
+
+    // Define phase.
+    let header = if comm.rank() == 0 {
+        let (bytes, _) = encode_chunked_header(decomp, vars);
+        file.write_at(0, &bytes)?;
+        Some(bytes)
+    } else {
+        None
+    };
+    let header_bytes = comm.bcast(0, header.as_deref());
+    let ptr_region = header_bytes.len() as u64 - vars.len() as u64 * 8;
+
+    let mut cursor = header_bytes.len() as u64;
+    let mut total_stored = 0u64;
+    for (v, _name) in vars.iter().enumerate() {
+        // Filter this rank's chunk (CPU pass over the raw bytes).
+        let raw = f64_bytes(&blocks[v]);
+        let stored: Vec<u8> = match filter {
+            Some(f) => {
+                comm.machine()
+                    .charge_serialize(comm.clock(), raw.len() as u64, f.cpu_cost_factor());
+                f.encode(raw)
+            }
+            None => raw.to_vec(),
+        };
+
+        // One allgather coordinates chunk placement (sizes + grid offsets).
+        let mut msg = Vec::with_capacity(16 + nd * 8);
+        msg.extend_from_slice(&(stored.len() as u64).to_le_bytes());
+        msg.extend_from_slice(&(raw.len() as u64).to_le_bytes());
+        for &o in &my_off {
+            msg.extend_from_slice(&o.to_le_bytes());
+        }
+        let all = comm.allgatherv(&msg);
+
+        let tlen = table_len(p, nd);
+        let mut entries = Vec::with_capacity(p);
+        let mut data_cursor = cursor + tlen;
+        for buf in &all {
+            let st = u64::from_le_bytes(buf[..8].try_into().unwrap());
+            let rw = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            let offs: Vec<u64> = (0..nd)
+                .map(|d| u64::from_le_bytes(buf[16 + d * 8..24 + d * 8].try_into().unwrap()))
+                .collect();
+            entries.push(ChunkEntry { grid_offsets: offs, data_off: data_cursor, stored: st, raw: rw });
+            data_cursor += st;
+        }
+
+        // Rank 0 writes the table + patches the pointer; everyone writes
+        // their own chunk independently (the ADIOS-like property).
+        if comm.rank() == 0 {
+            file.write_at(cursor, &encode_table(&entries))?;
+            file.write_at(ptr_region + v as u64 * 8, &cursor.to_le_bytes())?;
+        }
+        let mine = &entries[comm.rank()];
+        file.write_at(mine.data_off, &stored)?;
+        total_stored += mine.stored;
+        cursor = data_cursor;
+    }
+    file.sync_all()?;
+    Ok(total_stored)
+}
+
+/// Symmetric chunked read: each rank fetches and de-filters its own chunk.
+pub fn read_chunked(
+    comm: &Comm,
+    file: &MpiFile,
+    fs_header: &[u8],
+    decomp: &BlockDecomp,
+    vars: &[String],
+    filter: Option<&'static dyn Filter>,
+) -> Result<Vec<Vec<f64>>> {
+    let (names, _gdims, ptrs) = decode_chunked_header(fs_header)?;
+    let nd = decomp.global_dims.len();
+    let (my_off, _) = decomp.block(comm.rank() as u64);
+    let mut out = Vec::with_capacity(vars.len());
+    for name in vars {
+        let v = names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| PioError::Format(format!("variable {name:?} not in file")))?;
+        // Rank 0 reads the chunk table, broadcasts it.
+        let table = if comm.rank() == 0 {
+            let tlen = table_len(comm.size(), nd) as usize;
+            let mut buf = vec![0u8; tlen];
+            file.read_at(ptrs[v], &mut buf)?;
+            Some(buf)
+        } else {
+            None
+        };
+        let table = comm.bcast(0, table.as_deref());
+        let entries = decode_table(&table, nd)?;
+        let mine = entries
+            .iter()
+            .find(|e| e.grid_offsets == my_off)
+            .ok_or_else(|| PioError::Format("no chunk for this rank's block".into()))?;
+        let mut stored = vec![0u8; mine.stored as usize];
+        file.read_at(mine.data_off, &mut stored)?;
+        let raw = match filter {
+            Some(f) => {
+                comm.machine()
+                    .charge_serialize(comm.clock(), mine.raw, f.cpu_cost_factor());
+                f.decode(&stored).map_err(PioError::Serial)?
+            }
+            None => stored,
+        };
+        if raw.len() as u64 != mine.raw {
+            return Err(PioError::Format("chunk raw-length mismatch".into()));
+        }
+        out.push(bytes_to_f64(&raw));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let decomp = BlockDecomp::new(&[24, 24, 24], 4);
+        let vars = vec!["a".to_string(), "bb".to_string()];
+        let (bytes, ptr_region) = encode_chunked_header(&decomp, &vars);
+        assert_eq!(ptr_region as usize, bytes.len() - 16);
+        let (names, gdims, ptrs) = decode_chunked_header(&bytes).unwrap();
+        assert_eq!(names, vars);
+        assert_eq!(gdims, vec![24, 24, 24]);
+        assert_eq!(ptrs, vec![0, 0]); // unpatched
+    }
+
+    #[test]
+    fn table_round_trips() {
+        let entries = vec![
+            ChunkEntry { grid_offsets: vec![0, 0, 0], data_off: 100, stored: 50, raw: 64 },
+            ChunkEntry { grid_offsets: vec![12, 0, 6], data_off: 150, stored: 60, raw: 64 },
+        ];
+        let bytes = encode_table(&entries);
+        assert_eq!(bytes.len() as u64, table_len(2, 3));
+        assert_eq!(decode_table(&bytes, 3).unwrap(), entries);
+    }
+
+    #[test]
+    fn rejects_contiguous_headers() {
+        let mut bytes = HDF5_SIGNATURE.to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(decode_chunked_header(&bytes).is_err());
+    }
+}

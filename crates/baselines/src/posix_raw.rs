@@ -1,0 +1,108 @@
+//! Plain POSIX per-rank file I/O — the "simply using POSIX read()/write()"
+//! comparator §4.1 invokes when discussing how badly MAP_SYNC can hurt.
+//! One raw file per rank per variable, no serialization, no coordination.
+
+use crate::pio::{bytes_to_f64, f64_bytes, PioError, PioLibrary, Result, Target};
+use mpi_sim::Comm;
+use simfs::SimFs;
+use std::sync::Arc;
+use workloads::BlockDecomp;
+
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PosixRaw;
+
+impl PosixRaw {
+    fn fs_of(target: &Target) -> Result<(&Arc<SimFs>, &str)> {
+        match target {
+            Target::Fs { fs, path } => Ok((fs, path)),
+            Target::DevDax(_) => Err(PioError::Format("POSIX needs a filesystem target".into())),
+        }
+    }
+
+    fn file_of(dir: &str, var: &str, rank: usize) -> String {
+        format!("{dir}/{var}.{rank}.raw")
+    }
+}
+
+impl PioLibrary for PosixRaw {
+    fn name(&self) -> &'static str {
+        "POSIX"
+    }
+
+    fn write(
+        &self,
+        comm: &Comm,
+        target: &Target,
+        _decomp: &BlockDecomp,
+        vars: &[String],
+        blocks: &[Vec<f64>],
+    ) -> Result<()> {
+        let (fs, dir) = Self::fs_of(target)?;
+        if comm.rank() == 0 {
+            fs.mkdir_p(comm.clock(), dir)?;
+        }
+        comm.barrier();
+        for (v, name) in vars.iter().enumerate() {
+            let path = Self::file_of(dir, name, comm.rank());
+            let fd = fs.create(comm.clock(), &path)?;
+            fs.write_at(comm.clock(), fd, 0, f64_bytes(&blocks[v]))?;
+            fs.fsync(comm.clock(), fd)?;
+            fs.close(comm.clock(), fd)?;
+        }
+        comm.barrier();
+        Ok(())
+    }
+
+    fn read(
+        &self,
+        comm: &Comm,
+        target: &Target,
+        _decomp: &BlockDecomp,
+        vars: &[String],
+    ) -> Result<Vec<Vec<f64>>> {
+        let (fs, dir) = Self::fs_of(target)?;
+        let mut out = Vec::with_capacity(vars.len());
+        for name in vars {
+            let path = Self::file_of(dir, name, comm.rank());
+            let fd = fs.open(comm.clock(), &path)?;
+            let len = fs.size_of(fd)? as usize;
+            let mut buf = vec![0u8; len];
+            fs.read_at(comm.clock(), fd, 0, &mut buf)?;
+            fs.close(comm.clock(), fd)?;
+            out.push(bytes_to_f64(&buf));
+        }
+        comm.barrier();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::run_world;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+    use simfs::MountMode;
+
+    #[test]
+    fn per_rank_files_round_trip() {
+        let dev = PmemDevice::new(Machine::chameleon(), 64 << 20, PersistenceMode::Fast);
+        let fs = SimFs::mount_all(Arc::clone(&dev), MountMode::Dax);
+        run_world(Arc::clone(dev.machine()), 4, move |comm| {
+            let decomp = BlockDecomp::new(&[12, 12, 12], comm.size() as u64);
+            let vars: Vec<String> = ["q", "r"].iter().map(|s| s.to_string()).collect();
+            let blocks: Vec<Vec<f64>> = (0..vars.len())
+                .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
+                .collect();
+            let target = Target::Fs { fs: Arc::clone(&fs), path: "/raw".into() };
+            PosixRaw.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
+            comm.barrier();
+            let back = PosixRaw.read(&comm, &target, &decomp, &vars).unwrap();
+            for (v, blk) in back.iter().enumerate() {
+                assert_eq!(
+                    workloads::verify_block(&decomp, v, comm.rank() as u64, blk),
+                    0
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion wrapper for Figure 6 (write) cells: measures the host cost of
+//! regenerating each cell and records the virtual time as auxiliary output.
+//! The authoritative table comes from `--bin figures -- fig6`.
+
+use baselines::figure_lineup;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmemcpy_bench::{run_cell, CellConfig, Direction};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_writes");
+    group.sample_size(10);
+    for lib in figure_lineup() {
+        group.bench_with_input(
+            BenchmarkId::new("write_24procs", lib.name()),
+            &lib,
+            |b, lib| {
+                b.iter(|| {
+                    let cfg = CellConfig::paper(24, 4 << 20);
+                    let r = run_cell(lib.as_ref(), Direction::Write, &cfg);
+                    assert!(r.time.as_nanos() > 0);
+                    r.time
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion wrapper for Figure 7 (read) cells; the authoritative table
+//! comes from `--bin figures -- fig7`.
+
+use baselines::figure_lineup;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmemcpy_bench::{run_cell, CellConfig, Direction};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_reads");
+    group.sample_size(10);
+    for lib in figure_lineup() {
+        group.bench_with_input(
+            BenchmarkId::new("read_24procs", lib.name()),
+            &lib,
+            |b, lib| {
+                b.iter(|| {
+                    let cfg = CellConfig::paper(24, 4 << 20);
+                    let r = run_cell(lib.as_ref(), Direction::Read, &cfg);
+                    assert_eq!(r.mismatches, 0);
+                    r.time
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Persistent-hashtable microbenchmarks: put/get/remove host throughput and
+//! bucket-count sensitivity (the metadata-parallelism claim of §3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmdk_sim::{PersistentHashtable, PmemPool};
+use pmem_sim::{Clock, Machine, PersistenceMode, PmemDevice};
+
+fn fixture(buckets: u64) -> (PersistentHashtable, Clock) {
+    let dev = PmemDevice::new(Machine::chameleon(), 32 << 20, PersistenceMode::Fast);
+    let clock = Clock::new();
+    let pool = PmemPool::create(&clock, dev, "bench").unwrap();
+    let ht = PersistentHashtable::create(&clock, &pool, buckets).unwrap();
+    (ht, clock)
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashtable");
+    group.sample_size(20);
+
+    group.bench_function("put_64B", |b| {
+        let (ht, clock) = fixture(4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            // Bounded key space: beyond 10k keys puts become replaces, which
+            // free the superseded entry and keep the pool size steady no
+            // matter how many iterations Criterion runs.
+            ht.put(&clock, &(i % 10_000).to_le_bytes(), &[7u8; 64]).unwrap();
+            i += 1;
+        });
+    });
+
+    group.bench_function("put_replace_64B", |b| {
+        let (ht, clock) = fixture(4096);
+        ht.put(&clock, b"key", &[1u8; 64]).unwrap();
+        b.iter(|| ht.put(&clock, b"key", &[2u8; 64]).unwrap());
+    });
+
+    group.bench_function("get_hit_64B", |b| {
+        let (ht, clock) = fixture(4096);
+        for i in 0..1000u64 {
+            ht.put(&clock, &i.to_le_bytes(), &[3u8; 64]).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let v = ht.get(&clock, &(i % 1000).to_le_bytes()).unwrap();
+            i += 1;
+            v.len()
+        });
+    });
+
+    // Chain-length sensitivity: same 1024 keys, varying bucket counts.
+    for buckets in [16u64, 256, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("get_with_buckets", buckets),
+            &buckets,
+            |b, &buckets| {
+                let (ht, clock) = fixture(buckets);
+                for i in 0..1024u64 {
+                    ht.put(&clock, &i.to_le_bytes(), &[4u8; 32]).unwrap();
+                }
+                let mut i = 0u64;
+                b.iter(|| {
+                    let v = ht.get(&clock, &(i % 1024).to_le_bytes()).unwrap();
+                    i += 1;
+                    v.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashtable);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Hashtable vs hierarchical layout: host cost of a store+load cycle
+//! through the full pMEMCPY stack (the §3 "Data Layout" ablation; the
+//! virtual-time comparison comes from `figures -- ablate-layout`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_sim::{Comm, World};
+use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+use pmemcpy::{DataLayout, MmapTarget, Options, Pmem};
+use simfs::{MountMode, SimFs};
+use std::sync::Arc;
+
+fn bench_layouts(c: &mut Criterion) {
+    let data: Vec<f64> = (0..32_768).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("layout_store_load");
+    group.throughput(Throughput::Bytes((data.len() * 8) as u64));
+    group.sample_size(20);
+
+    for (name, layout) in [
+        ("pmdk-hashtable", DataLayout::PmdkHashtable),
+        ("hierarchical", DataLayout::HierarchicalFiles),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &layout, |b, &layout| {
+            let machine = Machine::chameleon();
+            let dev = PmemDevice::new(Arc::clone(&machine), 64 << 20, PersistenceMode::Fast);
+            let fs = SimFs::mount_all(Arc::clone(&dev), MountMode::Dax);
+            let comm = Comm::new(World::new(Arc::clone(&machine), 1), 0);
+            let mut pmem = Pmem::with_options(Options { layout, ..Options::default() });
+            match layout {
+                DataLayout::PmdkHashtable => {
+                    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap()
+                }
+                DataLayout::HierarchicalFiles => {
+                    pmem.mmap(MmapTarget::Fs { fs: &fs, dir: "/b" }, &comm).unwrap()
+                }
+            }
+            let mut back = vec![0f64; data.len()];
+            b.iter(|| {
+                pmem.store_slice("bench-var", &data).unwrap();
+                pmem.load_slice_into("bench-var", &mut back).unwrap();
+                back[0]
+            });
+            pmem.munmap().unwrap();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! PMDK-substrate microbenchmarks: allocation, transactions, persist path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmdk_sim::PmemPool;
+use pmem_sim::{Clock, Machine, PersistenceMode, PmemDevice};
+use std::sync::Arc;
+
+fn pool_fixture(mb: usize) -> (Arc<PmemPool>, Clock) {
+    let dev = PmemDevice::new(Machine::chameleon(), mb << 20, PersistenceMode::Fast);
+    let clock = Clock::new();
+    (PmemPool::create(&clock, dev, "bench").unwrap(), clock)
+}
+
+fn bench_pmdk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmdk");
+    group.sample_size(20);
+
+    group.bench_function("alloc_free_256B", |b| {
+        let (pool, clock) = pool_fixture(16);
+        b.iter(|| {
+            let p = pool.alloc(&clock, 256).unwrap();
+            pool.free(&clock, p).unwrap();
+        });
+    });
+
+    group.bench_function("tx_commit_small_set", |b| {
+        let (pool, clock) = pool_fixture(16);
+        let p = pool.alloc(&clock, 64).unwrap();
+        b.iter(|| pool.tx(&clock, |tx| tx.set(p, &[9u8; 64])).unwrap());
+    });
+
+    group.bench_function("tx_abort_rollback", |b| {
+        let (pool, clock) = pool_fixture(16);
+        let p = pool.alloc(&clock, 64).unwrap();
+        pool.write_bytes(&clock, p, &[1u8; 64]);
+        b.iter(|| {
+            let _ = pool.tx(&clock, |tx| {
+                tx.set(p, &[2u8; 64])?;
+                Err::<(), _>(pmdk_sim::PmdkError::TxFailure("bench abort".into()))
+            });
+        });
+    });
+
+    group.bench_function("device_persist_4K", |b| {
+        let dev = PmemDevice::new(Machine::chameleon(), 1 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        let buf = [5u8; 4096];
+        b.iter(|| {
+            dev.write(&clock, 0, &buf);
+            dev.persist(&clock, 0, 4096);
+        });
+    });
+
+    group.bench_function("pool_open_recovery_scan", |b| {
+        let (pool, clock) = pool_fixture(16);
+        for _ in 0..100 {
+            pool.alloc(&clock, 512).unwrap();
+        }
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        b.iter(|| PmemPool::open(&clock, Arc::clone(&dev), "bench").unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmdk);
+criterion_main!(benches);

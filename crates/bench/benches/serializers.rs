@@ -1,0 +1,44 @@
+//! Real encode/decode throughput of every serialization backend (the §3
+//! "serialization can be disabled/swapped" ablation, host-time view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pserial::{all_formats, Datatype, SliceSource, VarMeta};
+
+fn bench_serializers(c: &mut Criterion) {
+    let meta = VarMeta::block("rho", Datatype::F64, &[256, 256], &[0, 0], &[128, 256]);
+    let payload: Vec<u8> = (0..meta.payload_len()).map(|i| i as u8).collect();
+
+    let mut group = c.benchmark_group("serialize");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for s in all_formats() {
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, s| {
+            let mut buf = Vec::with_capacity(payload.len() + 1024);
+            b.iter(|| {
+                buf.clear();
+                s.write_var(&meta, &payload, &mut buf).unwrap();
+                buf.len()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("deserialize");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for s in all_formats() {
+        let mut buf = Vec::new();
+        s.write_var(&meta, &payload, &mut buf).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, s| {
+            let mut dst = vec![0u8; payload.len()];
+            b.iter(|| {
+                let mut src = SliceSource::new(&buf);
+                let hdr = s.read_header(&mut src).unwrap();
+                s.read_payload(&mut src, &mut dst).unwrap();
+                hdr.payload_len
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serializers);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Parameter auto-tuning — the approach §1 surveys (Behzad et al., genetic
+//! algorithms and Bayesian optimization over PIO parameters) applied to this
+//! stack: a deterministic coordinate-descent search over pMEMCPY's knobs
+//! (serializer, hashtable buckets, MAP_SYNC) minimizing combined write+read
+//! time of the §4.1 workload.
+//!
+//! The interesting (and paper-confirming) outcome: the search converges to
+//! the paper's defaults-minus-MAP_SYNC — configuration barely matters next
+//! to the data path, which is §1's point that *"at a fundamental level,
+//! existing PIO libraries do not interact with PMEM efficiently, regardless
+//! of how well they are tuned."*
+
+use crate::sweep::{run_cell, CellConfig, Direction};
+use baselines::PmemcpyLib;
+use pmemcpy::Options;
+
+/// One tunable dimension: a name and its candidate values.
+#[derive(Debug, Clone)]
+pub struct Knob {
+    pub name: &'static str,
+    pub candidates: Vec<String>,
+}
+
+/// The search space for pMEMCPY.
+pub fn pmemcpy_knobs() -> Vec<Knob> {
+    vec![
+        Knob {
+            name: "serializer",
+            candidates: ["bp4", "cereal", "capnp-lite", "raw"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+        Knob {
+            name: "buckets",
+            candidates: ["16", "256", "4096"].iter().map(|s| s.to_string()).collect(),
+        },
+        Knob {
+            name: "map_sync",
+            candidates: ["off", "on"].iter().map(|s| s.to_string()).collect(),
+        },
+    ]
+}
+
+/// A concrete configuration (one value per knob).
+pub type Assignment = Vec<(String, String)>;
+
+fn to_options(a: &Assignment) -> Options {
+    let mut opts = Options::default();
+    for (k, v) in a {
+        match k.as_str() {
+            "serializer" => opts.serializer = v.clone(),
+            "buckets" => opts.hashtable_buckets = v.parse().expect("numeric buckets"),
+            "map_sync" => opts.map_sync = v == "on",
+            other => panic!("unknown knob {other}"),
+        }
+    }
+    opts
+}
+
+/// Objective: combined write + read virtual seconds.
+pub fn evaluate(a: &Assignment, nprocs: u64, real_bytes: u64) -> f64 {
+    let lib = PmemcpyLib::custom("PMCPY-tune", to_options(a));
+    let cfg = CellConfig::paper(nprocs, real_bytes);
+    let w = run_cell(&lib, Direction::Write, &cfg);
+    let r = run_cell(&lib, Direction::Read, &cfg);
+    assert_eq!(r.mismatches, 0, "tuner produced a corrupting config: {a:?}");
+    w.time.as_secs_f64() + r.time.as_secs_f64()
+}
+
+/// One step of the search: (assignment, score).
+#[derive(Debug, Clone)]
+pub struct TuneStep {
+    pub assignment: Assignment,
+    pub score: f64,
+}
+
+/// Deterministic coordinate descent: start from each knob's first candidate,
+/// sweep one knob at a time keeping the best value, repeat until a full pass
+/// improves nothing. Returns the trace (every evaluation, in order).
+pub fn coordinate_descent(knobs: &[Knob], nprocs: u64, real_bytes: u64) -> Vec<TuneStep> {
+    let mut current: Assignment = knobs
+        .iter()
+        .map(|k| (k.name.to_string(), k.candidates[0].clone()))
+        .collect();
+    let mut trace = vec![];
+    let mut best = evaluate(&current, nprocs, real_bytes);
+    trace.push(TuneStep { assignment: current.clone(), score: best });
+
+    loop {
+        let mut improved = false;
+        for (ki, knob) in knobs.iter().enumerate() {
+            for cand in &knob.candidates {
+                if *cand == current[ki].1 {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial[ki].1 = cand.clone();
+                let score = evaluate(&trial, nprocs, real_bytes);
+                trace.push(TuneStep { assignment: trial.clone(), score });
+                if score < best {
+                    best = score;
+                    current = trial;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    trace
+}
+
+/// The best step of a trace.
+pub fn best_of(trace: &[TuneStep]) -> &TuneStep {
+    trace
+        .iter()
+        .min_by(|a, b| a.score.partial_cmp(&b.score).expect("scores are finite"))
+        .expect("non-empty trace")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: u64 = 2 << 20;
+
+    #[test]
+    fn search_terminates_and_covers_every_knob() {
+        let trace = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
+        // At least the initial evaluation plus one candidate sweep.
+        let min_evals = 1 + pmemcpy_knobs().iter().map(|k| k.candidates.len() - 1).sum::<usize>();
+        assert!(trace.len() >= min_evals, "{} evals", trace.len());
+        assert!(trace.iter().all(|s| s.score.is_finite() && s.score > 0.0));
+    }
+
+    #[test]
+    fn tuner_turns_map_sync_off() {
+        let trace = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
+        let best = best_of(&trace);
+        let ms = best.assignment.iter().find(|(k, _)| k == "map_sync").unwrap();
+        assert_eq!(ms.1, "off", "MAP_SYNC must never win on performance");
+    }
+
+    #[test]
+    fn tuner_is_stable_within_jitter() {
+        // Virtual time is deterministic up to heap-placement jitter from
+        // thread scheduling (sub-millisecond); near-tied configurations may
+        // therefore swap, but the best score and the decisive knobs are
+        // stable.
+        let a = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
+        let b = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
+        let (ba, bb) = (best_of(&a), best_of(&b));
+        assert!((ba.score - bb.score).abs() < 1e-2, "{} vs {}", ba.score, bb.score);
+        let ms = |t: &TuneStep| t.assignment.iter().find(|(k, _)| k == "map_sync").unwrap().1.clone();
+        assert_eq!(ms(ba), ms(bb));
+    }
+}

@@ -1,0 +1,441 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--bytes <MB>] [--procs 8,16,24,32,48] <command>
+//!
+//! commands:
+//!   fig6               Figure 6: write performance sweep
+//!   fig7               Figure 7: read performance sweep
+//!   api                §3 API-complexity table
+//!   machine            §4 testbed / PMEM-emulation constants
+//!   ablate-serializer  store/load cost per serialization backend
+//!   ablate-layout      hashtable vs hierarchical layout
+//!   ablate-staging     direct-to-PMEM vs DRAM-staged serialization
+//!   ablate-fill        NetCDF fill vs NC_NOFILL
+//!   all                everything above; CSVs land in results/
+//! ```
+//!
+//! Modelled volumes are always the paper's 40 GB; `--bytes` sets the *real*
+//! backing volume (default 64 MB), with the machine's `byte_scale` making up
+//! the difference.
+
+use baselines::{Netcdf4Like, PioLibrary, PmemcpyLib, Target};
+use pmemcpy::{DataLayout, Options};
+use pmemcpy_bench::{
+    api_complexity, check_fig6_shape, check_fig7_shape, render_checks, run_cell, run_figure,
+    CellConfig, Direction, PAPER_PROCS,
+};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bytes_mb = 64u64;
+    let mut procs: Vec<u64> = PAPER_PROCS.to_vec();
+    let mut commands = vec![];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bytes" => {
+                bytes_mb = it.next().expect("--bytes <MB>").parse().expect("numeric MB")
+            }
+            "--procs" => {
+                procs = it
+                    .next()
+                    .expect("--procs list")
+                    .split(',')
+                    .map(|s| s.parse().expect("numeric proc count"))
+                    .collect()
+            }
+            cmd => commands.push(cmd.to_string()),
+        }
+    }
+    if commands.is_empty() {
+        commands.push("all".to_string());
+    }
+    let real_bytes = bytes_mb << 20;
+    std::fs::create_dir_all("results").expect("create results/");
+
+    for cmd in &commands {
+        match cmd.as_str() {
+            "fig6" => fig_cmd(Direction::Write, &procs, real_bytes),
+            "fig7" => fig_cmd(Direction::Read, &procs, real_bytes),
+            "api" => print!("{}", api_complexity::render_api_table()),
+            "machine" => machine_cmd(),
+            "ablate-serializer" => ablate_serializer(real_bytes),
+            "ablate-layout" => ablate_layout(real_bytes),
+            "ablate-staging" => ablate_staging(real_bytes),
+            "ablate-fill" => ablate_fill(real_bytes),
+            "ablate-chunked" => ablate_chunked(real_bytes),
+            "ablate-buckets" => ablate_buckets(real_bytes),
+            "ablate-drain" => ablate_drain(real_bytes),
+            "tune" => tune_cmd(real_bytes),
+            "volume" => volume_cmd(),
+            "all" => {
+                machine_cmd();
+                print!("{}", api_complexity::render_api_table());
+                fig_cmd(Direction::Write, &procs, real_bytes);
+                fig_cmd(Direction::Read, &procs, real_bytes);
+                ablate_serializer(real_bytes);
+                ablate_layout(real_bytes);
+                ablate_staging(real_bytes);
+                ablate_fill(real_bytes);
+                ablate_chunked(real_bytes);
+                ablate_buckets(real_bytes);
+                ablate_drain(real_bytes);
+                tune_cmd(real_bytes);
+                volume_cmd();
+            }
+            other => {
+                eprintln!("unknown command {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) {
+    let fig = run_figure(direction, procs, real_bytes);
+    println!("{}", fig.table());
+    println!("{}", fig.ascii_chart());
+    let checks = match direction {
+        Direction::Write => check_fig6_shape(&fig),
+        Direction::Read => check_fig7_shape(&fig),
+    };
+    println!("{}", render_checks(&checks));
+    let name = match direction {
+        Direction::Write => "fig6_writes",
+        Direction::Read => "fig7_reads",
+    };
+    write_file(&format!("results/{name}.csv"), &fig.csv());
+}
+
+fn machine_cmd() {
+    let c = pmem_sim::MachineConfig::chameleon_skylake();
+    println!("## §4 testbed: emulated-PMEM constants (Strata method)");
+    println!("cores / SMT threads      {} / {}", c.cores, c.smt_threads);
+    println!("PMEM read latency        {}", c.pmem_read_latency);
+    println!("PMEM write latency       {}", c.pmem_write_latency);
+    println!("PMEM read bandwidth      {} GB/s", c.pmem_read_bw / 1_000_000_000);
+    println!("PMEM write bandwidth     {} GB/s", c.pmem_write_bw / 1_000_000_000);
+    println!("DRAM bus bandwidth       {} GB/s", c.dram_bw / 1_000_000_000);
+    println!("syscall / page fault     {} / {}", c.syscall, c.page_fault);
+    println!("MAP_SYNC page penalty    {}", c.map_sync_page);
+    println!();
+}
+
+fn ablate_serializer(real_bytes: u64) {
+    println!("## Ablation: serialization backend (PMCPY-A, 24 procs)");
+    let mut csv = String::from("serializer,write_s,read_s\n");
+    for ser in ["bp4", "cereal", "capnp-lite", "raw"] {
+        let lib = PmemcpyLib::custom(
+            "PMCPY-A",
+            Options { serializer: ser.into(), ..Options::default() },
+        );
+        let cfg = CellConfig::paper(24, real_bytes);
+        let w = run_cell(&lib, Direction::Write, &cfg);
+        let r = run_cell(&lib, Direction::Read, &cfg);
+        println!(
+            "{ser:<12} write {:>8.3}s   read {:>8.3}s",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64()
+        );
+        csv.push_str(&format!(
+            "{ser},{:.6},{:.6}\n",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64()
+        ));
+        assert_eq!(r.mismatches, 0, "corruption with serializer {ser}");
+    }
+    write_file("results/ablate_serializer.csv", &csv);
+    println!();
+}
+
+fn ablate_layout(real_bytes: u64) {
+    println!("## Ablation: data layout (PMCPY-A, 24 procs)");
+    let mut csv = String::from("layout,write_s,read_s\n");
+    for (name, layout) in [
+        ("pmdk-hashtable", DataLayout::PmdkHashtable),
+        ("hierarchical", DataLayout::HierarchicalFiles),
+    ] {
+        let lib = PmemcpyLib::custom("PMCPY-A", Options { layout, ..Options::default() });
+        let cfg = CellConfig::paper(24, real_bytes);
+        let (w, r) = run_layout_cell(&lib, &cfg, layout);
+        println!("{name:<16} write {w:>8.3}s   read {r:>8.3}s");
+        csv.push_str(&format!("{name},{w:.6},{r:.6}\n"));
+    }
+    write_file("results/ablate_layout.csv", &csv);
+    println!();
+}
+
+/// The generic sweep picks DevDax for PMCPY-named libs; the hierarchical
+/// layout needs an Fs target, so this ablation drives targets explicitly.
+fn run_layout_cell(lib: &PmemcpyLib, cfg: &CellConfig, layout: DataLayout) -> (f64, f64) {
+    use mpi_sim::run_world;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice, SimTime};
+    use simfs::{MountMode, SimFs};
+    use std::sync::Arc;
+    use workloads::Domain3dSpec;
+
+    let run_direction = |direction: Direction| -> f64 {
+        let mut mc = cfg.machine.clone();
+        mc.byte_scale = cfg.byte_scale;
+        let machine = Machine::new(mc);
+        let device = PmemDevice::new(
+            Arc::clone(&machine),
+            (cfg.real_bytes * 3 + (32 << 20)) as usize,
+            PersistenceMode::Fast,
+        );
+        let target = match layout {
+            DataLayout::PmdkHashtable => Target::DevDax(Arc::clone(&device)),
+            DataLayout::HierarchicalFiles => {
+                let fs = SimFs::mount_all(Arc::clone(&device), MountMode::Dax);
+                fs.mkdir_p(&pmem_sim::Clock::new(), "/vars").unwrap();
+                Target::Fs { fs, path: "/vars".into() }
+            }
+        };
+        let spec =
+            Domain3dSpec { total_bytes: cfg.real_bytes, nvars: cfg.nvars, nprocs: cfg.nprocs };
+        let decomp = Arc::new(spec.decompose());
+        let vars = Arc::new(spec.var_names());
+
+        let run_once = |timed: bool, dir: Direction| -> SimTime {
+            if timed {
+                machine.reset();
+            }
+            let (l, d, v, t) =
+                (lib.clone(), Arc::clone(&decomp), Arc::clone(&vars), target.clone());
+            let times = run_world(Arc::clone(&machine), cfg.nprocs as usize, move |comm| {
+                let rank = comm.rank() as u64;
+                match dir {
+                    Direction::Write => {
+                        let blocks: Vec<Vec<f64>> = (0..v.len())
+                            .map(|i| workloads::generate_block(&d, i, rank))
+                            .collect();
+                        l.write(&comm, &t, &d, &v, &blocks).unwrap();
+                    }
+                    Direction::Read => {
+                        let blocks = l.read(&comm, &t, &d, &v).unwrap();
+                        for (i, b) in blocks.iter().enumerate() {
+                            assert_eq!(workloads::verify_block(&d, i, rank, b), 0);
+                        }
+                    }
+                }
+                comm.barrier();
+                comm.now()
+            });
+            times.into_iter().fold(SimTime::ZERO, SimTime::max)
+        };
+        match direction {
+            Direction::Write => run_once(true, Direction::Write).as_secs_f64(),
+            Direction::Read => {
+                run_once(false, Direction::Write);
+                run_once(true, Direction::Read).as_secs_f64()
+            }
+        }
+    };
+    (run_direction(Direction::Write), run_direction(Direction::Read))
+}
+
+fn ablate_staging(real_bytes: u64) {
+    println!("## Ablation: direct-to-PMEM (pMEMCPY) vs DRAM-staged (ADIOS) writes");
+    let cfg = CellConfig::paper(24, real_bytes);
+    let direct = run_cell(&PmemcpyLib::variant_a(), Direction::Write, &cfg);
+    let staged = run_cell(&baselines::AdiosLike::default(), Direction::Write, &cfg);
+    println!(
+        "direct-to-PMEM  {:>8.3}s   dram_copied={} B",
+        direct.time.as_secs_f64(),
+        direct.stats.dram_bytes_copied
+    );
+    println!(
+        "DRAM-staged     {:>8.3}s   dram_copied={} B",
+        staged.time.as_secs_f64(),
+        staged.stats.dram_bytes_copied
+    );
+    write_file(
+        "results/ablate_staging.csv",
+        &format!(
+            "path,seconds,dram_bytes_copied\ndirect,{:.6},{}\nstaged,{:.6},{}\n",
+            direct.time.as_secs_f64(),
+            direct.stats.dram_bytes_copied,
+            staged.time.as_secs_f64(),
+            staged.stats.dram_bytes_copied
+        ),
+    );
+    println!();
+}
+
+fn ablate_fill(real_bytes: u64) {
+    println!("## Ablation: NetCDF fill vs NC_NOFILL (the paper disables fill)");
+    let cfg = CellConfig::paper(24, real_bytes);
+    let nofill = run_cell(&Netcdf4Like::default(), Direction::Write, &cfg);
+    let fill = run_cell(&Netcdf4Like { nofill: false, ..Netcdf4Like::default() }, Direction::Write, &cfg);
+    println!("NC_NOFILL       {:>8.3}s", nofill.time.as_secs_f64());
+    println!("fill (default)  {:>8.3}s", fill.time.as_secs_f64());
+    write_file(
+        "results/ablate_fill.csv",
+        &format!(
+            "mode,seconds\nnofill,{:.6}\nfill,{:.6}\n",
+            nofill.time.as_secs_f64(),
+            fill.time.as_secs_f64()
+        ),
+    );
+    println!();
+}
+
+fn ablate_chunked(real_bytes: u64) {
+    println!("## Ablation: HDF5 layout — contiguous vs chunked vs chunked+filter (24 procs)");
+    let mut csv = String::from("layout,write_s,read_s\n");
+    let configs: [(&str, Netcdf4Like); 4] = [
+        ("contiguous", Netcdf4Like::default()),
+        ("chunked", Netcdf4Like::chunked(None)),
+        ("chunked+rle", Netcdf4Like::chunked(Some("rle"))),
+        ("chunked+gorilla", Netcdf4Like::chunked(Some("gorilla"))),
+    ];
+    for (name, lib) in configs {
+        let cfg = CellConfig::paper(24, real_bytes);
+        let w = run_cell(&lib, Direction::Write, &cfg);
+        let r = run_cell(&lib, Direction::Read, &cfg);
+        assert_eq!(r.mismatches, 0, "corruption in {name}");
+        println!(
+            "{name:<16} write {:>8.3}s   read {:>8.3}s   media {:>6.1} GB",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64(),
+            w.stats.pmem_bytes_written as f64 / 1e9,
+        );
+        csv.push_str(&format!(
+            "{name},{:.6},{:.6}\n",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64()
+        ));
+    }
+    write_file("results/ablate_chunked.csv", &csv);
+    println!();
+}
+
+fn ablate_buckets(real_bytes: u64) {
+    println!("## Ablation: metadata hashtable buckets (PMCPY-A, 24 procs)");
+    println!("   (§3: the flat hashtable exploits PMEM's random-access parallelism)");
+    let mut csv = String::from("buckets,write_s,read_s\n");
+    for buckets in [1u64, 16, 256, 4096] {
+        let lib = PmemcpyLib::custom(
+            "PMCPY-A",
+            Options { hashtable_buckets: buckets, ..Options::default() },
+        );
+        let cfg = CellConfig::paper(24, real_bytes);
+        let w = run_cell(&lib, Direction::Write, &cfg);
+        let r = run_cell(&lib, Direction::Read, &cfg);
+        println!(
+            "buckets={buckets:<6} write {:>8.3}s   read {:>8.3}s",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64()
+        );
+        csv.push_str(&format!(
+            "{buckets},{:.6},{:.6}\n",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64()
+        ));
+    }
+    write_file("results/ablate_buckets.csv", &csv);
+    println!();
+}
+
+fn ablate_drain(real_bytes: u64) {
+    use mpi_sim::{Comm, World};
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+    use pmemcpy::{MmapTarget, Pmem};
+    use simfs::{MountMode, SimFs};
+    use std::sync::Arc;
+    println!("## Ablation: burst-buffer drain (Fig. 1: PMEM -> shared burst buffer)");
+    let mut mc = pmem_sim::MachineConfig::chameleon_skylake();
+    let spec = workloads::Domain3dSpec { total_bytes: real_bytes, nvars: 10, nprocs: 1 };
+    mc.byte_scale = ((40u64 << 30) / spec.actual_bytes()).max(1);
+    let machine = Machine::new(mc);
+    let device = PmemDevice::new(
+        Arc::clone(&machine),
+        (real_bytes * 3 + (32 << 20)) as usize,
+        PersistenceMode::Fast,
+    );
+    let comm = Comm::new(World::new(Arc::clone(&machine), 1), 0);
+    let mut pmem = Pmem::new();
+    pmem.mmap(MmapTarget::DevDax(&device), &comm).unwrap();
+    let decomp = spec.decompose();
+    for (v, name) in spec.var_names().iter().enumerate() {
+        let block = workloads::generate_block(&decomp, v, 0);
+        pmem.alloc::<f64>(name, &decomp.global_dims).unwrap();
+        pmem.store_block(name, &block, &[0, 0, 0], &decomp.global_dims).unwrap();
+    }
+    let store_time = pmem.now();
+    let bb_dev = PmemDevice::new(
+        Arc::clone(&machine),
+        (real_bytes * 3 + (32 << 20)) as usize,
+        PersistenceMode::Fast,
+    );
+    let bb = SimFs::mount_all(bb_dev, MountMode::PageCache);
+    let report = pmem.drain_to_storage(&bb, "/bb").unwrap();
+    println!("store (PMEM)     {:>8.3}s", store_time.as_secs_f64());
+    println!(
+        "drain (async)    {:>8.3}s   {} keys, {:.1} GB modelled",
+        report.drain_time.as_secs_f64(),
+        report.keys,
+        machine.stats.snapshot().storage_bytes_written as f64 / 1e9,
+    );
+    println!("app clock after drain: {} (unchanged — drain is asynchronous)", pmem.now());
+    write_file(
+        "results/ablate_drain.csv",
+        &format!(
+            "phase,seconds\nstore,{:.6}\ndrain,{:.6}\n",
+            store_time.as_secs_f64(),
+            report.drain_time.as_secs_f64()
+        ),
+    );
+    pmem.munmap().unwrap();
+    println!();
+}
+
+fn tune_cmd(real_bytes: u64) {
+    use pmemcpy_bench::autotune::{best_of, coordinate_descent, pmemcpy_knobs};
+    println!("## Auto-tuning pMEMCPY (coordinate descent, write+read objective, 24 procs)");
+    let trace = coordinate_descent(&pmemcpy_knobs(), 24, real_bytes.min(16 << 20));
+    let mut csv = String::from("step,assignment,score_s\n");
+    for (i, step) in trace.iter().enumerate() {
+        let label: Vec<String> =
+            step.assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("  [{i:>2}] {:<50} {:>8.3}s", label.join(" "), step.score);
+        csv.push_str(&format!("{i},{},{:.6}\n", label.join(";"), step.score));
+    }
+    let best = best_of(&trace);
+    let label: Vec<String> = best.assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("best: {} at {:.3}s", label.join(" "), best.score);
+    println!("(the spread is small: tuning cannot fix a data path — §1's argument)");
+    write_file("results/autotune.csv", &csv);
+    println!();
+}
+
+fn volume_cmd() {
+    println!("## Volume scaling: PMCPY-A write/read vs modelled volume (24 procs)");
+    let mut csv = String::from("modelled_gb,write_s,read_s\n");
+    for gb in [5u64, 10, 20, 40, 80] {
+        // Fix the real volume; scale the model.
+        let mut cfg = CellConfig::paper(24, 16 << 20);
+        let spec = workloads::Domain3dSpec { total_bytes: 16 << 20, nvars: 10, nprocs: 24 };
+        cfg.byte_scale = ((gb << 30) / spec.actual_bytes()).max(1);
+        let lib = PmemcpyLib::variant_a();
+        let w = run_cell(&lib, Direction::Write, &cfg);
+        let r = run_cell(&lib, Direction::Read, &cfg);
+        println!(
+            "{gb:>3} GB   write {:>8.3}s   read {:>8.3}s",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64()
+        );
+        csv.push_str(&format!("{gb},{:.6},{:.6}\n", w.time.as_secs_f64(), r.time.as_secs_f64()));
+    }
+    println!("(bandwidth-bound: time is linear in volume)");
+    write_file("results/volume_scaling.csv", &csv);
+    println!();
+}
+
+fn write_file(path: &str, contents: &str) {
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+    f.write_all(contents.as_bytes()).expect("write results");
+    println!("[wrote {path}]");
+}

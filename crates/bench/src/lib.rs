@@ -1,0 +1,56 @@
+//! # pmemcpy-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper:
+//!
+//! * **Figure 6** (writes) / **Figure 7** (reads): `sweep` runs the §4.1
+//!   3-D domain workload through every library at 8–48 ranks; `report`
+//!   renders tables, charts and CSVs and checks the paper's qualitative
+//!   claims.
+//! * **§3 API complexity table**: `api_complexity` recounts the paper's
+//!   example programs.
+//! * **§4 testbed table**: the machine constants are
+//!   [`pmem_sim::MachineConfig::chameleon_skylake`].
+//!
+//! Run `cargo run -p pmemcpy-bench --bin figures -- all` to regenerate
+//! everything, or the Criterion benches for per-component microbenchmarks.
+
+pub mod api_complexity;
+pub mod autotune;
+pub mod report;
+pub mod sweep;
+
+pub use report::{check_fig6_shape, check_fig7_shape, render_checks, Figure, ShapeCheck};
+pub use sweep::{run_cell, CellConfig, CellResult, Direction};
+
+use baselines::figure_lineup;
+
+/// The paper's x-axis.
+pub const PAPER_PROCS: [u64; 5] = [8, 16, 24, 32, 48];
+
+/// Run one full figure (all libraries × all process counts).
+pub fn run_figure(direction: Direction, procs: &[u64], real_bytes: u64) -> Figure {
+    let libs = figure_lineup();
+    let mut cells = vec![];
+    for &p in procs {
+        let cfg = CellConfig::paper(p, real_bytes);
+        for lib in &libs {
+            cells.push(run_cell(lib.as_ref(), direction, &cfg));
+        }
+    }
+    Figure {
+        title: match direction {
+            Direction::Write => format!(
+                "Figure 6: writing a 40 GB (modelled) 3-D domain to PMEM ({} MB real)",
+                real_bytes >> 20
+            ),
+            Direction::Read => format!(
+                "Figure 7: reading a 40 GB (modelled) 3-D domain from PMEM ({} MB real)",
+                real_bytes >> 20
+            ),
+        },
+        direction,
+        procs: procs.to_vec(),
+        libraries: libs.iter().map(|l| l.name().to_string()).collect(),
+        cells,
+    }
+}

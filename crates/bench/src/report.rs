@@ -1,0 +1,301 @@
+//! Reporting: tables, ASCII charts, CSV files, and shape checks against the
+//! paper's claims.
+
+use crate::sweep::{CellResult, Direction};
+use pmem_sim::SimTime;
+use std::fmt::Write as _;
+
+/// A full figure: every (library × nprocs) cell of one direction.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    pub title: String,
+    pub direction: Direction,
+    pub procs: Vec<u64>,
+    pub libraries: Vec<String>,
+    pub cells: Vec<CellResult>,
+}
+
+impl Figure {
+    pub fn get(&self, library: &str, nprocs: u64) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.library == library && c.nprocs == nprocs)
+    }
+
+    /// Render the figure as a table (rows = libraries, cols = #procs).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:<10}", "library");
+        for p in &self.procs {
+            let _ = write!(out, " {:>9}", format!("p={p}"));
+        }
+        let _ = writeln!(out);
+        for lib in &self.libraries {
+            let _ = write!(out, "{lib:<10}");
+            for &p in &self.procs {
+                match self.get(lib, p) {
+                    Some(c) => {
+                        let _ = write!(out, " {:>8.3}s", c.time.as_secs_f64());
+                    }
+                    None => {
+                        let _ = write!(out, " {:>9}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render an ASCII bar chart per process count.
+    pub fn ascii_chart(&self) -> String {
+        let max = self
+            .cells
+            .iter()
+            .map(|c| c.time)
+            .fold(SimTime::ZERO, SimTime::max)
+            .as_secs_f64()
+            .max(1e-9);
+        let mut out = String::new();
+        for &p in &self.procs {
+            let _ = writeln!(out, "-- {} procs --", p);
+            for lib in &self.libraries {
+                if let Some(c) = self.get(lib, p) {
+                    let secs = c.time.as_secs_f64();
+                    let bars = ((secs / max) * 50.0).round() as usize;
+                    let _ = writeln!(out, "{:<10} {:>8.3}s |{}", lib, secs, "#".repeat(bars));
+                }
+            }
+        }
+        out
+    }
+
+    /// CSV rows: library,nprocs,seconds,pmem_write,pmem_read,dram_copied,net_bytes,syscalls,mismatches
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "library,nprocs,seconds,pmem_bytes_written,pmem_bytes_read,dram_bytes_copied,net_bytes,syscalls,mismatches\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{},{},{},{},{},{}",
+                c.library,
+                c.nprocs,
+                c.time.as_secs_f64(),
+                c.stats.pmem_bytes_written,
+                c.stats.pmem_bytes_read,
+                c.stats.dram_bytes_copied,
+                c.stats.net_bytes,
+                c.stats.syscalls,
+                c.mismatches
+            );
+        }
+        out
+    }
+
+    /// Speedup of `a` over `b` at `nprocs` (time_b / time_a).
+    pub fn speedup(&self, a: &str, b: &str, nprocs: u64) -> Option<f64> {
+        let ta = self.get(a, nprocs)?.time.as_secs_f64();
+        let tb = self.get(b, nprocs)?.time.as_secs_f64();
+        if ta <= 0.0 {
+            return None;
+        }
+        Some(tb / ta)
+    }
+}
+
+/// The paper's qualitative claims for one figure, checked against results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeCheck {
+    pub claim: String,
+    pub value: f64,
+    pub pass: bool,
+}
+
+/// §4.1's claims about Figure 6 (writes).
+pub fn check_fig6_shape(fig: &Figure) -> Vec<ShapeCheck> {
+    let mut out = vec![];
+    if let Some(s) = fig.speedup("PMCPY-A", "NetCDF", 24) {
+        out.push(ShapeCheck {
+            claim: "write: PMCPY-A beats NetCDF by ~2.5x (>=1.5x accepted)".into(),
+            value: s,
+            pass: s >= 1.5,
+        });
+    }
+    if let Some(s) = fig.speedup("PMCPY-A", "pNetCDF", 24) {
+        out.push(ShapeCheck {
+            claim: "write: PMCPY-A beats pNetCDF by ~2.5x (>=1.5x accepted)".into(),
+            value: s,
+            pass: s >= 1.5,
+        });
+    }
+    if let Some(s) = fig.speedup("PMCPY-A", "ADIOS", 24) {
+        out.push(ShapeCheck {
+            claim: "write: PMCPY-A beats ADIOS by >=15% at 24 procs".into(),
+            value: s,
+            pass: s >= 1.10,
+        });
+    }
+    if let (Some(a), Some(b)) = (fig.get("ADIOS", 24), fig.get("PMCPY-B", 24)) {
+        let ratio = b.time.as_secs_f64() / a.time.as_secs_f64();
+        out.push(ShapeCheck {
+            claim: "write: PMCPY-B is ADIOS-or-slower (MAP_SYNC erases the win)".into(),
+            value: ratio,
+            pass: ratio >= 0.95,
+        });
+    }
+    out.extend(check_flattening(fig, "PMCPY-A"));
+    out
+}
+
+/// §4.1's claims about Figure 7 (reads).
+pub fn check_fig7_shape(fig: &Figure) -> Vec<ShapeCheck> {
+    let mut out = vec![];
+    if let Some(s) = fig.speedup("PMCPY-A", "NetCDF", 24) {
+        out.push(ShapeCheck {
+            claim: "read: PMCPY-A beats NetCDF by ~5x (>=2x accepted)".into(),
+            value: s,
+            pass: s >= 2.0,
+        });
+    }
+    if let Some(s) = fig.speedup("PMCPY-A", "pNetCDF", 24) {
+        out.push(ShapeCheck {
+            claim: "read: PMCPY-A beats pNetCDF by ~5x (>=2x accepted)".into(),
+            value: s,
+            pass: s >= 2.0,
+        });
+    }
+    if let Some(s) = fig.speedup("PMCPY-A", "ADIOS", 24) {
+        out.push(ShapeCheck {
+            claim: "read: PMCPY-A beats ADIOS by ~2x (>=1.3x accepted)".into(),
+            value: s,
+            pass: s >= 1.3,
+        });
+    }
+    if let (Some(a), Some(b)) = (fig.get("ADIOS", 24), fig.get("PMCPY-B", 24)) {
+        let ratio = b.time.as_secs_f64() / a.time.as_secs_f64();
+        out.push(ShapeCheck {
+            claim: "read: PMCPY-B is no better than ADIOS".into(),
+            value: ratio,
+            pass: ratio >= 0.9,
+        });
+    }
+    out.extend(check_flattening(fig, "PMCPY-A"));
+    out
+}
+
+/// "the effects of concurrency wear off after 24 cores": time at 48 procs is
+/// not much better than at 24, while 8 -> 24 shows improvement.
+fn check_flattening(fig: &Figure, lib: &str) -> Vec<ShapeCheck> {
+    let mut out = vec![];
+    if let (Some(t8), Some(t24), Some(t48)) =
+        (fig.get(lib, 8), fig.get(lib, 24), fig.get(lib, 48))
+    {
+        let slope = t8.time.as_secs_f64() / t24.time.as_secs_f64();
+        out.push(ShapeCheck {
+            claim: format!("{lib}: scales 8->24 procs (t8/t24 > 1.05)"),
+            value: slope,
+            pass: slope > 1.05,
+        });
+        let flat = t48.time.as_secs_f64() / t24.time.as_secs_f64();
+        out.push(ShapeCheck {
+            claim: format!("{lib}: flattens past 24 procs (t48/t24 >= 0.85)"),
+            value: flat,
+            pass: flat >= 0.85,
+        });
+    }
+    out
+}
+
+/// Render shape checks.
+pub fn render_checks(checks: &[ShapeCheck]) -> String {
+    let mut out = String::new();
+    for c in checks {
+        let _ = writeln!(
+            out,
+            "[{}] {:<65} value={:.2}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.claim,
+            c.value
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::StatsSnapshot;
+
+    fn cell(lib: &str, p: u64, secs: f64) -> CellResult {
+        CellResult {
+            library: lib.into(),
+            direction: Direction::Write,
+            nprocs: p,
+            time: SimTime::from_secs_f64(secs),
+            stats: StatsSnapshot::default(),
+            mismatches: 0,
+        }
+    }
+
+    fn fig() -> Figure {
+        let libs = ["ADIOS", "NetCDF", "pNetCDF", "PMCPY-A", "PMCPY-B"];
+        let mut cells = vec![];
+        for &p in &[8u64, 24, 48] {
+            // Shape resembling the paper.
+            let base = 8.0 * 24.0 / p.min(24) as f64 / 3.0;
+            cells.push(cell("PMCPY-A", p, base));
+            cells.push(cell("ADIOS", p, base * 1.2));
+            cells.push(cell("PMCPY-B", p, base * 1.3));
+            cells.push(cell("NetCDF", p, base * 2.6));
+            cells.push(cell("pNetCDF", p, base * 2.5));
+        }
+        Figure {
+            title: "test".into(),
+            direction: Direction::Write,
+            procs: vec![8, 24, 48],
+            libraries: libs.iter().map(|s| s.to_string()).collect(),
+            cells,
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        let f = fig();
+        let s = f.speedup("PMCPY-A", "NetCDF", 24).unwrap();
+        assert!((s - 2.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_like_shape_passes_all_checks() {
+        let f = fig();
+        let checks = check_fig6_shape(&f);
+        assert!(!checks.is_empty());
+        assert!(checks.iter().all(|c| c.pass), "{}", render_checks(&checks));
+    }
+
+    #[test]
+    fn inverted_results_fail_checks() {
+        let mut f = fig();
+        for c in &mut f.cells {
+            if c.library == "PMCPY-A" {
+                c.time = SimTime::from_secs_f64(100.0);
+            }
+        }
+        let checks = check_fig6_shape(&f);
+        assert!(checks.iter().any(|c| !c.pass));
+    }
+
+    #[test]
+    fn renders_table_chart_and_csv() {
+        let f = fig();
+        let t = f.table();
+        assert!(t.contains("PMCPY-A") && t.contains("p=48"));
+        let a = f.ascii_chart();
+        assert!(a.contains("#"));
+        let c = f.csv();
+        assert_eq!(c.lines().count(), 1 + f.cells.len());
+        assert!(c.starts_with("library,nprocs"));
+    }
+}

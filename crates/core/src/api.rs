@@ -1,0 +1,428 @@
+//! The pMEMCPY public API (Fig. 2 of the paper, in Rust clothing).
+//!
+//! ```text
+//! pmemcpy::PMEM pmem;                         let mut pmem = Pmem::new();
+//! pmem.mmap(filename, comm);                  pmem.mmap(target, &comm)?;
+//! pmem.store<T>(id, data);                    pmem.store_scalar(id, v)? / store_slice / store_pod
+//! pmem.alloc<T>(id, ndims, dims);             pmem.alloc::<f64>(id, &global_dims)?;
+//! pmem.store<T>(id, data, ndims, off, dpp);   pmem.store_block(id, &data, &off, &dims)?;
+//! pmem.load<T>(id, ...);                      pmem.load_scalar / load_slice / load_block
+//! pmem.load_dims(id, ...);                    pmem.load_dims(id)?;
+//! pmem.munmap();                              pmem.munmap()?;
+//! ```
+//!
+//! Dimensions are stored automatically under `"<id>#dims"` — exactly the
+//! convention §3 describes — and per-rank blocks under
+//! `"<id>#block@o1,o2,..."`, mirroring how ADIOS keeps per-writer blocks.
+
+use crate::element::{pod_as_bytes, pod_from_bytes, slice_as_bytes, slice_as_bytes_mut, Element, Pod};
+use crate::error::{PmemCpyError, Result};
+use crate::layout::{hashtable::HashtableLayout, hierarchical::HierarchicalLayout, Layout};
+use crate::options::{DataLayout, Options};
+use crate::registry;
+use mpi_sim::Comm;
+use pmem_sim::{Clock, Machine, PmemDevice, SimTime};
+use pserial::{Datatype, VarMeta};
+use simfs::SimFs;
+use std::sync::Arc;
+
+/// Where a [`Pmem`] handle attaches.
+pub enum MmapTarget<'a> {
+    /// A raw PMEM namespace managed by the PMDK-style pool (devdax-style);
+    /// required by (and implying) [`DataLayout::PmdkHashtable`].
+    DevDax(&'a Arc<PmemDevice>),
+    /// A directory on a DAX filesystem; required by (and implying)
+    /// [`DataLayout::HierarchicalFiles`].
+    Fs { fs: &'a Arc<SimFs>, dir: &'a str },
+}
+
+struct Mounted {
+    layout: Box<dyn Layout>,
+    clock: Arc<Clock>,
+    machine: Arc<Machine>,
+    device_for_release: Option<Arc<PmemDevice>>,
+}
+
+/// The pMEMCPY handle: a key-value view of node-local persistent memory.
+pub struct Pmem {
+    opts: Options,
+    mounted: Option<Mounted>,
+}
+
+impl Default for Pmem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pmem {
+    /// A handle with the paper's default configuration (BP4 serialization,
+    /// PMDK hashtable layout, MAP_SYNC off — "PMCPY-A").
+    pub fn new() -> Self {
+        Pmem { opts: Options::default(), mounted: None }
+    }
+
+    pub fn with_options(opts: Options) -> Self {
+        Pmem { opts, mounted: None }
+    }
+
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Map the PMEM. Collective: every rank of `comm` calls this; rank 0
+    /// creates/recovers shared state, the rest attach to it.
+    pub fn mmap(&mut self, target: MmapTarget<'_>, comm: &Comm) -> Result<()> {
+        if self.mounted.is_some() {
+            return Err(PmemCpyError::Config("already mapped".into()));
+        }
+        let serializer = self.opts.resolve_serializer()?;
+        let clock = comm.clock_arc();
+        let mounted = match (target, self.opts.layout) {
+            (MmapTarget::DevDax(device), DataLayout::PmdkHashtable) => {
+                let shared = registry::shared_pool(
+                    &clock,
+                    device,
+                    "pmemcpy",
+                    self.opts.hashtable_buckets,
+                )?;
+                comm.barrier();
+                Mounted {
+                    layout: Box::new(HashtableLayout::new(
+                        &clock,
+                        device,
+                        shared,
+                        serializer,
+                        self.opts.map_sync,
+                    )),
+                    machine: Arc::clone(device.machine()),
+                    clock,
+                    device_for_release: Some(Arc::clone(device)),
+                }
+            }
+            (MmapTarget::Fs { fs, dir }, DataLayout::HierarchicalFiles) => {
+                if comm.rank() == 0 {
+                    fs.mkdir_p(&clock, dir)?;
+                }
+                comm.barrier();
+                Mounted {
+                    layout: Box::new(HierarchicalLayout::new(fs, dir, serializer, self.opts.map_sync)),
+                    machine: Arc::clone(fs.device().machine()),
+                    clock,
+                    device_for_release: None,
+                }
+            }
+            (MmapTarget::DevDax(_), DataLayout::HierarchicalFiles) => {
+                return Err(PmemCpyError::Config(
+                    "hierarchical layout needs an Fs target".into(),
+                ))
+            }
+            (MmapTarget::Fs { .. }, DataLayout::PmdkHashtable) => {
+                return Err(PmemCpyError::Config(
+                    "hashtable layout needs a DevDax target".into(),
+                ))
+            }
+        };
+        self.mounted = Some(mounted);
+        Ok(())
+    }
+
+    /// Unmap. Data stays durable; the handle returns to the unmapped state.
+    pub fn munmap(&mut self) -> Result<()> {
+        let m = self.mounted.take().ok_or(PmemCpyError::NotMapped)?;
+        m.machine.charge_syscall(&m.clock);
+        if let Some(device) = m.device_for_release {
+            registry::release_pool(&device);
+        }
+        Ok(())
+    }
+
+    pub fn is_mapped(&self) -> bool {
+        self.mounted.is_some()
+    }
+
+    fn m(&self) -> Result<&Mounted> {
+        self.mounted.as_ref().ok_or(PmemCpyError::NotMapped)
+    }
+
+    /// Crate-internal: the active layout + machine (drain support).
+    pub(crate) fn layout_and_machine(&self) -> Result<(&dyn crate::layout::Layout, &Arc<Machine>)> {
+        let m = self.m()?;
+        Ok((m.layout.as_ref(), &m.machine))
+    }
+
+    /// Crate-internal: the handle's clock.
+    pub(crate) fn clock(&self) -> Result<&Clock> {
+        Ok(&self.m()?.clock)
+    }
+
+    /// Check a decoded dtype against the requested element type. The raw
+    /// serializer erases type metadata, so the check is skipped for it.
+    fn check_dtype<T: Element>(&self, id: &str, found: Datatype) -> Result<()> {
+        if self.opts.serializer == "raw" {
+            return Ok(());
+        }
+        if found != T::DTYPE {
+            return Err(PmemCpyError::ShapeMismatch {
+                id: id.to_string(),
+                detail: format!("stored dtype {found:?}, requested {:?}", T::DTYPE),
+            });
+        }
+        Ok(())
+    }
+
+    /// The handle's virtual clock (its rank's clock).
+    pub fn now(&self) -> SimTime {
+        self.mounted.as_ref().map(|m| m.clock.now()).unwrap_or(SimTime::ZERO)
+    }
+
+    // ---- scalars, slices, PODs ----
+
+    /// Store a scalar under `id`.
+    pub fn store_scalar<T: Element>(&self, id: &str, value: T) -> Result<()> {
+        let m = self.m()?;
+        let meta = VarMeta::scalar(id, T::DTYPE);
+        m.layout.store(&m.clock, id, &meta, slice_as_bytes(std::slice::from_ref(&value)))
+    }
+
+    /// Load a scalar.
+    pub fn load_scalar<T: Element>(&self, id: &str) -> Result<T> {
+        let m = self.m()?;
+        let mut out = [unsafe { std::mem::zeroed::<T>() }; 1];
+        let hdr = m.layout.load_into(&m.clock, id, slice_as_bytes_mut(&mut out))?;
+        self.check_dtype::<T>(id, hdr.meta.dtype)?;
+        Ok(out[0])
+    }
+
+    /// Store a dense 1-D array under `id` (dims recorded automatically).
+    pub fn store_slice<T: Element>(&self, id: &str, data: &[T]) -> Result<()> {
+        let m = self.m()?;
+        let meta = VarMeta::local_array(id, T::DTYPE, &[data.len() as u64]);
+        m.layout.store(&m.clock, id, &meta, slice_as_bytes(data))
+    }
+
+    /// Load a dense 1-D array.
+    pub fn load_slice<T: Element>(&self, id: &str) -> Result<Vec<T>> {
+        let m = self.m()?;
+        let hdr = m.layout.stat(&m.clock, id)?;
+        let n = (hdr.payload_len / T::DTYPE.size()) as usize;
+        let mut out = vec![unsafe { std::mem::zeroed::<T>() }; n];
+        let hdr = m.layout.load_into(&m.clock, id, slice_as_bytes_mut(&mut out))?;
+        self.check_dtype::<T>(id, hdr.meta.dtype)?;
+        Ok(out)
+    }
+
+    /// Load a dense 1-D array into a caller-provided buffer (no allocation;
+    /// the buffer length must match the stored element count).
+    pub fn load_slice_into<T: Element>(&self, id: &str, dst: &mut [T]) -> Result<()> {
+        let m = self.m()?;
+        let hdr = m.layout.load_into(&m.clock, id, slice_as_bytes_mut(dst))?;
+        self.check_dtype::<T>(id, hdr.meta.dtype)?;
+        Ok(())
+    }
+
+    /// Store a fixed-layout struct ("compound type").
+    pub fn store_pod<T: Pod>(&self, id: &str, value: &T) -> Result<()> {
+        let m = self.m()?;
+        let meta = VarMeta::local_array(id, Datatype::U8, &[std::mem::size_of::<T>() as u64]);
+        m.layout.store(&m.clock, id, &meta, pod_as_bytes(value))
+    }
+
+    /// Load a fixed-layout struct.
+    pub fn load_pod<T: Pod>(&self, id: &str) -> Result<T> {
+        let m = self.m()?;
+        let mut bytes = vec![0u8; std::mem::size_of::<T>()];
+        m.layout.load_into(&m.clock, id, &mut bytes)?;
+        Ok(pod_from_bytes(&bytes))
+    }
+
+    // ---- decomposed N-D arrays (Fig. 3's parallel-write pattern) ----
+
+    /// Declare the global dimensions of a decomposed array (Fig. 2's
+    /// `alloc`). Stores the `"<id>#dims"` companion entry.
+    pub fn alloc<T: Element>(&self, id: &str, global_dims: &[u64]) -> Result<()> {
+        let m = self.m()?;
+        let key = dims_key(id);
+        let mut payload = Vec::with_capacity(2 + global_dims.len() * 8);
+        payload.push(T::DTYPE.code());
+        payload.push(global_dims.len() as u8);
+        for &d in global_dims {
+            payload.extend_from_slice(&d.to_le_bytes());
+        }
+        let meta = VarMeta::local_array(&key, Datatype::U8, &[payload.len() as u64]);
+        m.layout.store(&m.clock, &key, &meta, &payload)
+    }
+
+    /// Query an array's element type and global dimensions (Fig. 2's
+    /// `load_dims`).
+    pub fn load_dims(&self, id: &str) -> Result<(Datatype, Vec<u64>)> {
+        let m = self.m()?;
+        let key = dims_key(id);
+        let hdr = m.layout.stat(&m.clock, &key)?;
+        let mut payload = vec![0u8; hdr.payload_len as usize];
+        m.layout.load_into(&m.clock, &key, &mut payload)?;
+        if payload.len() < 2 {
+            return Err(PmemCpyError::ShapeMismatch {
+                id: id.to_string(),
+                detail: "truncated #dims record".into(),
+            });
+        }
+        let dtype = Datatype::from_code(payload[0])?;
+        let nd = payload[1] as usize;
+        if payload.len() != 2 + nd * 8 {
+            return Err(PmemCpyError::ShapeMismatch {
+                id: id.to_string(),
+                detail: "malformed #dims record".into(),
+            });
+        }
+        let dims = (0..nd)
+            .map(|i| u64::from_le_bytes(payload[2 + i * 8..10 + i * 8].try_into().unwrap()))
+            .collect();
+        Ok((dtype, dims))
+    }
+
+    /// Store this rank's block of the decomposed array `id` (Fig. 2's
+    /// subarray `store`). Bounds are checked against the `alloc`'d dims.
+    pub fn store_block<T: Element>(
+        &self,
+        id: &str,
+        data: &[T],
+        offsets: &[u64],
+        dims: &[u64],
+    ) -> Result<()> {
+        let m = self.m()?;
+        let (dtype, global) = self.load_dims(id)?;
+        self.check_dtype::<T>(id, dtype)?;
+        validate_block(id, &global, offsets, dims)?;
+        let elements: u64 = dims.iter().product();
+        if elements != data.len() as u64 {
+            return Err(PmemCpyError::ShapeMismatch {
+                id: id.to_string(),
+                detail: format!("dims say {elements} elements, buffer has {}", data.len()),
+            });
+        }
+        let meta = VarMeta::block(id, T::DTYPE, &global, offsets, dims);
+        let key = block_key(id, offsets);
+        m.layout.store(&m.clock, &key, &meta, slice_as_bytes(data))
+    }
+
+    /// Load the block previously stored at `offsets`/`dims` into `dst`
+    /// (the symmetric-read pattern of §4.1).
+    pub fn load_block<T: Element>(
+        &self,
+        id: &str,
+        dst: &mut [T],
+        offsets: &[u64],
+        dims: &[u64],
+    ) -> Result<()> {
+        let m = self.m()?;
+        let elements: u64 = dims.iter().product();
+        if elements != dst.len() as u64 {
+            return Err(PmemCpyError::ShapeMismatch {
+                id: id.to_string(),
+                detail: format!("dims say {elements} elements, buffer has {}", dst.len()),
+            });
+        }
+        let key = block_key(id, offsets);
+        let hdr = m.layout.load_into(&m.clock, &key, slice_as_bytes_mut(dst))?;
+        self.check_dtype::<T>(id, hdr.meta.dtype)?;
+        Ok(())
+    }
+
+    // ---- attributes ----
+
+    /// Attach a string attribute to a variable (HDF5/ADIOS-style metadata:
+    /// units, provenance, ...). Stored under `"<id>#attr:<name>"`.
+    pub fn set_attr(&self, id: &str, name: &str, value: &str) -> Result<()> {
+        let m = self.m()?;
+        let key = attr_key(id, name);
+        let meta = VarMeta::local_array(&key, Datatype::U8, &[value.len() as u64]);
+        m.layout.store(&m.clock, &key, &meta, value.as_bytes())
+    }
+
+    /// Read a string attribute.
+    pub fn get_attr(&self, id: &str, name: &str) -> Result<String> {
+        let m = self.m()?;
+        let key = attr_key(id, name);
+        let hdr = m.layout.stat(&m.clock, &key)?;
+        let mut buf = vec![0u8; hdr.payload_len as usize];
+        m.layout.load_into(&m.clock, &key, &mut buf)?;
+        String::from_utf8(buf).map_err(|e| PmemCpyError::ShapeMismatch {
+            id: id.to_string(),
+            detail: format!("attribute is not utf-8: {e}"),
+        })
+    }
+
+    /// List attribute names attached to `id`.
+    pub fn attrs(&self, id: &str) -> Result<Vec<String>> {
+        let m = self.m()?;
+        let prefix = format!("{id}#attr:");
+        let mut out: Vec<String> = m
+            .layout
+            .keys(&m.clock)
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&prefix).map(|s| s.to_string()))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    // ---- namespace ----
+
+    pub fn exists(&self, id: &str) -> bool {
+        self.m().map(|m| m.layout.exists(&m.clock, id)).unwrap_or(false)
+    }
+
+    /// Remove a variable (and its `#dims` companion, if present).
+    pub fn remove(&self, id: &str) -> Result<bool> {
+        let m = self.m()?;
+        let main = m.layout.remove(&m.clock, id)?;
+        let _ = m.layout.remove(&m.clock, &dims_key(id))?;
+        Ok(main)
+    }
+
+    /// All stored keys, including `#dims` and `#block@` companions.
+    pub fn keys(&self) -> Result<Vec<String>> {
+        let m = self.m()?;
+        Ok(m.layout.keys(&m.clock))
+    }
+}
+
+fn dims_key(id: &str) -> String {
+    format!("{id}#dims")
+}
+
+fn attr_key(id: &str, name: &str) -> String {
+    format!("{id}#attr:{name}")
+}
+
+fn block_key(id: &str, offsets: &[u64]) -> String {
+    let coords: Vec<String> = offsets.iter().map(|o| o.to_string()).collect();
+    format!("{id}#block@{}", coords.join(","))
+}
+
+fn validate_block(id: &str, global: &[u64], offsets: &[u64], dims: &[u64]) -> Result<()> {
+    if global.len() != offsets.len() || global.len() != dims.len() {
+        return Err(PmemCpyError::ShapeMismatch {
+            id: id.to_string(),
+            detail: format!(
+                "rank mismatch: global {}D, offsets {}D, dims {}D",
+                global.len(),
+                offsets.len(),
+                dims.len()
+            ),
+        });
+    }
+    for d in 0..global.len() {
+        if offsets[d] + dims[d] > global[d] {
+            return Err(PmemCpyError::OutOfBounds {
+                id: id.to_string(),
+                detail: format!(
+                    "dim {d}: offset {} + extent {} > global {}",
+                    offsets[d], dims[d], global[d]
+                ),
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Unified error type for the pMEMCPY public API.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum PmemCpyError {
+    /// The handle is not mmap'ed (or was munmap'ed).
+    NotMapped,
+    /// A variable id was not found.
+    NotFound(String),
+    /// The caller's buffer/dims disagree with the stored variable.
+    ShapeMismatch { id: String, detail: String },
+    /// A block store/load exceeds the allocated global dimensions.
+    OutOfBounds { id: String, detail: String },
+    /// Underlying PMDK-style object store failure.
+    Pmdk(pmdk_sim::PmdkError),
+    /// Underlying filesystem failure (hierarchical layout).
+    Fs(simfs::FsError),
+    /// Serialization failure.
+    Serial(pserial::SerialError),
+    /// Configuration problems (unknown serializer, bad layout, ...).
+    Config(String),
+}
+
+impl fmt::Display for PmemCpyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemCpyError::NotMapped => write!(f, "PMEM handle is not mapped (call mmap first)"),
+            PmemCpyError::NotFound(id) => write!(f, "no such variable: {id:?}"),
+            PmemCpyError::ShapeMismatch { id, detail } => {
+                write!(f, "shape mismatch for {id:?}: {detail}")
+            }
+            PmemCpyError::OutOfBounds { id, detail } => {
+                write!(f, "block out of bounds for {id:?}: {detail}")
+            }
+            PmemCpyError::Pmdk(e) => write!(f, "pmdk: {e}"),
+            PmemCpyError::Fs(e) => write!(f, "fs: {e}"),
+            PmemCpyError::Serial(e) => write!(f, "serialization: {e}"),
+            PmemCpyError::Config(m) => write!(f, "configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PmemCpyError {}
+
+impl From<pmdk_sim::PmdkError> for PmemCpyError {
+    fn from(e: pmdk_sim::PmdkError) -> Self {
+        match e {
+            pmdk_sim::PmdkError::NotFound => PmemCpyError::NotFound("<pmdk>".into()),
+            other => PmemCpyError::Pmdk(other),
+        }
+    }
+}
+
+impl From<simfs::FsError> for PmemCpyError {
+    fn from(e: simfs::FsError) -> Self {
+        PmemCpyError::Fs(e)
+    }
+}
+
+impl From<pserial::SerialError> for PmemCpyError {
+    fn from(e: pserial::SerialError) -> Self {
+        PmemCpyError::Serial(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, PmemCpyError>;

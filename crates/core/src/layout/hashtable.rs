@@ -1,0 +1,131 @@
+//! The default layout: one PMDK pool, flat namespace, persistent hashtable
+//! with chaining (§3: *"Metadata is stored in a flat namespace using a
+//! hashtable with chaining. This utilizes the high parallelism and random
+//! access characteristics of PMEM."*).
+
+use crate::error::{PmemCpyError, Result};
+use crate::layout::Layout;
+use crate::registry::SharedPool;
+use crate::sink::{MappingSink, MappingSource};
+use pmem_sim::{Clock, DaxMapping, Machine, PmemDevice};
+use pserial::{Serializer, VarHeader, VarMeta};
+use std::sync::Arc;
+
+pub struct HashtableLayout {
+    shared: SharedPool,
+    mapping: Arc<DaxMapping>,
+    serializer: &'static dyn Serializer,
+    machine: Arc<Machine>,
+}
+
+impl HashtableLayout {
+    /// Build over an already-interned pool. `map_sync` configures the data
+    /// mapping (the PMCPY-A/B switch).
+    pub fn new(
+        clock: &Clock,
+        device: &Arc<PmemDevice>,
+        shared: SharedPool,
+        serializer: &'static dyn Serializer,
+        map_sync: bool,
+    ) -> Self {
+        let mapping = DaxMapping::new(clock, Arc::clone(device), 0, device.size(), map_sync);
+        HashtableLayout {
+            machine: Arc::clone(device.machine()),
+            shared,
+            mapping,
+            serializer,
+        }
+    }
+
+    pub fn mapping(&self) -> &Arc<DaxMapping> {
+        &self.mapping
+    }
+
+    pub fn shared(&self) -> &SharedPool {
+        &self.shared
+    }
+}
+
+impl Layout for HashtableLayout {
+    fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()> {
+        let slen = self.serializer.serialized_len(meta, payload.len() as u64);
+        // Reserve the record space in the pool (metadata transaction), then
+        // serialize straight into the mapped region — no DRAM staging.
+        let vref = self.shared.hashtable.put_reserve(clock, key.as_bytes(), slen)?;
+        self.machine
+            .charge_serialize(clock, payload.len() as u64, self.serializer.cpu_cost_factor());
+        let mut sink = MappingSink::new(&self.mapping, clock, vref.offset as usize, slen as usize);
+        self.serializer.write_var(meta, payload, &mut sink)?;
+        debug_assert_eq!(sink.written() as u64, slen);
+        self.mapping.persist(clock, vref.offset as usize, slen as usize);
+        Ok(())
+    }
+
+    fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader> {
+        let vref = self
+            .shared
+            .hashtable
+            .get_ref(clock, key.as_bytes())
+            .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
+        let mut src =
+            MappingSource::new(&self.mapping, clock, vref.offset as usize, vref.len as usize);
+        Ok(self.serializer.read_header(&mut src)?)
+    }
+
+    fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader> {
+        let vref = self
+            .shared
+            .hashtable
+            .get_ref(clock, key.as_bytes())
+            .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
+        let mut src =
+            MappingSource::new(&self.mapping, clock, vref.offset as usize, vref.len as usize);
+        let hdr = self.serializer.read_header(&mut src)?;
+        if hdr.payload_len != dst.len() as u64 {
+            return Err(PmemCpyError::ShapeMismatch {
+                id: key.to_string(),
+                detail: format!("payload {} bytes, buffer {} bytes", hdr.payload_len, dst.len()),
+            });
+        }
+        // Deserialize straight from PMEM into the caller's buffer.
+        self.serializer.read_payload(&mut src, dst)?;
+        self.machine
+            .charge_serialize(clock, dst.len() as u64, self.serializer.cpu_cost_factor());
+        Ok(hdr)
+    }
+
+    fn exists(&self, clock: &Clock, key: &str) -> bool {
+        self.shared.hashtable.contains(clock, key.as_bytes())
+    }
+
+    fn remove(&self, clock: &Clock, key: &str) -> Result<bool> {
+        Ok(self.shared.hashtable.remove(clock, key.as_bytes())?)
+    }
+
+    fn keys(&self, clock: &Clock) -> Vec<String> {
+        self.shared
+            .hashtable
+            .keys(clock)
+            .into_iter()
+            .map(|k| String::from_utf8_lossy(&k).into_owned())
+            .collect()
+    }
+
+    fn raw_value(&self, clock: &Clock, key: &str) -> Result<Vec<u8>> {
+        let vref = self
+            .shared
+            .hashtable
+            .get_ref(clock, key.as_bytes())
+            .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
+        let mut buf = vec![0u8; vref.len as usize];
+        let mut src =
+            MappingSource::new(&self.mapping, clock, vref.offset as usize, vref.len as usize);
+        use pserial::ReadSource;
+        src.get(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn name(&self) -> &'static str {
+        "pmdk-hashtable"
+    }
+}

@@ -1,0 +1,159 @@
+//! The alternative layout: the PMEM filesystem's namespace, one file per
+//! variable (§3: *"pMEMCPY stores the data structures in a directory and
+//! creates a file for each variable. Whenever a '/' is used in the id of
+//! the variable, a directory is created if it didn't already exist."*).
+
+use crate::error::{PmemCpyError, Result};
+use crate::layout::Layout;
+use crate::sink::{MappingSink, MappingSource};
+use pmem_sim::{Clock, Machine};
+use pserial::{Serializer, VarHeader, VarMeta};
+use simfs::{EntryKind, SimFs};
+use std::sync::Arc;
+
+pub struct HierarchicalLayout {
+    fs: Arc<SimFs>,
+    root: String,
+    serializer: &'static dyn Serializer,
+    machine: Arc<Machine>,
+    map_sync: bool,
+}
+
+impl HierarchicalLayout {
+    pub fn new(
+        fs: &Arc<SimFs>,
+        root: &str,
+        serializer: &'static dyn Serializer,
+        map_sync: bool,
+    ) -> Self {
+        HierarchicalLayout {
+            machine: Arc::clone(fs.device().machine()),
+            fs: Arc::clone(fs),
+            root: root.trim_end_matches('/').to_string(),
+            serializer,
+            map_sync,
+        }
+    }
+
+    fn path_of(&self, key: &str) -> String {
+        format!("{}/{}", self.root, key)
+    }
+
+    /// Create parent directories implied by '/' in the key.
+    fn ensure_parent(&self, clock: &Clock, key: &str) -> Result<()> {
+        if let Some(pos) = key.rfind('/') {
+            self.fs.mkdir_p(clock, &format!("{}/{}", self.root, &key[..pos]))?;
+        }
+        Ok(())
+    }
+}
+
+impl Layout for HierarchicalLayout {
+    fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()> {
+        self.ensure_parent(clock, key)?;
+        let path = self.path_of(key);
+        let slen = self.serializer.serialized_len(meta, payload.len() as u64);
+        let fd = self.fs.create(clock, &path)?;
+        self.fs.set_len(clock, fd, slen)?;
+        self.fs.close(clock, fd)?;
+        // Map the file and serialize directly into it.
+        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
+        self.machine
+            .charge_serialize(clock, payload.len() as u64, self.serializer.cpu_cost_factor());
+        let mut sink = MappingSink::new(&mapping, clock, 0, slen as usize);
+        self.serializer.write_var(meta, payload, &mut sink)?;
+        mapping.persist(clock, 0, slen as usize);
+        mapping.unmap(clock);
+        Ok(())
+    }
+
+    fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader> {
+        let path = self.path_of(key);
+        if !self.fs.exists(&path) {
+            return Err(PmemCpyError::NotFound(key.to_string()));
+        }
+        let len = self.fs.file_size(&path)? as usize;
+        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
+        let mut src = MappingSource::new(&mapping, clock, 0, len);
+        let hdr = self.serializer.read_header(&mut src)?;
+        mapping.unmap(clock);
+        Ok(hdr)
+    }
+
+    fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader> {
+        let path = self.path_of(key);
+        if !self.fs.exists(&path) {
+            return Err(PmemCpyError::NotFound(key.to_string()));
+        }
+        let len = self.fs.file_size(&path)? as usize;
+        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
+        let mut src = MappingSource::new(&mapping, clock, 0, len);
+        let hdr = self.serializer.read_header(&mut src)?;
+        if hdr.payload_len != dst.len() as u64 {
+            mapping.unmap(clock);
+            return Err(PmemCpyError::ShapeMismatch {
+                id: key.to_string(),
+                detail: format!("payload {} bytes, buffer {} bytes", hdr.payload_len, dst.len()),
+            });
+        }
+        self.serializer.read_payload(&mut src, dst)?;
+        self.machine
+            .charge_serialize(clock, dst.len() as u64, self.serializer.cpu_cost_factor());
+        mapping.unmap(clock);
+        Ok(hdr)
+    }
+
+    fn exists(&self, _clock: &Clock, key: &str) -> bool {
+        self.fs.exists(&self.path_of(key))
+    }
+
+    fn remove(&self, clock: &Clock, key: &str) -> Result<bool> {
+        let path = self.path_of(key);
+        if !self.fs.exists(&path) {
+            return Ok(false);
+        }
+        self.fs.unlink(clock, &path)?;
+        Ok(true)
+    }
+
+    fn keys(&self, _clock: &Clock) -> Vec<String> {
+        // Depth-first walk of the root directory.
+        let mut out = vec![];
+        let mut stack = vec![String::new()];
+        while let Some(prefix) = stack.pop() {
+            let dir = if prefix.is_empty() {
+                self.root.clone()
+            } else {
+                format!("{}/{}", self.root, prefix)
+            };
+            let Ok(entries) = self.fs.list_dir(&dir) else { continue };
+            for (name, kind) in entries {
+                let key = if prefix.is_empty() { name.clone() } else { format!("{prefix}/{name}") };
+                match kind {
+                    EntryKind::Dir => stack.push(key),
+                    EntryKind::File => out.push(key),
+                }
+            }
+        }
+        out
+    }
+
+    fn raw_value(&self, clock: &Clock, key: &str) -> Result<Vec<u8>> {
+        let path = self.path_of(key);
+        if !self.fs.exists(&path) {
+            return Err(PmemCpyError::NotFound(key.to_string()));
+        }
+        let len = self.fs.file_size(&path)? as usize;
+        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
+        let mut buf = vec![0u8; len];
+        let mut src = MappingSource::new(&mapping, clock, 0, len);
+        use pserial::ReadSource;
+        src.get(&mut buf)?;
+        mapping.unmap(clock);
+        Ok(buf)
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical-files"
+    }
+}

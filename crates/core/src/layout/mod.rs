@@ -1,0 +1,44 @@
+//! Data-layout policies (§3 "Data Layout").
+//!
+//! A layout decides where a serialized variable record lives on the PMEM and
+//! how its key is resolved. Both implementations stream records through
+//! [`crate::sink::MappingSink`]/[`crate::sink::MappingSource`], so the
+//! zero-staging property holds regardless of layout.
+
+pub mod hashtable;
+pub mod hierarchical;
+
+use crate::error::Result;
+use pmem_sim::Clock;
+use pserial::{VarHeader, VarMeta};
+
+/// A storage layout for serialized variable records.
+pub trait Layout: Send + Sync {
+    /// Serialize `payload` under `key`, directly into PMEM.
+    fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()>;
+
+    /// Decode just the header of `key`'s record.
+    fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader>;
+
+    /// Decode `key`'s record, streaming the payload into `dst`
+    /// (`dst.len()` must equal the payload length; use [`Layout::stat`]
+    /// to discover it). Returns the decoded header.
+    fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader>;
+
+    /// Whether `key` exists.
+    fn exists(&self, clock: &Clock, key: &str) -> bool;
+
+    /// Remove `key`; Ok(true) if it existed.
+    fn remove(&self, clock: &Clock, key: &str) -> Result<bool>;
+
+    /// Enumerate all keys (unspecified order).
+    fn keys(&self, clock: &Clock) -> Vec<String>;
+
+    /// Copy out `key`'s raw serialized record (header + payload, exactly as
+    /// stored). Used by the burst-buffer drain, which flushes data "in the
+    /// same format as it was produced" (§3).
+    fn raw_value(&self, clock: &Clock, key: &str) -> Result<Vec<u8>>;
+
+    /// Layout name for diagnostics.
+    fn name(&self) -> &'static str;
+}

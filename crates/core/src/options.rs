@@ -1,0 +1,86 @@
+//! Configuration of a pMEMCPY handle.
+
+use crate::error::{PmemCpyError, Result};
+use pserial::Serializer;
+
+/// Where variable data and metadata live on the PMEM (§3 "Data Layout").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataLayout {
+    /// Default: a single pool managed by the PMDK-style object store, with a
+    /// flat namespace kept in a persistent hashtable with chaining.
+    PmdkHashtable,
+    /// Alternative: the PMEM filesystem's directory tree, one file per
+    /// variable; a `/` in a variable id creates a directory.
+    HierarchicalFiles,
+}
+
+/// Options accepted by [`crate::Pmem::with_options`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Serialization backend name: `"bp4"` (default, same family as ADIOS),
+    /// `"cereal"`, `"capnp-lite"`, or `"raw"` (serialization disabled).
+    pub serializer: String,
+    /// Map the data region with MAP_SYNC (the paper's PMCPY-B). Improves
+    /// crash consistency of the mapping at a significant latency cost.
+    pub map_sync: bool,
+    /// Data layout policy.
+    pub layout: DataLayout,
+    /// Buckets for the metadata hashtable (PmdkHashtable layout).
+    pub hashtable_buckets: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            serializer: "bp4".to_string(),
+            map_sync: false,
+            layout: DataLayout::PmdkHashtable,
+            hashtable_buckets: 4096,
+        }
+    }
+}
+
+impl Options {
+    /// The paper's PMCPY-A configuration (MAP_SYNC disabled).
+    pub fn pmcpy_a() -> Self {
+        Options::default()
+    }
+
+    /// The paper's PMCPY-B configuration (MAP_SYNC enabled).
+    pub fn pmcpy_b() -> Self {
+        Options { map_sync: true, ..Options::default() }
+    }
+
+    /// Resolve the serializer from the registry.
+    pub fn resolve_serializer(&self) -> Result<&'static dyn Serializer> {
+        pserial::by_name(&self.serializer)
+            .ok_or_else(|| PmemCpyError::Config(format!("unknown serializer {:?}", self.serializer)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = Options::default();
+        assert_eq!(o.serializer, "bp4");
+        assert!(!o.map_sync);
+        assert_eq!(o.layout, DataLayout::PmdkHashtable);
+    }
+
+    #[test]
+    fn ab_variants_differ_only_in_map_sync() {
+        let a = Options::pmcpy_a();
+        let b = Options::pmcpy_b();
+        assert!(!a.map_sync && b.map_sync);
+        assert_eq!(a.serializer, b.serializer);
+    }
+
+    #[test]
+    fn unknown_serializer_is_a_config_error() {
+        let o = Options { serializer: "json".into(), ..Options::default() };
+        assert!(matches!(o.resolve_serializer(), Err(PmemCpyError::Config(_))));
+    }
+}

@@ -1,0 +1,138 @@
+//! Process-wide pool sharing.
+//!
+//! Every MPI rank calls `pmem.mmap(...)` independently (Fig. 3), yet ranks
+//! must share one allocator and one lock table per pool — in reality the
+//! kernel's shared mapping provides that; in the simulation the ranks are
+//! threads, so a process-wide registry interns one [`PmemPool`] +
+//! [`PersistentHashtable`] per device. Rank 0 creates (or recovers) the
+//! pool; later arrivals receive the same handles.
+
+use crate::error::Result;
+use parking_lot::Mutex;
+use pmdk_sim::{PersistentHashtable, PmemPool};
+use pmem_sim::{Clock, PmemDevice};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, Weak};
+
+/// Shared per-pool state handed to every rank.
+#[derive(Clone)]
+pub struct SharedPool {
+    pub pool: Arc<PmemPool>,
+    pub hashtable: Arc<PersistentHashtable>,
+    pub lock_registry: Arc<pmdk_sim::locks::LockRegistry>,
+}
+
+type Key = usize; // device address identity
+
+fn registry() -> &'static Mutex<HashMap<Key, Weak<SharedPoolInner>>> {
+    static REG: OnceLock<Mutex<HashMap<Key, Weak<SharedPoolInner>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+struct SharedPoolInner {
+    shared: SharedPool,
+}
+
+/// Get (or create on first call) the shared pool state for `device`.
+///
+/// The first caller formats the device if it holds no pool, or opens and
+/// recovers an existing one; the hashtable header is stored in the pool
+/// root. Subsequent callers get clones of the same handles.
+pub fn shared_pool(
+    clock: &Clock,
+    device: &Arc<PmemDevice>,
+    layout_name: &str,
+    buckets: u64,
+) -> Result<SharedPool> {
+    let key = Arc::as_ptr(device) as usize;
+    let mut reg = registry().lock();
+    if let Some(weak) = reg.get(&key) {
+        if let Some(inner) = weak.upgrade() {
+            return Ok(inner.shared.clone());
+        }
+    }
+    // First arrival (or the previous job fully unmapped): create/open.
+    let pool = match PmemPool::open(clock, Arc::clone(device), layout_name) {
+        Ok(p) => p,
+        Err(pmdk_sim::PmdkError::BadPool(_)) => {
+            PmemPool::create(clock, Arc::clone(device), layout_name)?
+        }
+        Err(e) => return Err(e.into()),
+    };
+    // Root holds the hashtable header offset (8 bytes).
+    let root = pool.root(clock, 8)?;
+    let header = pool.read_u64(clock, root);
+    let hashtable = if header == 0 {
+        let ht = PersistentHashtable::create(clock, &pool, buckets)?;
+        pool.write_u64(clock, root, ht.header_offset());
+        ht
+    } else {
+        PersistentHashtable::open(clock, &pool, header)?
+    };
+    let shared = SharedPool {
+        pool,
+        hashtable: Arc::new(hashtable),
+        lock_registry: Arc::new(pmdk_sim::locks::LockRegistry::default()),
+    };
+    let inner = Arc::new(SharedPoolInner { shared: shared.clone() });
+    reg.insert(key, Arc::downgrade(&inner));
+    // Keep the interned entry alive as long as any SharedPool clone lives:
+    // stash the Arc inside the hashtable's pool via a leak-free side table.
+    holder().lock().insert(key, inner);
+    Ok(shared)
+}
+
+/// Drop the interned pool for `device` (called at munmap by the last rank;
+/// harmless if others still hold clones — their Arcs keep the data alive).
+pub fn release_pool(device: &Arc<PmemDevice>) {
+    let key = Arc::as_ptr(device) as usize;
+    holder().lock().remove(&key);
+    registry().lock().remove(&key);
+}
+
+fn holder() -> &'static Mutex<HashMap<Key, Arc<SharedPoolInner>>> {
+    static HOLD: OnceLock<Mutex<HashMap<Key, Arc<SharedPoolInner>>>> = OnceLock::new();
+    HOLD.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode};
+
+    #[test]
+    fn second_caller_gets_the_same_pool() {
+        let dev = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        let a = shared_pool(&clock, &dev, "pmemcpy", 64).unwrap();
+        let b = shared_pool(&clock, &dev, "pmemcpy", 64).unwrap();
+        assert!(Arc::ptr_eq(&a.pool, &b.pool));
+        assert!(Arc::ptr_eq(&a.hashtable, &b.hashtable));
+        release_pool(&dev);
+    }
+
+    #[test]
+    fn release_then_reacquire_reopens_the_same_data() {
+        let dev = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        let a = shared_pool(&clock, &dev, "pmemcpy", 64).unwrap();
+        a.hashtable.put(&clock, b"key", b"value").unwrap();
+        drop(a);
+        release_pool(&dev);
+        let b = shared_pool(&clock, &dev, "pmemcpy", 64).unwrap();
+        assert_eq!(b.hashtable.get(&clock, b"key").unwrap(), b"value");
+        release_pool(&dev);
+    }
+
+    #[test]
+    fn distinct_devices_get_distinct_pools() {
+        let d1 = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Fast);
+        let d2 = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        let a = shared_pool(&clock, &d1, "pmemcpy", 64).unwrap();
+        let b = shared_pool(&clock, &d2, "pmemcpy", 64).unwrap();
+        assert!(!Arc::ptr_eq(&a.pool, &b.pool));
+        release_pool(&d1);
+        release_pool(&d2);
+    }
+}

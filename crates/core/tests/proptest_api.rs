@@ -1,0 +1,164 @@
+//! Property-based tests of the pMEMCPY public API: arbitrary store/load
+//! sequences model-checked against a HashMap, across serializers and
+//! layouts; region reads checked against direct indexing.
+
+use mpi_sim::{Comm, World};
+use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+use pmemcpy::{DataLayout, MmapTarget, Options, Pmem};
+use proptest::prelude::*;
+use simfs::{MountMode, SimFs};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn mapped(opts: Options) -> (Pmem, Comm, Arc<SimFs>) {
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 32 << 20, PersistenceMode::Fast);
+    let fs = SimFs::mount_all(
+        PmemDevice::new(Arc::clone(&machine), 32 << 20, PersistenceMode::Fast),
+        MountMode::Dax,
+    );
+    let comm = Comm::new(World::new(machine, 1), 0);
+    let mut pmem = Pmem::with_options(opts.clone());
+    match opts.layout {
+        DataLayout::PmdkHashtable => pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap(),
+        DataLayout::HierarchicalFiles => {
+            pmem.mmap(MmapTarget::Fs { fs: &fs, dir: "/p" }, &comm).unwrap()
+        }
+    }
+    (pmem, comm, fs)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    StoreSlice(u8, Vec<f64>),
+    LoadSlice(u8),
+    StoreScalar(u8, f64),
+    LoadScalar(u8),
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..6, prop::collection::vec(any::<f64>(), 1..200)).prop_map(|(k, v)| Op::StoreSlice(k, v)),
+        2 => (0u8..6).prop_map(Op::LoadSlice),
+        2 => (0u8..6, any::<f64>()).prop_map(|(k, v)| Op::StoreScalar(k, v)),
+        2 => (0u8..6).prop_map(Op::LoadScalar),
+        1 => (0u8..6).prop_map(Op::Remove),
+    ]
+}
+
+fn layout_strategy() -> impl Strategy<Value = DataLayout> {
+    prop_oneof![Just(DataLayout::PmdkHashtable), Just(DataLayout::HierarchicalFiles)]
+}
+
+fn serializer_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("bp4".to_string()),
+        Just("cereal".to_string()),
+        Just("capnp-lite".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn api_matches_hashmap_model(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        layout in layout_strategy(),
+        serializer in serializer_strategy(),
+    ) {
+        let opts = Options { layout, serializer, ..Options::default() };
+        let (mut pmem, _comm, _fs) = mapped(opts);
+        // Model: key -> either a slice or a scalar.
+        let mut slices: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut scalars: HashMap<String, f64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::StoreSlice(k, v) => {
+                    let key = format!("s{k}");
+                    pmem.store_slice(&key, &v).unwrap();
+                    scalars.remove(&key);
+                    slices.insert(key, v);
+                }
+                Op::LoadSlice(k) => {
+                    let key = format!("s{k}");
+                    match slices.get(&key) {
+                        Some(v) => {
+                            let got = pmem.load_slice::<f64>(&key).unwrap();
+                            prop_assert_eq!(
+                                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                            );
+                        }
+                        None => {
+                            if !scalars.contains_key(&key) {
+                                prop_assert!(pmem.load_slice::<f64>(&key).is_err());
+                            }
+                        }
+                    }
+                }
+                Op::StoreScalar(k, v) => {
+                    let key = format!("s{k}");
+                    pmem.store_scalar(&key, v).unwrap();
+                    slices.remove(&key);
+                    scalars.insert(key, v);
+                }
+                Op::LoadScalar(k) => {
+                    let key = format!("s{k}");
+                    if let Some(v) = scalars.get(&key) {
+                        let got = pmem.load_scalar::<f64>(&key).unwrap();
+                        prop_assert_eq!(got.to_bits(), v.to_bits());
+                    }
+                }
+                Op::Remove(k) => {
+                    let key = format!("s{k}");
+                    let existed = slices.remove(&key).is_some() | scalars.remove(&key).is_some();
+                    let removed = pmem.remove(&key).unwrap();
+                    prop_assert_eq!(removed, existed);
+                }
+            }
+        }
+        // Final sweep: everything in the model is loadable.
+        for (key, v) in &slices {
+            let got = pmem.load_slice::<f64>(key).unwrap();
+            prop_assert_eq!(got.len(), v.len());
+        }
+        pmem.munmap().unwrap();
+    }
+
+    #[test]
+    fn region_reads_match_direct_indexing(
+        gx in 2u64..10, gy in 2u64..10, gz in 2u64..10,
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, fz in 0.0f64..1.0,
+    ) {
+        let (mut pmem, _comm, _fs) = mapped(Options::default());
+        let global = [gx, gy, gz];
+        let total = (gx * gy * gz) as usize;
+        // Whole array stored as one block; values = linear index.
+        let data: Vec<f64> = (0..total).map(|i| i as f64).collect();
+        pmem.alloc::<f64>("v", &global).unwrap();
+        pmem.store_block("v", &data, &[0, 0, 0], &global).unwrap();
+
+        // Arbitrary interior region derived from the fractions.
+        let off = [
+            (fx * (gx - 1) as f64) as u64,
+            (fy * (gy - 1) as f64) as u64,
+            (fz * (gz - 1) as f64) as u64,
+        ];
+        let dims = [gx - off[0], gy - off[1], gz - off[2]];
+        let n = (dims[0] * dims[1] * dims[2]) as usize;
+        let mut region = vec![0f64; n];
+        pmem.load_region("v", &mut region, &off, &dims).unwrap();
+        for x in 0..dims[0] {
+            for y in 0..dims[1] {
+                for z in 0..dims[2] {
+                    let gl = ((off[0] + x) * gy + (off[1] + y)) * gz + (off[2] + z);
+                    let r = (x * dims[1] * dims[2] + y * dims[2] + z) as usize;
+                    prop_assert_eq!(region[r], gl as f64);
+                }
+            }
+        }
+        pmem.munmap().unwrap();
+    }
+}

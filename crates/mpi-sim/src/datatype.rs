@@ -1,0 +1,190 @@
+//! N-dimensional subarray datatypes (MPI_Type_create_subarray analogue).
+//!
+//! The NetCDF/pNetCDF-style baselines linearize every rank's block of a
+//! global N-D array into a single file layout. That mapping — from a local
+//! contiguous block to the scattered runs it occupies in row-major global
+//! order — is exactly what an MPI subarray datatype describes. This module
+//! computes those runs so collective I/O and data-shuffle phases can move
+//! real bytes correctly.
+
+/// A contiguous run of a subarray within the flattened global array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Element offset in the global (row-major) array.
+    pub global_offset: u64,
+    /// Element offset in the local (dense) buffer.
+    pub local_offset: u64,
+    /// Run length in elements.
+    pub len: u64,
+}
+
+/// A rank's rectangular block of a global N-D array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subarray {
+    pub global_dims: Vec<u64>,
+    pub sub_dims: Vec<u64>,
+    pub offsets: Vec<u64>,
+}
+
+impl Subarray {
+    pub fn new(global_dims: &[u64], sub_dims: &[u64], offsets: &[u64]) -> Self {
+        assert_eq!(global_dims.len(), sub_dims.len());
+        assert_eq!(global_dims.len(), offsets.len());
+        for d in 0..global_dims.len() {
+            assert!(
+                offsets[d] + sub_dims[d] <= global_dims[d],
+                "subarray exceeds global extent in dim {d}: {}+{} > {}",
+                offsets[d],
+                sub_dims[d],
+                global_dims[d]
+            );
+        }
+        Subarray {
+            global_dims: global_dims.to_vec(),
+            sub_dims: sub_dims.to_vec(),
+            offsets: offsets.to_vec(),
+        }
+    }
+
+    /// Number of elements in the subarray.
+    pub fn elements(&self) -> u64 {
+        self.sub_dims.iter().product()
+    }
+
+    /// Number of elements in the global array.
+    pub fn global_elements(&self) -> u64 {
+        self.global_dims.iter().product()
+    }
+
+    /// Enumerate the contiguous runs of this subarray in global row-major
+    /// order. The innermost dimension is contiguous, so there is one run per
+    /// combination of outer indices.
+    pub fn runs(&self) -> Vec<Run> {
+        let nd = self.global_dims.len();
+        if nd == 0 || self.elements() == 0 {
+            return vec![];
+        }
+        // Row-major strides of the global array.
+        let mut strides = vec![1u64; nd];
+        for d in (0..nd.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.global_dims[d + 1];
+        }
+        let run_len = self.sub_dims[nd - 1];
+        let outer_count: u64 = self.sub_dims[..nd - 1].iter().product::<u64>().max(1);
+        let mut runs = Vec::with_capacity(outer_count as usize);
+        let mut idx = vec![0u64; nd.saturating_sub(1)];
+        for outer in 0..outer_count {
+            let mut goff = self.offsets[nd - 1]; // innermost start
+            for d in 0..nd - 1 {
+                goff += (self.offsets[d] + idx[d]) * strides[d];
+            }
+            runs.push(Run {
+                global_offset: goff,
+                local_offset: outer * run_len,
+                len: run_len,
+            });
+            // Increment the odometer over the outer dims.
+            for d in (0..nd - 1).rev() {
+                idx[d] += 1;
+                if idx[d] < self.sub_dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        runs
+    }
+
+    /// Scatter the dense local buffer (element size `esize`) into its global
+    /// positions within `global` (which must hold the full array).
+    pub fn scatter(&self, esize: usize, local: &[u8], global: &mut [u8]) {
+        for run in self.runs() {
+            let src = run.local_offset as usize * esize;
+            let dst = run.global_offset as usize * esize;
+            let n = run.len as usize * esize;
+            global[dst..dst + n].copy_from_slice(&local[src..src + n]);
+        }
+    }
+
+    /// Gather this subarray's bytes out of the full global buffer.
+    pub fn gather(&self, esize: usize, global: &[u8], local: &mut [u8]) {
+        for run in self.runs() {
+            let src = run.global_offset as usize * esize;
+            let dst = run.local_offset as usize * esize;
+            let n = run.len as usize * esize;
+            local[dst..dst + n].copy_from_slice(&global[src..src + n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dim_is_a_single_run() {
+        let s = Subarray::new(&[100], &[25], &[50]);
+        assert_eq!(s.runs(), vec![Run { global_offset: 50, local_offset: 0, len: 25 }]);
+    }
+
+    #[test]
+    fn two_dim_block_runs() {
+        // 4x4 global, 2x2 block at (1,1): rows at offsets 5 and 9.
+        let s = Subarray::new(&[4, 4], &[2, 2], &[1, 1]);
+        assert_eq!(
+            s.runs(),
+            vec![
+                Run { global_offset: 5, local_offset: 0, len: 2 },
+                Run { global_offset: 9, local_offset: 2, len: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn three_dim_counts_and_coverage() {
+        let s = Subarray::new(&[4, 6, 8], &[2, 3, 4], &[2, 0, 4]);
+        let runs = s.runs();
+        assert_eq!(runs.len(), 2 * 3); // one run per (i,j) pair
+        assert_eq!(runs.iter().map(|r| r.len).sum::<u64>(), s.elements());
+        // Local offsets tile the local buffer exactly.
+        let mut locals: Vec<u64> = runs.iter().map(|r| r.local_offset).collect();
+        locals.sort();
+        assert_eq!(locals, (0..6).map(|i| i * 4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_then_gather_is_identity() {
+        let s = Subarray::new(&[3, 5], &[2, 3], &[1, 2]);
+        let esize = 8;
+        let local: Vec<u8> = (0..s.elements() as usize * esize).map(|i| i as u8).collect();
+        let mut global = vec![0u8; s.global_elements() as usize * esize];
+        s.scatter(esize, &local, &mut global);
+        let mut back = vec![0u8; local.len()];
+        s.gather(esize, &global, &mut back);
+        assert_eq!(back, local);
+    }
+
+    #[test]
+    fn disjoint_blocks_tile_the_global_array() {
+        // 2x2 decomposition of a 4x4 array: every global element is covered
+        // exactly once.
+        let mut seen = [0u32; 16];
+        for bi in 0..2u64 {
+            for bj in 0..2u64 {
+                let s = Subarray::new(&[4, 4], &[2, 2], &[bi * 2, bj * 2]);
+                for run in s.runs() {
+                    for k in 0..run.len {
+                        seen[(run.global_offset + k) as usize] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds global extent")]
+    fn out_of_range_subarray_panics() {
+        Subarray::new(&[4, 4], &[2, 2], &[3, 3]);
+    }
+}

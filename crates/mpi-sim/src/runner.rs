@@ -1,0 +1,78 @@
+//! Launching a simulated MPI job: one thread per rank.
+
+use crate::comm::{Comm, World};
+use pmem_sim::{Machine, SimTime};
+use std::sync::Arc;
+
+/// Run `body` on `size` ranks (threads) and collect per-rank results in rank
+/// order. Panics in any rank propagate.
+pub fn run_world<T, F>(machine: Arc<Machine>, size: usize, body: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    let world = World::new(machine, size);
+    let body = Arc::new(body);
+    let mut handles = Vec::with_capacity(size);
+    for rank in 0..size {
+        let world = Arc::clone(&world);
+        let body = Arc::clone(&body);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(4 << 20)
+                .spawn(move || body(Comm::new(world, rank)))
+                .expect("spawn rank thread"),
+        );
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked"))
+        .collect()
+}
+
+/// Run a job and return each rank's final virtual time plus the job time
+/// (the slowest rank — what the paper's wall-clock measurement reports).
+pub fn run_timed<F>(machine: Arc<Machine>, size: usize, body: F) -> (Vec<SimTime>, SimTime)
+where
+    F: Fn(&Comm) + Send + Sync + 'static,
+{
+    let times = run_world(machine, size, move |comm| {
+        body(&comm);
+        comm.now()
+    });
+    let job = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    (times, job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::Clock;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let machine = Machine::chameleon();
+        let out = run_world(machine, 8, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn active_rank_count_is_published() {
+        let machine = Machine::chameleon();
+        let m = Arc::clone(&machine);
+        run_world(machine, 5, |_| {});
+        assert_eq!(m.active_ranks(), 5);
+    }
+
+    #[test]
+    fn run_timed_reports_slowest_rank() {
+        let machine = Machine::chameleon();
+        let (times, job) = run_timed(machine, 3, |comm| {
+            let delay = SimTime::from_micros(comm.rank() as u64 * 100);
+            Clock::advance(comm.clock(), delay);
+        });
+        assert_eq!(times.len(), 3);
+        assert_eq!(job, SimTime::from_micros(200));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for subarray datatypes and decomposition coverage.
+
+use mpi_sim::Subarray;
+use proptest::prelude::*;
+use workloads::BlockDecomp;
+
+fn arb_subarray() -> impl Strategy<Value = Subarray> {
+    prop::collection::vec((1u64..12, 1u64..12), 1..4).prop_flat_map(|pairs| {
+        // global dim = sub + room for an offset
+        let global: Vec<u64> = pairs.iter().map(|(g, s)| g + s).collect();
+        let sub: Vec<u64> = pairs.iter().map(|(_, s)| *s).collect();
+        let offsets: Vec<Strategy2> = pairs
+            .iter()
+            .map(|(g, _)| (0..=*g).boxed())
+            .collect();
+        (Just(global), Just(sub), offsets)
+            .prop_map(|(g, s, o)| Subarray::new(&g, &s, &o))
+    })
+}
+
+type Strategy2 = proptest::strategy::BoxedStrategy<u64>;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Runs cover exactly the subarray: element counts match, local offsets
+    /// tile the dense buffer, global offsets stay in range and are disjoint.
+    #[test]
+    fn runs_partition_the_subarray(sub in arb_subarray()) {
+        let runs = sub.runs();
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, sub.elements());
+        let mut locals: Vec<(u64, u64)> = runs.iter().map(|r| (r.local_offset, r.len)).collect();
+        locals.sort();
+        let mut expect = 0;
+        for (off, len) in locals {
+            prop_assert_eq!(off, expect, "local tiling has gaps");
+            expect = off + len;
+        }
+        // Global runs within bounds and pairwise disjoint.
+        let ge = sub.global_elements();
+        let mut globals: Vec<(u64, u64)> = runs.iter().map(|r| (r.global_offset, r.len)).collect();
+        globals.sort();
+        let mut prev_end = 0;
+        for (off, len) in globals {
+            prop_assert!(off >= prev_end, "global runs overlap");
+            prop_assert!(off + len <= ge, "run past the global array");
+            prev_end = off + len;
+        }
+    }
+
+    /// scatter then gather is the identity for any payload.
+    #[test]
+    fn scatter_gather_identity(sub in arb_subarray(), esize in prop_oneof![Just(1usize), Just(4), Just(8)]) {
+        let local: Vec<u8> = (0..sub.elements() as usize * esize).map(|i| (i % 253) as u8).collect();
+        let mut global = vec![0u8; sub.global_elements() as usize * esize];
+        sub.scatter(esize, &local, &mut global);
+        let mut back = vec![0u8; local.len()];
+        sub.gather(esize, &global, &mut back);
+        prop_assert_eq!(back, local);
+    }
+
+    /// A block decomposition's blocks tile the global array exactly, for any
+    /// grid the factorizer produces.
+    #[test]
+    fn decomposition_blocks_tile_exactly(
+        dims in prop::collection::vec(8u64..20, 3..=3),
+        nprocs in 1u64..=8,
+    ) {
+        let d = BlockDecomp::new(&dims, nprocs);
+        let mut seen = vec![0u32; dims.iter().product::<u64>() as usize];
+        for r in 0..nprocs {
+            let (off, bdims) = d.block(r);
+            let sub = Subarray::new(&dims, &bdims, &off);
+            for run in sub.runs() {
+                for k in 0..run.len {
+                    seen[(run.global_offset + k) as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "tiling broken");
+    }
+}

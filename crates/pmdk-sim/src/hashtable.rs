@@ -1,0 +1,448 @@
+//! Persistent hashtable with chaining — pMEMCPY's flat metadata namespace.
+//!
+//! §3 of the paper: *"Metadata is stored in a flat namespace using a
+//! hashtable with chaining. This utilizes the high parallelism and random
+//! access characteristics of PMEM."*
+//!
+//! On-pool layout:
+//!
+//! ```text
+//! header allocation:  [bucket_count u64][entry_count u64][heads: u64 × buckets]
+//! entry allocation:   [hash u64][key_len u32][val_len u32][next u64][key][value]
+//! ```
+//!
+//! All structural mutations run in a pool transaction (pointer snapshots +
+//! alloc/free intents), so a crash at any point leaves a consistent table.
+//! Values may be large; they are written into freshly-allocated space with
+//! no undo image (nothing to roll back for a new allocation). Bucket access
+//! is striped with volatile locks — rebuilt trivially on open, like PMDK's
+//! runtime lock state.
+
+use crate::error::{PmdkError, Result};
+use crate::pool::PmemPool;
+use parking_lot::Mutex;
+use pmem_sim::Clock;
+use std::sync::Arc;
+
+const HDR_BUCKETS: u64 = 0;
+const HDR_COUNT: u64 = 8;
+const HDR_HEADS: u64 = 16;
+
+const ENT_HASH: u64 = 0;
+const ENT_KLEN: u64 = 8;
+const ENT_VLEN: u64 = 12;
+const ENT_NEXT: u64 = 16;
+const ENT_KEY: u64 = 24;
+
+const STRIPES: usize = 64;
+
+/// FNV-1a, fixed so tables are portable across runs/machines.
+pub fn fnv1a(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A handle to a persistent hashtable living in `pool`.
+pub struct PersistentHashtable {
+    pool: Arc<PmemPool>,
+    header: u64,
+    bucket_count: u64,
+    stripes: Vec<Mutex<()>>,
+}
+
+impl std::fmt::Debug for PersistentHashtable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentHashtable")
+            .field("header", &self.header)
+            .field("bucket_count", &self.bucket_count)
+            .finish()
+    }
+}
+
+/// Location of a value inside the pool (device offset + length), so callers
+/// can stream data directly to/from PMEM without an intermediate copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueRef {
+    pub offset: u64,
+    pub len: u64,
+}
+
+impl PersistentHashtable {
+    /// Allocate and initialize a fresh table with `bucket_count` buckets.
+    pub fn create(clock: &Clock, pool: &Arc<PmemPool>, bucket_count: u64) -> Result<Self> {
+        assert!(bucket_count > 0, "hashtable needs at least one bucket");
+        let size = HDR_HEADS + bucket_count * 8;
+        let header = pool.alloc(clock, size)?;
+        pool.device().zero_meta(clock, header as usize, size as usize);
+        pool.device().persist(clock, header as usize, size as usize);
+        pool.write_u64(clock, header + HDR_BUCKETS, bucket_count);
+        Ok(PersistentHashtable {
+            pool: Arc::clone(pool),
+            header,
+            bucket_count,
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+        })
+    }
+
+    /// Attach to an existing table at `header`.
+    pub fn open(clock: &Clock, pool: &Arc<PmemPool>, header: u64) -> Result<Self> {
+        let bucket_count = pool.read_u64(clock, header + HDR_BUCKETS);
+        if bucket_count == 0 || bucket_count > (1 << 32) {
+            return Err(PmdkError::BadPool(format!(
+                "implausible hashtable bucket count {bucket_count}"
+            )));
+        }
+        Ok(PersistentHashtable {
+            pool: Arc::clone(pool),
+            header,
+            bucket_count,
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+        })
+    }
+
+    /// Device offset of the table header (store it in your root object).
+    pub fn header_offset(&self) -> u64 {
+        self.header
+    }
+
+    pub fn bucket_count(&self) -> u64 {
+        self.bucket_count
+    }
+
+    /// Number of live entries.
+    pub fn len(&self, clock: &Clock) -> u64 {
+        self.pool.read_u64(clock, self.header + HDR_COUNT)
+    }
+
+    pub fn is_empty(&self, clock: &Clock) -> bool {
+        self.len(clock) == 0
+    }
+
+    fn bucket_of(&self, hash: u64) -> u64 {
+        hash % self.bucket_count
+    }
+
+    fn head_slot(&self, bucket: u64) -> u64 {
+        self.header + HDR_HEADS + bucket * 8
+    }
+
+    fn stripe_for(&self, bucket: u64) -> &Mutex<()> {
+        &self.stripes[(bucket % STRIPES as u64) as usize]
+    }
+
+    /// Walk a chain looking for `key`. Returns (predecessor_next_slot, entry).
+    fn find(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64)> {
+        let mut slot = self.head_slot(self.bucket_of(hash));
+        let mut entry = self.pool.read_u64(clock, slot);
+        while entry != 0 {
+            let ehash = self.pool.read_u64(clock, entry + ENT_HASH);
+            if ehash == hash {
+                let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as usize;
+                if klen == key.len() {
+                    let mut kbuf = vec![0u8; klen];
+                    self.pool.read_bytes(clock, entry + ENT_KEY, &mut kbuf);
+                    if kbuf == key {
+                        return Some((slot, entry));
+                    }
+                }
+            }
+            slot = entry + ENT_NEXT;
+            entry = self.pool.read_u64(clock, slot);
+        }
+        None
+    }
+
+    /// Insert (or replace) `key` with space for `val_len` value bytes, but do
+    /// not write the value: returns its [`ValueRef`] so the caller can
+    /// serialize *directly into PMEM* (the pMEMCPY zero-staging write path).
+    ///
+    /// Crash contract: the *structure* is atomic (old value or new entry,
+    /// never a torn chain), but the new value bytes are the caller's
+    /// responsibility — a crash between this call and the caller's persist
+    /// leaves the entry with unwritten contents, exactly like a crash in the
+    /// middle of a pMEMCPY `store`. Use [`PersistentHashtable::put`] for a
+    /// fully atomic key+value update.
+    pub fn put_reserve(&self, clock: &Clock, key: &[u8], val_len: u64) -> Result<ValueRef> {
+        self.insert_impl(clock, key, val_len, None)
+    }
+
+    fn insert_impl(
+        &self,
+        clock: &Clock,
+        key: &[u8],
+        val_len: u64,
+        value: Option<&[u8]>,
+    ) -> Result<ValueRef> {
+        assert!(val_len <= u32::MAX as u64, "values are capped at 4 GiB");
+        let hash = fnv1a(key);
+        let bucket = self.bucket_of(hash);
+        let _guard = self.stripe_for(bucket).lock();
+        let existing = self.find(clock, key, hash);
+        let head_slot = self.head_slot(bucket);
+        let entry_size = ENT_KEY + key.len() as u64 + val_len;
+
+        let value_off = self.pool.tx(clock, |tx| {
+            let entry = tx.alloc(entry_size)?;
+            // Fresh allocation: write fields without undo images.
+            tx.write_new(entry + ENT_HASH, &hash.to_le_bytes());
+            tx.write_new(entry + ENT_KLEN, &(key.len() as u32).to_le_bytes());
+            tx.write_new(entry + ENT_VLEN, &(val_len as u32).to_le_bytes());
+            tx.write_new(entry + ENT_KEY, key);
+            if let Some(v) = value {
+                // Fully-atomic path: value bytes land before the commit point.
+                tx.write_new(entry + ENT_KEY + key.len() as u64, v);
+            }
+            let old_head = self.pool.read_u64(clock, head_slot);
+            tx.write_new(entry + ENT_NEXT, &old_head.to_le_bytes());
+            // Linking the head is the visible commit point.
+            tx.set(head_slot, &entry.to_le_bytes())?;
+            if let Some((pred_slot, old_entry)) = existing {
+                // Unlink + free the replaced entry in the same transaction.
+                // The predecessor slot may be the old head we just rewrote;
+                // re-read through the new chain.
+                let pred_slot = if pred_slot == head_slot { entry + ENT_NEXT } else { pred_slot };
+                let old_next = self.pool.read_u64(clock, old_entry + ENT_NEXT);
+                tx.set(pred_slot, &old_next.to_le_bytes())?;
+                tx.free(old_entry)?;
+            } else {
+                let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
+                tx.set(self.header + HDR_COUNT, &(count + 1).to_le_bytes())?;
+            }
+            Ok(entry + ENT_KEY + key.len() as u64)
+        })?;
+        Ok(ValueRef { offset: value_off, len: val_len })
+    }
+
+    /// Insert (or replace) `key → value` atomically: on a crash at any point
+    /// the table holds either the complete old mapping or the complete new
+    /// one.
+    pub fn put(&self, clock: &Clock, key: &[u8], value: &[u8]) -> Result<ValueRef> {
+        self.insert_impl(clock, key, value.len() as u64, Some(value))
+    }
+
+    /// Locate `key`'s value without copying it.
+    pub fn get_ref(&self, clock: &Clock, key: &[u8]) -> Option<ValueRef> {
+        let hash = fnv1a(key);
+        let bucket = self.bucket_of(hash);
+        let _guard = self.stripe_for(bucket).lock();
+        self.find(clock, key, hash).map(|(_, entry)| {
+            let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as u64;
+            let vlen = self.pool.read_u32(clock, entry + ENT_VLEN) as u64;
+            ValueRef { offset: entry + ENT_KEY + klen, len: vlen }
+        })
+    }
+
+    /// Copy out `key`'s value.
+    pub fn get(&self, clock: &Clock, key: &[u8]) -> Option<Vec<u8>> {
+        let vref = self.get_ref(clock, key)?;
+        let mut buf = vec![0u8; vref.len as usize];
+        self.pool.read_bytes(clock, vref.offset, &mut buf);
+        Some(buf)
+    }
+
+    pub fn contains(&self, clock: &Clock, key: &[u8]) -> bool {
+        self.get_ref(clock, key).is_some()
+    }
+
+    /// Remove `key`; returns whether it was present.
+    pub fn remove(&self, clock: &Clock, key: &[u8]) -> Result<bool> {
+        let hash = fnv1a(key);
+        let bucket = self.bucket_of(hash);
+        let _guard = self.stripe_for(bucket).lock();
+        let Some((pred_slot, entry)) = self.find(clock, key, hash) else {
+            return Ok(false);
+        };
+        self.pool.tx(clock, |tx| {
+            let next = self.pool.read_u64(clock, entry + ENT_NEXT);
+            tx.set(pred_slot, &next.to_le_bytes())?;
+            tx.free(entry)?;
+            let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
+            tx.set(self.header + HDR_COUNT, &(count - 1).to_le_bytes())?;
+            Ok(())
+        })?;
+        Ok(true)
+    }
+
+    /// All keys, in unspecified order. Not synchronized with writers.
+    pub fn keys(&self, clock: &Clock) -> Vec<Vec<u8>> {
+        let mut out = vec![];
+        for b in 0..self.bucket_count {
+            let mut entry = self.pool.read_u64(clock, self.head_slot(b));
+            while entry != 0 {
+                let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as usize;
+                let mut k = vec![0u8; klen];
+                self.pool.read_bytes(clock, entry + ENT_KEY, &mut k);
+                out.push(k);
+                entry = self.pool.read_u64(clock, entry + ENT_NEXT);
+            }
+        }
+        out
+    }
+
+    /// Length of the longest chain (load-factor diagnostics / benches).
+    pub fn max_chain_len(&self, clock: &Clock) -> u64 {
+        let mut max = 0;
+        for b in 0..self.bucket_count {
+            let mut len = 0;
+            let mut entry = self.pool.read_u64(clock, self.head_slot(b));
+            while entry != 0 {
+                len += 1;
+                entry = self.pool.read_u64(clock, entry + ENT_NEXT);
+            }
+            max = max.max(len);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+
+    fn table(bytes: usize, buckets: u64) -> (PersistentHashtable, Arc<PmemPool>, Clock) {
+        let dev = PmemDevice::new(Machine::chameleon(), bytes, PersistenceMode::Tracked);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::create(&clock, &pool, buckets).unwrap();
+        (ht, pool, clock)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (ht, _pool, clock) = table(1 << 22, 16);
+        ht.put(&clock, b"temperature", b"310.5K").unwrap();
+        assert_eq!(ht.get(&clock, b"temperature").unwrap(), b"310.5K");
+        assert!(ht.get(&clock, b"pressure").is_none());
+        assert_eq!(ht.len(&clock), 1);
+    }
+
+    #[test]
+    fn replace_updates_value_and_keeps_count() {
+        let (ht, pool, clock) = table(1 << 22, 16);
+        ht.put(&clock, b"k", b"old").unwrap();
+        ht.put(&clock, b"k", b"newer-value").unwrap();
+        assert_eq!(ht.get(&clock, b"k").unwrap(), b"newer-value");
+        assert_eq!(ht.len(&clock), 1);
+        pool.check_heap().unwrap(); // replaced entry was freed
+    }
+
+    #[test]
+    fn remove_unlinks_and_frees() {
+        let (ht, pool, clock) = table(1 << 22, 4);
+        // Force collisions with few buckets.
+        for i in 0..20u32 {
+            ht.put(&clock, format!("key{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(ht.len(&clock), 20);
+        assert!(ht.remove(&clock, b"key7").unwrap());
+        assert!(!ht.remove(&clock, b"key7").unwrap());
+        assert!(ht.get(&clock, b"key7").is_none());
+        assert_eq!(ht.get(&clock, b"key8").unwrap(), 8u32.to_le_bytes());
+        assert_eq!(ht.len(&clock), 19);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        let (ht, _pool, clock) = table(1 << 22, 1); // everything collides
+        for i in 0..50u32 {
+            ht.put(&clock, format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..50u32 {
+            assert_eq!(ht.get(&clock, format!("k{i}").as_bytes()).unwrap(), i.to_le_bytes());
+        }
+        assert_eq!(ht.max_chain_len(&clock), 50);
+    }
+
+    #[test]
+    fn keys_enumerates_everything() {
+        let (ht, _pool, clock) = table(1 << 22, 8);
+        for name in ["a", "bb", "ccc"] {
+            ht.put(&clock, name.as_bytes(), b"v").unwrap();
+        }
+        let mut keys = ht.keys(&clock);
+        keys.sort();
+        assert_eq!(keys, vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let (ht, pool, clock) = table(1 << 22, 16);
+        ht.put(&clock, b"persisted", b"yes").unwrap();
+        let header = ht.header_offset();
+        let dev = Arc::clone(pool.device());
+        drop((ht, pool));
+        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        assert_eq!(ht.get(&clock, b"persisted").unwrap(), b"yes");
+    }
+
+    #[test]
+    fn put_reserve_allows_direct_value_writes() {
+        let (ht, pool, clock) = table(1 << 22, 16);
+        let vref = ht.put_reserve(&clock, b"array", 8).unwrap();
+        pool.write_bytes(&clock, vref.offset, &42u64.to_le_bytes());
+        let got = ht.get(&clock, b"array").unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn crash_mid_put_leaves_old_value() {
+        let (ht, pool, clock) = table(1 << 22, 16);
+        ht.put(&clock, b"k", b"stable").unwrap();
+        // Crash in the middle of the replacement transaction: the snapshot
+        // of the head pointer is taken but the tx never commits.
+        pool.fail_points.arm("tx::commit-before", 1);
+        let err = ht.put(&clock, b"k", b"doomed").unwrap_err();
+        assert!(matches!(err, PmdkError::Injected(_)));
+        pool.device().crash();
+        let header = ht.header_offset();
+        let dev = Arc::clone(pool.device());
+        drop((ht, pool));
+        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        assert_eq!(ht.get(&clock, b"k").unwrap(), b"stable");
+        assert_eq!(ht.len(&clock), 1);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let (ht, _pool, clock) = table(1 << 23, 64);
+        let ht = Arc::new(ht);
+        let clock = Arc::new(clock);
+        let mut handles = vec![];
+        for t in 0..8 {
+            let ht = Arc::clone(&ht);
+            let clock = Arc::clone(&clock);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let key = format!("t{t}-k{i}");
+                    ht.put(&clock, key.as_bytes(), key.as_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ht.len(&clock), 200);
+        for t in 0..8 {
+            for i in 0..25 {
+                let key = format!("t{t}-k{i}");
+                assert_eq!(ht.get(&clock, key.as_bytes()).unwrap(), key.as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Pinned values keep on-pool layouts portable across builds.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

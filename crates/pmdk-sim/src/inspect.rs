@@ -1,0 +1,191 @@
+//! Pool inspection: the `pmempool info`-style debugging surface.
+//!
+//! Produces human-readable reports of a pool's superblock, transaction
+//! lanes, heap occupancy/fragmentation, and (given a header offset) the
+//! metadata hashtable's bucket distribution — everything an operator needs
+//! to see why a pool behaves the way it does.
+
+use crate::hashtable::PersistentHashtable;
+use crate::layout::*;
+use crate::pool::PmemPool;
+use pmem_sim::Clock;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Decoded heap occupancy statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapStats {
+    pub allocated_bytes: u64,
+    pub free_bytes: u64,
+    pub free_blocks: usize,
+    pub largest_free_block: u64,
+    pub live_allocations: usize,
+}
+
+/// Walk the heap and collect occupancy stats (read-only).
+pub fn heap_stats(pool: &Arc<PmemPool>) -> HeapStats {
+    let mut stats = HeapStats {
+        allocated_bytes: pool.allocated_bytes(),
+        free_bytes: pool.free_bytes(),
+        free_blocks: 0,
+        largest_free_block: 0,
+        live_allocations: 0,
+    };
+    // Physical walk over block headers (same as recovery's scan).
+    let device = pool.device();
+    let heap_start = heap_start();
+    let heap_end = device.size() as u64;
+    let mut cursor = heap_start;
+    while cursor + BLOCK_HEADER_SIZE + HEAP_ALIGN <= heap_end {
+        let mut hdr = [0u8; BLOCK_HEADER_SIZE as usize];
+        device.read_untimed(cursor as usize, &mut hdr);
+        let state = u32::from_le_bytes(hdr[blk::STATE as usize..][..4].try_into().unwrap());
+        let size = u64::from_le_bytes(hdr[blk::SIZE as usize..][..8].try_into().unwrap());
+        match state {
+            BLOCK_FREE => {
+                stats.free_blocks += 1;
+                stats.largest_free_block = stats.largest_free_block.max(size);
+            }
+            _ => stats.live_allocations += 1,
+        }
+        cursor += BLOCK_HEADER_SIZE + size;
+    }
+    stats
+}
+
+/// Lane occupancy: (idle, active, committing).
+pub fn lane_states(clock: &Clock, pool: &Arc<PmemPool>) -> (u64, u64, u64) {
+    let (mut idle, mut active, mut committing) = (0, 0, 0);
+    for i in 0..LANES {
+        match pool.read_u32(clock, lane_offset(i) + lane::STATE) {
+            LANE_IDLE => idle += 1,
+            LANE_ACTIVE => active += 1,
+            LANE_COMMITTING => committing += 1,
+            _ => {}
+        }
+    }
+    (idle, active, committing)
+}
+
+/// Full human-readable pool report.
+pub fn pool_report(clock: &Clock, pool: &Arc<PmemPool>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "pool layout       {:?}", pool.layout());
+    let _ = writeln!(out, "pool size         {} bytes", pool.device().size());
+    let _ = writeln!(out, "generation        {}", pool.generation());
+    let _ = writeln!(out, "heap start        {:#x}", heap_start());
+    let root = pool.read_u64(clock, sb::ROOT_OFF);
+    let _ = writeln!(out, "root object       {}", if root == 0 { "none".into() } else { format!("{root:#x}") });
+    let (idle, active, committing) = lane_states(clock, pool);
+    let _ = writeln!(out, "lanes             {idle} idle / {active} active / {committing} committing");
+    let h = heap_stats(pool);
+    let _ = writeln!(out, "allocated         {} bytes in {} objects", h.allocated_bytes, h.live_allocations);
+    let _ = writeln!(
+        out,
+        "free              {} bytes in {} blocks (largest {})",
+        h.free_bytes, h.free_blocks, h.largest_free_block
+    );
+    let frag = if h.free_bytes > 0 {
+        100.0 - (h.largest_free_block as f64 / h.free_bytes as f64) * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "fragmentation     {frag:.1}%");
+    out
+}
+
+/// Hashtable distribution report: per-bucket chain lengths + keys.
+pub fn hashtable_report(clock: &Clock, ht: &PersistentHashtable, verbose: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "buckets           {}", ht.bucket_count());
+    let _ = writeln!(out, "entries           {}", ht.len(clock));
+    let _ = writeln!(out, "longest chain     {}", ht.max_chain_len(clock));
+    let load = ht.len(clock) as f64 / ht.bucket_count() as f64;
+    let _ = writeln!(out, "load factor       {load:.3}");
+    if verbose {
+        let mut keys: Vec<String> = ht
+            .keys(clock)
+            .into_iter()
+            .map(|k| String::from_utf8_lossy(&k).into_owned())
+            .collect();
+        keys.sort();
+        for k in keys {
+            let len = ht.get_ref(clock, k.as_bytes()).map(|v| v.len).unwrap_or(0);
+            let _ = writeln!(out, "  {k:<40} {len} bytes");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+
+    fn fixture() -> (Arc<PmemPool>, Clock) {
+        let dev = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        (PmemPool::create(&clock, dev, "inspect").unwrap(), clock)
+    }
+
+    #[test]
+    fn heap_stats_track_allocations() {
+        let (pool, clock) = fixture();
+        let fresh = heap_stats(&pool);
+        assert_eq!(fresh.live_allocations, 0);
+        assert_eq!(fresh.free_blocks, 1);
+
+        let a = pool.alloc(&clock, 1000).unwrap();
+        let _b = pool.alloc(&clock, 2000).unwrap();
+        let s = heap_stats(&pool);
+        assert_eq!(s.live_allocations, 2);
+        assert_eq!(s.allocated_bytes, pool.allocated_bytes());
+
+        pool.free(&clock, a).unwrap();
+        let s = heap_stats(&pool);
+        assert_eq!(s.live_allocations, 1);
+        assert_eq!(s.free_blocks, 2); // hole + tail
+    }
+
+    #[test]
+    fn lane_states_reflect_live_transactions() {
+        let (pool, clock) = fixture();
+        let (idle, active, _) = lane_states(&clock, &pool);
+        assert_eq!(idle, LANES);
+        assert_eq!(active, 0);
+        let p = pool.alloc(&clock, 64).unwrap();
+        pool.tx(&clock, |tx| {
+            tx.set(p, &[1u8; 64])?;
+            let (_, active, _) = lane_states(&clock, &pool);
+            assert_eq!(active, 1, "tx lane should be ACTIVE mid-body");
+            Ok(())
+        })
+        .unwrap();
+        let (idle, _, _) = lane_states(&clock, &pool);
+        assert_eq!(idle, LANES);
+    }
+
+    #[test]
+    fn pool_report_contains_key_fields() {
+        let (pool, clock) = fixture();
+        pool.alloc(&clock, 500).unwrap();
+        let report = pool_report(&clock, &pool);
+        for needle in ["pool layout", "generation", "lanes", "allocated", "fragmentation"] {
+            assert!(report.contains(needle), "missing {needle}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn hashtable_report_lists_keys_when_verbose() {
+        let (pool, clock) = fixture();
+        let ht = PersistentHashtable::create(&clock, &pool, 8).unwrap();
+        ht.put(&clock, b"alpha", b"1234").unwrap();
+        ht.put(&clock, b"beta", b"56").unwrap();
+        let quiet = hashtable_report(&clock, &ht, false);
+        assert!(quiet.contains("entries           2"));
+        assert!(!quiet.contains("alpha"));
+        let verbose = hashtable_report(&clock, &ht, true);
+        assert!(verbose.contains("alpha"));
+        assert!(verbose.contains("4 bytes"));
+    }
+}

@@ -1,0 +1,134 @@
+//! On-device layout of a pmemobj-style pool.
+//!
+//! ```text
+//! offset 0        SUPERBLOCK (one page)
+//! offset 4096     LANE TABLE: LANES × LANE_SIZE transaction lanes
+//! lanes end       HEAP: block-header-prefixed allocations
+//! ```
+//!
+//! All multi-byte integers are little-endian. The superblock is written once
+//! at `create` and validated at `open`; everything else is reconstructed or
+//! recovered from the device at `open` time.
+
+/// Pool magic ("PMDKSIM1").
+pub const POOL_MAGIC: u64 = 0x504d_444b_5349_4d31;
+/// Superblock size (one page).
+pub const SUPERBLOCK_SIZE: u64 = 4096;
+/// Number of transaction lanes (PMDK uses 1024; 32 is plenty for ≤48 ranks
+/// since transactions are short-lived).
+pub const LANES: u64 = 32;
+/// Bytes per lane: 64 B header + undo log + allocation-intent slots.
+pub const LANE_SIZE: u64 = 16 * 1024;
+/// Lane header size.
+pub const LANE_HEADER_SIZE: u64 = 64;
+/// Max allocation intents per transaction.
+pub const LANE_INTENTS: u64 = 128;
+/// Bytes reserved at the head of a lane's variable area for intents.
+pub const LANE_INTENT_BYTES: u64 = LANE_INTENTS * 8;
+/// Heap block header size.
+pub const BLOCK_HEADER_SIZE: u64 = 32;
+/// Allocation granularity/alignment of heap payloads.
+pub const HEAP_ALIGN: u64 = 64;
+/// Block header magic.
+pub const BLOCK_MAGIC: u32 = 0x424c_4b31; // "BLK1"
+
+/// Lane states (persisted).
+pub const LANE_IDLE: u32 = 0;
+pub const LANE_ACTIVE: u32 = 1;
+pub const LANE_COMMITTING: u32 = 2;
+
+/// Block states (persisted).
+pub const BLOCK_FREE: u32 = 0;
+pub const BLOCK_ALLOC: u32 = 1;
+
+/// Superblock field offsets.
+pub mod sb {
+    pub const MAGIC: u64 = 0;
+    pub const VERSION: u64 = 8;
+    pub const POOL_SIZE: u64 = 16;
+    pub const HEAP_START: u64 = 24;
+    pub const ROOT_OFF: u64 = 32; // 0 = no root yet
+    pub const ROOT_SIZE: u64 = 40;
+    pub const LAYOUT_LEN: u64 = 48;
+    pub const LAYOUT_NAME: u64 = 56; // up to 128 bytes
+    pub const LAYOUT_NAME_MAX: u64 = 128;
+    /// Pool generation: bumped on every open; robust locks acquired under an
+    /// older generation are considered released (crash-implicit unlock).
+    pub const GENERATION: u64 = 192;
+}
+
+/// Lane header field offsets (relative to the lane base).
+pub mod lane {
+    pub const STATE: u64 = 0;
+    pub const UNDO_LEN: u64 = 4; // bytes used in the undo area
+    pub const INTENT_COUNT: u64 = 8;
+    pub const GENERATION: u64 = 12;
+    // variable area starts at LANE_HEADER_SIZE:
+    //   [intents: LANE_INTENT_BYTES] [undo entries...]
+}
+
+/// Heap block header field offsets (relative to the header base).
+pub mod blk {
+    pub const MAGIC: u64 = 0;
+    pub const STATE: u64 = 4;
+    pub const SIZE: u64 = 8; // payload bytes (aligned)
+    pub const PREV_SIZE: u64 = 16; // payload bytes of physically-previous block, 0 if first
+    pub const RESERVED: u64 = 24;
+}
+
+/// Start of the lane table.
+pub const fn lane_table_start() -> u64 {
+    SUPERBLOCK_SIZE
+}
+
+/// Device offset of lane `i`.
+pub const fn lane_offset(i: u64) -> u64 {
+    lane_table_start() + i * LANE_SIZE
+}
+
+/// Start of the heap.
+pub const fn heap_start() -> u64 {
+    lane_table_start() + LANES * LANE_SIZE
+}
+
+/// Round `n` up to heap alignment.
+pub const fn align_up(n: u64) -> u64 {
+    (n + HEAP_ALIGN - 1) & !(HEAP_ALIGN - 1)
+}
+
+/// Minimum pool size that leaves a non-trivial heap.
+pub const fn min_pool_size() -> u64 {
+    heap_start() + 64 * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        assert!(lane_table_start() >= SUPERBLOCK_SIZE);
+        assert_eq!(lane_offset(0), lane_table_start());
+        assert_eq!(lane_offset(LANES - 1) + LANE_SIZE, heap_start());
+    }
+
+    #[test]
+    fn align_up_is_monotone_and_aligned() {
+        for n in [0u64, 1, 63, 64, 65, 127, 128, 1000] {
+            let a = align_up(n);
+            assert!(a >= n);
+            assert_eq!(a % HEAP_ALIGN, 0);
+            assert!(a - n < HEAP_ALIGN);
+        }
+    }
+
+    #[test]
+    fn lane_variable_area_fits_intents_and_log() {
+        // Evaluated through runtime bindings so the layout constants are
+        // sanity-checked without constant-folding lints.
+        let (hdr, intents, lane) = (LANE_HEADER_SIZE, LANE_INTENT_BYTES, LANE_SIZE);
+        assert!(hdr + intents < lane);
+        // At least 8 KiB of undo space per lane.
+        assert!(lane - hdr - intents >= 8 * 1024);
+    }
+}

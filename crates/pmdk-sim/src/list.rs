@@ -1,0 +1,181 @@
+//! A persistent singly-linked list (libpmemobj's `POBJ_LIST` analogue).
+//!
+//! Used for ordered per-pool registries (e.g. the hierarchical layout keeps
+//! a creation-ordered variable list). Every structural mutation runs in a
+//! transaction, so crashes cannot tear the links.
+//!
+//! On-pool layout:
+//!
+//! ```text
+//! head allocation: [first u64][count u64]
+//! node allocation: [next u64][len u32][_pad u32][payload...]
+//! ```
+
+use crate::error::Result;
+use crate::pool::PmemPool;
+use pmem_sim::Clock;
+use std::sync::Arc;
+
+const HEAD_FIRST: u64 = 0;
+const HEAD_COUNT: u64 = 8;
+const NODE_NEXT: u64 = 0;
+const NODE_LEN: u64 = 8;
+const NODE_PAYLOAD: u64 = 16;
+
+/// Handle to a persistent list whose head lives at `head` in `pool`.
+#[derive(Debug, Clone)]
+pub struct PersistentList {
+    pool: Arc<PmemPool>,
+    head: u64,
+}
+
+impl PersistentList {
+    /// Allocate an empty list head.
+    pub fn create(clock: &Clock, pool: &Arc<PmemPool>) -> Result<Self> {
+        let head = pool.alloc(clock, 16)?;
+        pool.write_u64(clock, head + HEAD_FIRST, 0);
+        pool.write_u64(clock, head + HEAD_COUNT, 0);
+        Ok(PersistentList { pool: Arc::clone(pool), head })
+    }
+
+    /// Attach to an existing list head.
+    pub fn open(pool: &Arc<PmemPool>, head: u64) -> Self {
+        PersistentList { pool: Arc::clone(pool), head }
+    }
+
+    pub fn head_offset(&self) -> u64 {
+        self.head
+    }
+
+    pub fn len(&self, clock: &Clock) -> u64 {
+        self.pool.read_u64(clock, self.head + HEAD_COUNT)
+    }
+
+    pub fn is_empty(&self, clock: &Clock) -> bool {
+        self.len(clock) == 0
+    }
+
+    /// Push a payload at the front. O(1).
+    pub fn push_front(&self, clock: &Clock, payload: &[u8]) -> Result<u64> {
+        self.pool.tx(clock, |tx| {
+            let node = tx.alloc(NODE_PAYLOAD + payload.len() as u64)?;
+            let old_first = self.pool.read_u64(clock, self.head + HEAD_FIRST);
+            tx.write_new(node + NODE_NEXT, &old_first.to_le_bytes());
+            tx.write_new(node + NODE_LEN, &(payload.len() as u32).to_le_bytes());
+            tx.write_new(node + NODE_PAYLOAD, payload);
+            tx.set(self.head + HEAD_FIRST, &node.to_le_bytes())?;
+            let count = self.pool.read_u64(clock, self.head + HEAD_COUNT);
+            tx.set(self.head + HEAD_COUNT, &(count + 1).to_le_bytes())?;
+            Ok(node)
+        })
+    }
+
+    /// Pop the front payload, if any.
+    pub fn pop_front(&self, clock: &Clock) -> Result<Option<Vec<u8>>> {
+        let first = self.pool.read_u64(clock, self.head + HEAD_FIRST);
+        if first == 0 {
+            return Ok(None);
+        }
+        let len = self.pool.read_u32(clock, first + NODE_LEN) as usize;
+        let mut payload = vec![0u8; len];
+        self.pool.read_bytes(clock, first + NODE_PAYLOAD, &mut payload);
+        self.pool.tx(clock, |tx| {
+            let next = self.pool.read_u64(clock, first + NODE_NEXT);
+            tx.set(self.head + HEAD_FIRST, &next.to_le_bytes())?;
+            let count = self.pool.read_u64(clock, self.head + HEAD_COUNT);
+            tx.set(self.head + HEAD_COUNT, &(count - 1).to_le_bytes())?;
+            tx.free(first)?;
+            Ok(())
+        })?;
+        Ok(Some(payload))
+    }
+
+    /// Collect all payloads front-to-back.
+    pub fn iter_collect(&self, clock: &Clock) -> Vec<Vec<u8>> {
+        let mut out = vec![];
+        let mut node = self.pool.read_u64(clock, self.head + HEAD_FIRST);
+        while node != 0 {
+            let len = self.pool.read_u32(clock, node + NODE_LEN) as usize;
+            let mut payload = vec![0u8; len];
+            self.pool.read_bytes(clock, node + NODE_PAYLOAD, &mut payload);
+            out.push(payload);
+            node = self.pool.read_u64(clock, node + NODE_NEXT);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+
+    fn setup() -> (PersistentList, Arc<PmemPool>, Clock) {
+        let dev = PmemDevice::new(Machine::chameleon(), 1 << 21, PersistenceMode::Tracked);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "list").unwrap();
+        let list = PersistentList::create(&clock, &pool).unwrap();
+        (list, pool, clock)
+    }
+
+    #[test]
+    fn push_pop_lifo_order() {
+        let (list, _pool, clock) = setup();
+        list.push_front(&clock, b"one").unwrap();
+        list.push_front(&clock, b"two").unwrap();
+        assert_eq!(list.len(&clock), 2);
+        assert_eq!(list.pop_front(&clock).unwrap().unwrap(), b"two");
+        assert_eq!(list.pop_front(&clock).unwrap().unwrap(), b"one");
+        assert!(list.pop_front(&clock).unwrap().is_none());
+        assert!(list.is_empty(&clock));
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let (list, _pool, clock) = setup();
+        for name in ["a", "b", "c"] {
+            list.push_front(&clock, name.as_bytes()).unwrap();
+        }
+        let items = list.iter_collect(&clock);
+        assert_eq!(items, vec![b"c".to_vec(), b"b".to_vec(), b"a".to_vec()]);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let (list, pool, clock) = setup();
+        list.push_front(&clock, b"durable").unwrap();
+        let head = list.head_offset();
+        let dev = Arc::clone(pool.device());
+        drop((list, pool));
+        let pool = PmemPool::open(&clock, dev, "list").unwrap();
+        let list = PersistentList::open(&pool, head);
+        assert_eq!(list.iter_collect(&clock), vec![b"durable".to_vec()]);
+    }
+
+    #[test]
+    fn crash_mid_push_leaves_list_intact() {
+        let (list, pool, clock) = setup();
+        list.push_front(&clock, b"safe").unwrap();
+        pool.fail_points.arm("tx::commit-before", 1);
+        assert!(list.push_front(&clock, b"lost").is_err());
+        pool.device().crash();
+        let head = list.head_offset();
+        let dev = Arc::clone(pool.device());
+        drop((list, pool));
+        let pool = PmemPool::open(&clock, dev, "list").unwrap();
+        let list = PersistentList::open(&pool, head);
+        assert_eq!(list.len(&clock), 1);
+        assert_eq!(list.iter_collect(&clock), vec![b"safe".to_vec()]);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn pop_frees_node_memory() {
+        let (list, pool, clock) = setup();
+        let before = pool.allocated_bytes();
+        list.push_front(&clock, &[0u8; 500]).unwrap();
+        list.pop_front(&clock).unwrap();
+        assert_eq!(pool.allocated_bytes(), before);
+        pool.check_heap().unwrap();
+    }
+}

@@ -1,0 +1,357 @@
+//! A crash-safe persistent append log — the structure DStore (§2.1) builds
+//! its PMEM tier around: *"DStore uses PMEM to store the logs rather than as
+//! the main store, offering greater performance while still offering
+//! predictable consistency."*
+//!
+//! The log is a fixed-capacity ring of variable-length records. Appends are
+//! lock-free-ordered for crash safety without transactions: the record body
+//! is written and persisted *before* the tail pointer moves (the tail
+//! advance is the 8-byte atomic commit point), so a crash can only lose the
+//! in-flight record, never tear committed ones.
+//!
+//! On-pool layout:
+//!
+//! ```text
+//! header: [capacity u64][head u64][tail u64]      (offsets into the ring)
+//! ring:   records of [len u32][crc u32][bytes], contiguous, no wrap of a
+//!         single record (a WRAP marker skips the slack at the ring's end)
+//! ```
+
+use crate::error::{PmdkError, Result};
+use crate::pool::PmemPool;
+use parking_lot::Mutex;
+use pmem_sim::Clock;
+use std::sync::Arc;
+
+const HDR_CAPACITY: u64 = 0;
+const HDR_HEAD: u64 = 8;
+const HDR_TAIL: u64 = 16;
+const HDR_LEN: u64 = 24;
+
+const REC_HDR: u64 = 8; // len u32 + crc u32
+const WRAP: u32 = u32::MAX;
+
+/// CRC-32 (IEEE, bitwise) — small and dependency-free; the log's records
+/// carry it so recovery can reject torn bytes defensively.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A persistent append-only ring log.
+pub struct PersistentLog {
+    pool: Arc<PmemPool>,
+    header: u64,
+    ring: u64,
+    capacity: u64,
+    /// Serializes appenders (the tail commit must be ordered).
+    append_lock: Mutex<()>,
+}
+
+impl PersistentLog {
+    /// Allocate a log with a ring of `capacity` bytes.
+    pub fn create(clock: &Clock, pool: &Arc<PmemPool>, capacity: u64) -> Result<Self> {
+        assert!(capacity >= 64, "ring too small to hold any record");
+        let header = pool.alloc(clock, HDR_LEN)?;
+        let ring = pool.alloc(clock, capacity)?;
+        pool.write_u64(clock, header + HDR_CAPACITY, capacity);
+        pool.write_u64(clock, header + HDR_HEAD, 0);
+        pool.write_u64(clock, header + HDR_TAIL, 0);
+        // The caller persists `location()` wherever it roots its state;
+        // `open` takes both offsets back.
+        Ok(PersistentLog {
+            pool: Arc::clone(pool),
+            header,
+            ring,
+            capacity,
+            append_lock: Mutex::new(()),
+        })
+    }
+
+    /// Attach to an existing log.
+    pub fn open(clock: &Clock, pool: &Arc<PmemPool>, header: u64, ring: u64) -> Result<Self> {
+        let capacity = pool.read_u64(clock, header + HDR_CAPACITY);
+        if capacity == 0 || capacity > pool.device().size() as u64 {
+            return Err(PmdkError::BadPool(format!("implausible log capacity {capacity}")));
+        }
+        Ok(PersistentLog {
+            pool: Arc::clone(pool),
+            header,
+            ring,
+            capacity,
+            append_lock: Mutex::new(()),
+        })
+    }
+
+    /// (header offset, ring offset) — persist these in your root object.
+    pub fn location(&self) -> (u64, u64) {
+        (self.header, self.ring)
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently used (records + headers, including wrap slack).
+    pub fn used(&self, clock: &Clock) -> u64 {
+        let head = self.pool.read_u64(clock, self.header + HDR_HEAD);
+        let tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
+        if tail >= head {
+            tail - head
+        } else {
+            self.capacity - head + tail
+        }
+    }
+
+    /// Append a record. Fails with `OutOfMemory` when the ring is full
+    /// (callers trim with [`PersistentLog::pop`] — the DStore pattern where
+    /// the DRAM store periodically truncates the log).
+    pub fn append(&self, clock: &Clock, record: &[u8]) -> Result<()> {
+        assert!(!record.is_empty(), "empty records are not representable");
+        let need = REC_HDR + record.len() as u64;
+        assert!(need <= self.capacity / 2, "record larger than half the ring");
+        let _g = self.append_lock.lock();
+        let head = self.pool.read_u64(clock, self.header + HDR_HEAD);
+        let mut tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
+
+        // Wrap if the record will not fit before the ring's end.
+        if tail + need > self.capacity {
+            if head > tail {
+                // Already wrapped once: the slack before `head` is all that
+                // is left and it does not fit either.
+                return Err(PmdkError::OutOfMemory { requested: need });
+            }
+            // After wrapping, the record occupies [0, need); it must stay
+            // strictly below `head` or it would overwrite the oldest record
+            // (and tail==head must continue to mean *empty*).
+            if need >= head {
+                return Err(PmdkError::OutOfMemory { requested: need });
+            }
+            // Mark the slack with a WRAP record (header only).
+            if self.capacity - tail >= REC_HDR {
+                self.pool
+                    .write_bytes(clock, self.ring + tail, &WRAP.to_le_bytes());
+            }
+            tail = 0;
+        } else {
+            // Non-wrapping free-space check (tail==head means empty, so the
+            // new tail must never land exactly on head).
+            let used = if tail >= head { tail - head } else { self.capacity - head + tail };
+            if used + need >= self.capacity {
+                return Err(PmdkError::OutOfMemory { requested: need });
+            }
+        }
+
+        // Body first (persisted), then the atomic tail commit.
+        let rec = self.ring + tail;
+        self.pool
+            .write_bytes(clock, rec, &(record.len() as u32).to_le_bytes());
+        self.pool
+            .write_bytes(clock, rec + 4, &crc32(record).to_le_bytes());
+        self.pool.write_bytes(clock, rec + REC_HDR, record);
+        self.pool
+            .write_u64(clock, self.header + HDR_TAIL, tail + need);
+        Ok(())
+    }
+
+    /// Pop the oldest record (trim), returning it; `None` when empty.
+    pub fn pop(&self, clock: &Clock) -> Result<Option<Vec<u8>>> {
+        let _g = self.append_lock.lock();
+        let mut head = self.pool.read_u64(clock, self.header + HDR_HEAD);
+        let tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
+        if head == tail {
+            return Ok(None);
+        }
+        let (rec, len) = self.record_at(clock, &mut head, tail)?;
+        let Some(rec) = rec else { return Ok(None) };
+        let mut body = vec![0u8; len as usize];
+        self.pool.read_bytes(clock, rec + REC_HDR, &mut body);
+        // Verify integrity before committing the head advance.
+        let stored_crc = self.pool.read_u32(clock, rec + 4);
+        if crc32(&body) != stored_crc {
+            return Err(PmdkError::BadPool("log record CRC mismatch".into()));
+        }
+        self.pool
+            .write_u64(clock, self.header + HDR_HEAD, head + REC_HDR + len);
+        Ok(Some(body))
+    }
+
+    /// Resolve the record at `*head`, skipping a WRAP marker (updates head).
+    fn record_at(&self, clock: &Clock, head: &mut u64, tail: u64) -> Result<(Option<u64>, u64)> {
+        if self.capacity - *head >= REC_HDR {
+            let len = self.pool.read_u32(clock, self.ring + *head);
+            if len == WRAP {
+                *head = 0;
+            } else {
+                self.check_len(*head, len)?;
+                return Ok((Some(self.ring + *head), len as u64));
+            }
+        } else {
+            *head = 0;
+        }
+        if *head == tail {
+            return Ok((None, 0));
+        }
+        let len = self.pool.read_u32(clock, self.ring + *head);
+        if len == WRAP {
+            return Err(PmdkError::BadPool("double wrap marker".into()));
+        }
+        self.check_len(*head, len)?;
+        Ok((Some(self.ring + *head), len as u64))
+    }
+
+    /// Reject lengths that would walk past the ring (torn/corrupt headers).
+    fn check_len(&self, head: u64, len: u32) -> Result<()> {
+        if len == 0 || head + REC_HDR + len as u64 > self.capacity {
+            return Err(PmdkError::BadPool(format!("corrupt log record length {len}")));
+        }
+        Ok(())
+    }
+
+    /// Replay every committed record oldest-first (recovery / apply path).
+    pub fn replay(&self, clock: &Clock) -> Result<Vec<Vec<u8>>> {
+        let _g = self.append_lock.lock();
+        let mut head = self.pool.read_u64(clock, self.header + HDR_HEAD);
+        let tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
+        let mut out = vec![];
+        while head != tail {
+            let (rec, len) = self.record_at(clock, &mut head, tail)?;
+            let Some(rec) = rec else { break };
+            let mut body = vec![0u8; len as usize];
+            self.pool.read_bytes(clock, rec + REC_HDR, &mut body);
+            let stored_crc = self.pool.read_u32(clock, rec + 4);
+            if crc32(&body) != stored_crc {
+                return Err(PmdkError::BadPool("log record CRC mismatch".into()));
+            }
+            out.push(body);
+            head += REC_HDR + len;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+
+    fn fixture(capacity: u64) -> (PersistentLog, Arc<PmemPool>, Clock) {
+        let dev = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Tracked);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "log").unwrap();
+        let log = PersistentLog::create(&clock, &pool, capacity).unwrap();
+        (log, pool, clock)
+    }
+
+    #[test]
+    fn append_replay_pop_fifo() {
+        let (log, _pool, clock) = fixture(1024);
+        log.append(&clock, b"first").unwrap();
+        log.append(&clock, b"second").unwrap();
+        log.append(&clock, b"third").unwrap();
+        assert_eq!(log.replay(&clock).unwrap(), vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), b"first");
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), b"second");
+        assert_eq!(log.replay(&clock).unwrap(), vec![b"third".to_vec()]);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_order() {
+        let (log, _pool, clock) = fixture(128);
+        // Fill, trim, fill again repeatedly to force wraps.
+        let mut next = 0u32;
+        let mut expect_front = 0u32;
+        for _ in 0..100 {
+            while log.append(&clock, &next.to_le_bytes()).is_ok() {
+                next += 1;
+            }
+            // Trim two records.
+            for _ in 0..2 {
+                let got = log.pop(&clock).unwrap().unwrap();
+                assert_eq!(got, expect_front.to_le_bytes());
+                expect_front += 1;
+            }
+        }
+        // Remaining records replay in order.
+        let rest = log.replay(&clock).unwrap();
+        for (i, r) in rest.iter().enumerate() {
+            assert_eq!(r[..4], (expect_front + i as u32).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn full_ring_reports_out_of_memory() {
+        let (log, _pool, clock) = fixture(64);
+        let mut appended = 0;
+        while log.append(&clock, &[9u8; 8]).is_ok() {
+            appended += 1;
+        }
+        assert!(appended >= 2);
+        assert!(matches!(
+            log.append(&clock, &[9u8; 8]),
+            Err(PmdkError::OutOfMemory { .. })
+        ));
+        // Trimming frees space again.
+        log.pop(&clock).unwrap().unwrap();
+        log.append(&clock, &[9u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn crash_loses_only_the_uncommitted_tail() {
+        let (log, pool, clock) = fixture(1024);
+        log.append(&clock, b"durable-1").unwrap();
+        log.append(&clock, b"durable-2").unwrap();
+        let (h, r) = log.location();
+        // Persist everything committed so far.
+        let dev = Arc::clone(pool.device());
+        dev.persist(&clock, 0, dev.size());
+        // Simulate the torn window: a record body written past the tail but
+        // the tail commit never flushed.
+        let tail = pool.read_u64(&clock, h + HDR_TAIL);
+        pool.write_bytes(&clock, r + tail, &9u32.to_le_bytes());
+        pool.write_bytes(&clock, r + tail + REC_HDR, b"torn-rec!");
+        dev.write_untimed((h + HDR_TAIL) as usize, &(tail + REC_HDR + 9).to_le_bytes());
+        // (the tail store above was NOT persisted)
+        dev.crash();
+        drop(log);
+        let pool = PmemPool::open(&clock, Arc::clone(&dev), "log").unwrap();
+        let log = PersistentLog::open(&clock, &pool, h, r).unwrap();
+        assert_eq!(
+            log.replay(&clock).unwrap(),
+            vec![b"durable-1".to_vec(), b"durable-2".to_vec()]
+        );
+    }
+
+    #[test]
+    fn survives_reopen_via_location() {
+        let (log, pool, clock) = fixture(512);
+        log.append(&clock, b"hello").unwrap();
+        let (h, r) = log.location();
+        let dev = Arc::clone(pool.device());
+        drop((log, pool));
+        let pool = PmemPool::open(&clock, dev, "log").unwrap();
+        let log = PersistentLog::open(&clock, &pool, h, r).unwrap();
+        assert_eq!(log.replay(&clock).unwrap(), vec![b"hello".to_vec()]);
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+        assert_eq!(crc32(b""), 0);
+        let (log, pool, clock) = fixture(256);
+        log.append(&clock, b"payload").unwrap();
+        // Corrupt a body byte directly on the device.
+        let (_, ring) = log.location();
+        let mut b = [0u8; 1];
+        pool.read_bytes(&clock, ring + REC_HDR, &mut b);
+        pool.write_bytes(&clock, ring + REC_HDR, &[b[0] ^ 0xFF]);
+        assert!(matches!(log.pop(&clock), Err(PmdkError::BadPool(_))));
+    }
+}

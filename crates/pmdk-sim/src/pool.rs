@@ -1,0 +1,358 @@
+//! The pmemobj-style pool: superblock, root object, typed persistent access.
+
+use crate::alloc::Heap;
+use crate::error::{PmdkError, Result};
+use crate::layout::*;
+use crate::tx::{LaneTable, Tx};
+use parking_lot::Mutex;
+use pmem_sim::{Clock, PmemDevice};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Test-only failure injection: named sites armed with a countdown.
+#[derive(Debug, Default)]
+pub struct FailPoints {
+    armed: Mutex<HashMap<&'static str, u32>>,
+}
+
+impl FailPoints {
+    /// Arm `site` to fail on its `nth` (1-based) hit.
+    pub fn arm(&self, site: &'static str, nth: u32) {
+        assert!(nth >= 1);
+        self.armed.lock().insert(site, nth);
+    }
+
+    pub fn disarm(&self, site: &'static str) {
+        self.armed.lock().remove(site);
+    }
+
+    /// Check a site; returns `Err(Injected)` when the countdown expires.
+    pub fn check(&self, site: &'static str) -> Result<()> {
+        let mut map = self.armed.lock();
+        if let Some(n) = map.get_mut(site) {
+            *n -= 1;
+            if *n == 0 {
+                map.remove(site);
+                return Err(PmdkError::Injected(site));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A pmemobj-style persistent object pool.
+#[derive(Debug)]
+pub struct PmemPool {
+    device: Arc<PmemDevice>,
+    heap: Mutex<Heap>,
+    pub(crate) lanes: LaneTable,
+    layout: String,
+    generation: u64,
+    pub fail_points: FailPoints,
+}
+
+impl PmemPool {
+    /// Format `device` as a fresh pool with the given layout name.
+    pub fn create(clock: &Clock, device: Arc<PmemDevice>, layout: &str) -> Result<Arc<Self>> {
+        let size = device.size() as u64;
+        if size < min_pool_size() {
+            return Err(PmdkError::BadPool(format!(
+                "device too small: {size} < {}",
+                min_pool_size()
+            )));
+        }
+        if layout.len() > sb::LAYOUT_NAME_MAX as usize {
+            return Err(PmdkError::BadPool("layout name too long".into()));
+        }
+
+        // Superblock.
+        let mut sblk = vec![0u8; SUPERBLOCK_SIZE as usize];
+        sblk[sb::MAGIC as usize..][..8].copy_from_slice(&POOL_MAGIC.to_le_bytes());
+        sblk[sb::VERSION as usize..][..8].copy_from_slice(&1u64.to_le_bytes());
+        sblk[sb::POOL_SIZE as usize..][..8].copy_from_slice(&size.to_le_bytes());
+        sblk[sb::HEAP_START as usize..][..8].copy_from_slice(&heap_start().to_le_bytes());
+        sblk[sb::ROOT_OFF as usize..][..8].copy_from_slice(&0u64.to_le_bytes());
+        sblk[sb::ROOT_SIZE as usize..][..8].copy_from_slice(&0u64.to_le_bytes());
+        sblk[sb::LAYOUT_LEN as usize..][..8]
+            .copy_from_slice(&(layout.len() as u64).to_le_bytes());
+        sblk[sb::LAYOUT_NAME as usize..][..layout.len()].copy_from_slice(layout.as_bytes());
+        sblk[sb::GENERATION as usize..][..8].copy_from_slice(&1u64.to_le_bytes());
+        device.write_meta(clock, 0, &sblk);
+        device.persist(clock, 0, SUPERBLOCK_SIZE as usize);
+
+        // Lane table.
+        LaneTable::format(clock, &device);
+
+        // Heap.
+        Heap::format(clock, &device, heap_start(), size);
+        let heap = Heap::rebuild(Arc::clone(&device), heap_start(), size)?;
+
+        Ok(Arc::new(PmemPool {
+            lanes: LaneTable::new(),
+            heap: Mutex::new(heap),
+            device,
+            layout: layout.to_string(),
+            generation: 1,
+            fail_points: FailPoints::default(),
+        }))
+    }
+
+    /// Open an existing pool: validate the superblock, recover interrupted
+    /// transactions, rebuild the volatile allocator state.
+    pub fn open(clock: &Clock, device: Arc<PmemDevice>, layout: &str) -> Result<Arc<Self>> {
+        let size = device.size() as u64;
+        let mut sblk = vec![0u8; SUPERBLOCK_SIZE as usize];
+        device.read_meta(clock, 0, &mut sblk);
+        let magic = u64::from_le_bytes(sblk[sb::MAGIC as usize..][..8].try_into().unwrap());
+        if magic != POOL_MAGIC {
+            return Err(PmdkError::BadPool("bad magic (pool not formatted?)".into()));
+        }
+        let recorded = u64::from_le_bytes(sblk[sb::POOL_SIZE as usize..][..8].try_into().unwrap());
+        if recorded != size {
+            return Err(PmdkError::BadPool(format!(
+                "pool recorded size {recorded} != device size {size}"
+            )));
+        }
+        let llen =
+            u64::from_le_bytes(sblk[sb::LAYOUT_LEN as usize..][..8].try_into().unwrap()) as usize;
+        let found = String::from_utf8_lossy(&sblk[sb::LAYOUT_NAME as usize..][..llen]).into_owned();
+        if found != layout {
+            return Err(PmdkError::LayoutMismatch { expected: layout.into(), found });
+        }
+
+        let generation =
+            u64::from_le_bytes(sblk[sb::GENERATION as usize..][..8].try_into().unwrap()) + 1;
+        let pool = Arc::new(PmemPool {
+            lanes: LaneTable::new(),
+            heap: Mutex::new(Heap::rebuild(Arc::clone(&device), heap_start(), size)?),
+            device,
+            layout: layout.to_string(),
+            generation,
+            fail_points: FailPoints::default(),
+        });
+        pool.write_u64(clock, sb::GENERATION, generation);
+        // Roll back / complete interrupted transactions, then re-sync the
+        // allocator (recovery may have freed intent allocations).
+        let recovered = pool.lanes.recover(clock, &pool)?;
+        if recovered > 0 {
+            let heap = Heap::rebuild(
+                Arc::clone(&pool.device),
+                heap_start(),
+                pool.device.size() as u64,
+            )?;
+            *pool.heap.lock() = heap;
+        }
+        Ok(pool)
+    }
+
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.device
+    }
+
+    pub fn layout(&self) -> &str {
+        &self.layout
+    }
+
+    /// Pool generation: 1 at create, +1 per open. Robust-lock epochs.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    // ---- allocation ----
+
+    /// Allocate `size` persistent bytes (non-transactional; the allocation
+    /// is durable once this returns).
+    pub fn alloc(&self, clock: &Clock, size: u64) -> Result<u64> {
+        self.heap.lock().alloc(clock, size)
+    }
+
+    /// Free a persistent allocation.
+    pub fn free(&self, clock: &Clock, off: u64) -> Result<()> {
+        self.heap.lock().free(clock, off)
+    }
+
+    /// Usable size of a live allocation.
+    pub fn usable_size(&self, off: u64) -> Result<u64> {
+        self.heap.lock().usable_size(off)
+    }
+
+    pub fn allocated_bytes(&self) -> u64 {
+        self.heap.lock().allocated_bytes()
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.heap.lock().free_bytes()
+    }
+
+    /// Validate allocator invariants (test support).
+    pub fn check_heap(&self) -> Result<()> {
+        self.heap.lock().check_invariants()
+    }
+
+    // ---- root object ----
+
+    /// Get (or create, on first call) the root object of at least `size`
+    /// bytes. Returns its payload offset.
+    pub fn root(&self, clock: &Clock, size: u64) -> Result<u64> {
+        let cur = self.read_u64(clock, sb::ROOT_OFF);
+        if cur != 0 {
+            let cur_size = self.read_u64(clock, sb::ROOT_SIZE);
+            if cur_size < size {
+                return Err(PmdkError::BadPool(format!(
+                    "root exists with size {cur_size} < requested {size}"
+                )));
+            }
+            return Ok(cur);
+        }
+        let off = self.alloc(clock, size)?;
+        self.device.zero_meta(clock, off as usize, size as usize);
+        self.device.persist(clock, off as usize, size as usize);
+        self.write_u64(clock, sb::ROOT_SIZE, size);
+        self.write_u64(clock, sb::ROOT_OFF, off); // commit point
+        Ok(off)
+    }
+
+    // ---- typed persistent access ----
+
+    // Pool-internal structures have fixed real sizes, so they are timed
+    // without the workload byte scaling (`*_meta` device paths).
+
+    pub fn read_u64(&self, clock: &Clock, off: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.device.read_meta(clock, off as usize, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    pub fn write_u64(&self, clock: &Clock, off: u64, v: u64) {
+        self.device.write_meta(clock, off as usize, &v.to_le_bytes());
+        self.device.persist(clock, off as usize, 8);
+    }
+
+    pub fn read_u32(&self, clock: &Clock, off: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.device.read_meta(clock, off as usize, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    pub fn write_u32(&self, clock: &Clock, off: u64, v: u32) {
+        self.device.write_meta(clock, off as usize, &v.to_le_bytes());
+        self.device.persist(clock, off as usize, 4);
+    }
+
+    /// Bulk write + persist (metadata-timed).
+    pub fn write_bytes(&self, clock: &Clock, off: u64, data: &[u8]) {
+        self.device.write_meta(clock, off as usize, data);
+        self.device.persist(clock, off as usize, data.len());
+    }
+
+    /// Bulk read (metadata-timed).
+    pub fn read_bytes(&self, clock: &Clock, off: u64, dst: &mut [u8]) {
+        self.device.read_meta(clock, off as usize, dst);
+    }
+
+    // ---- transactions ----
+
+    /// Run `body` inside a persistent transaction. On `Ok`, all snapshotted
+    /// ranges and allocations become durable atomically; on `Err` (or crash),
+    /// they roll back.
+    pub fn tx<T>(
+        self: &Arc<Self>,
+        clock: &Clock,
+        body: impl FnOnce(&mut Tx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        Tx::run(self, clock, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode};
+
+    pub(crate) fn fresh_pool(bytes: usize) -> (Arc<PmemPool>, Clock) {
+        let dev = PmemDevice::new(Machine::chameleon(), bytes, PersistenceMode::Tracked);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "test-layout").unwrap();
+        (pool, clock)
+    }
+
+    #[test]
+    fn create_then_open_round_trips() {
+        let (pool, clock) = fresh_pool(1 << 20);
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        let pool = PmemPool::open(&clock, dev, "test-layout").unwrap();
+        assert_eq!(pool.layout(), "test-layout");
+    }
+
+    #[test]
+    fn open_rejects_wrong_layout() {
+        let (pool, clock) = fresh_pool(1 << 20);
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        let err = PmemPool::open(&clock, dev, "other").unwrap_err();
+        assert!(matches!(err, PmdkError::LayoutMismatch { .. }));
+    }
+
+    #[test]
+    fn open_rejects_unformatted_device() {
+        let dev = PmemDevice::new(Machine::chameleon(), 1 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        assert!(PmemPool::open(&clock, dev, "x").is_err());
+    }
+
+    #[test]
+    fn create_rejects_tiny_device() {
+        let dev = PmemDevice::new(Machine::chameleon(), 4096, PersistenceMode::Fast);
+        let clock = Clock::new();
+        assert!(PmemPool::create(&clock, dev, "x").is_err());
+    }
+
+    #[test]
+    fn root_is_created_once_and_stable() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let r1 = pool.root(&clock, 256).unwrap();
+        let r2 = pool.root(&clock, 256).unwrap();
+        assert_eq!(r1, r2);
+        pool.write_bytes(&clock, r1, b"root data");
+        // Reopen: root offset must persist.
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        let pool = PmemPool::open(&clock, dev, "test-layout").unwrap();
+        assert_eq!(pool.root(&clock, 256).unwrap(), r1);
+        let mut buf = [0u8; 9];
+        pool.read_bytes(&clock, r1, &mut buf);
+        assert_eq!(&buf, b"root data");
+    }
+
+    #[test]
+    fn root_rejects_growth() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        pool.root(&clock, 64).unwrap();
+        assert!(pool.root(&clock, 128).is_err());
+    }
+
+    #[test]
+    fn allocations_survive_reopen() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let p = pool.alloc(&clock, 100).unwrap();
+        pool.write_bytes(&clock, p, &[7u8; 100]);
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        let pool = PmemPool::open(&clock, dev, "test-layout").unwrap();
+        let mut buf = [0u8; 100];
+        pool.read_bytes(&clock, p, &mut buf);
+        assert_eq!(buf, [7u8; 100]);
+        // The allocation is still registered.
+        assert_eq!(pool.usable_size(p).unwrap(), crate::layout::align_up(100));
+    }
+
+    #[test]
+    fn fail_points_fire_on_nth_hit() {
+        let fp = FailPoints::default();
+        fp.arm("site", 2);
+        assert!(fp.check("site").is_ok());
+        assert!(matches!(fp.check("site"), Err(PmdkError::Injected("site"))));
+        assert!(fp.check("site").is_ok()); // disarmed after firing
+    }
+}

@@ -1,0 +1,229 @@
+//! Typed persistent pointers — the `TOID(T)` idiom of libpmemobj.
+//!
+//! A [`PPtr<T>`] is a pool offset tagged with the Rust type stored there.
+//! Like PMDK's typed OIDs it is *position-independent* (an offset, not an
+//! address), survives pool reopen, and reads/writes whole `T` values through
+//! the pool with persist ordering. `T` must be plain-old-data
+//! ([`PersistentValue`], implemented for the std numeric types and
+//! derivable for `#[repr(C)]` structs via [`impl_persistent_value!`]).
+
+use crate::error::{PmdkError, Result};
+use crate::pool::PmemPool;
+use pmem_sim::Clock;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Marker for fixed-layout values storable behind a [`PPtr`].
+///
+/// # Safety
+/// Implementors must be `Copy`, `#[repr(C)]` (or primitive), free of padding
+/// and of invalid bit patterns.
+pub unsafe trait PersistentValue: Copy + 'static {}
+
+macro_rules! impl_pv {
+    ($($t:ty),+) => {$(
+        // SAFETY: primitive numeric types are POD.
+        unsafe impl PersistentValue for $t {}
+    )+};
+}
+impl_pv!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Declare a `#[repr(C)]`, padding-free struct as a [`PersistentValue`].
+#[macro_export]
+macro_rules! impl_persistent_value {
+    ($ty:ty, $size:expr) => {
+        const _: () = assert!(
+            std::mem::size_of::<$ty>() == $size,
+            concat!("padding or size mismatch in PersistentValue for ", stringify!($ty))
+        );
+        // SAFETY: caller asserts repr(C), Copy, no padding per macro contract.
+        unsafe impl $crate::ptr::PersistentValue for $ty {}
+    };
+}
+
+/// A typed, position-independent pointer into a pool.
+pub struct PPtr<T: PersistentValue> {
+    offset: u64,
+    _marker: PhantomData<T>,
+}
+
+// Manual impls: PPtr is Copy regardless of T's bounds beyond PersistentValue.
+impl<T: PersistentValue> Clone for PPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: PersistentValue> Copy for PPtr<T> {}
+
+impl<T: PersistentValue> std::fmt::Debug for PPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PPtr<{}>({:#x})", std::any::type_name::<T>(), self.offset)
+    }
+}
+
+impl<T: PersistentValue> PartialEq for PPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.offset == other.offset
+    }
+}
+impl<T: PersistentValue> Eq for PPtr<T> {}
+
+impl<T: PersistentValue> PPtr<T> {
+    /// The null pointer (offset 0 is the superblock, never a payload).
+    pub const fn null() -> Self {
+        PPtr { offset: 0, _marker: PhantomData }
+    }
+
+    pub fn is_null(&self) -> bool {
+        self.offset == 0
+    }
+
+    /// Rehydrate from a stored offset (e.g. read out of another object).
+    pub fn from_offset(offset: u64) -> Self {
+        PPtr { offset, _marker: PhantomData }
+    }
+
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Allocate space for a `T` and store `value` into it (persisted).
+    pub fn alloc(clock: &Clock, pool: &Arc<PmemPool>, value: T) -> Result<Self> {
+        let size = std::mem::size_of::<T>() as u64;
+        let off = pool.alloc(clock, size)?;
+        let p = PPtr::<T>::from_offset(off);
+        p.write(clock, pool, value);
+        Ok(p)
+    }
+
+    /// Read the value.
+    pub fn read(&self, clock: &Clock, pool: &Arc<PmemPool>) -> Result<T> {
+        if self.is_null() {
+            return Err(PmdkError::BadPointer(0));
+        }
+        let mut buf = vec![0u8; std::mem::size_of::<T>()];
+        pool.read_bytes(clock, self.offset, &mut buf);
+        // SAFETY: PersistentValue allows any bit pattern; size matches.
+        Ok(unsafe { std::ptr::read_unaligned(buf.as_ptr() as *const T) })
+    }
+
+    /// Overwrite the value (persisted; NOT transactional — snapshot first if
+    /// the update must be crash-atomic with other writes).
+    pub fn write(&self, clock: &Clock, pool: &Arc<PmemPool>, value: T) {
+        assert!(!self.is_null(), "write through null PPtr");
+        // SAFETY: PersistentValue guarantees POD layout.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(&value as *const T as *const u8, std::mem::size_of::<T>())
+        };
+        pool.write_bytes(clock, self.offset, bytes);
+    }
+
+    /// Crash-atomic update inside a transaction.
+    pub fn update_tx(&self, clock: &Clock, pool: &Arc<PmemPool>, value: T) -> Result<()> {
+        assert!(!self.is_null(), "update through null PPtr");
+        pool.tx(clock, |tx| {
+            // SAFETY: as in `write`.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    &value as *const T as *const u8,
+                    std::mem::size_of::<T>(),
+                )
+            };
+            tx.set(self.offset, bytes)
+        })
+    }
+
+    /// Free the allocation behind this pointer.
+    pub fn free(self, clock: &Clock, pool: &Arc<PmemPool>) -> Result<()> {
+        pool.free(clock, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+
+    fn pool() -> (Arc<PmemPool>, Clock) {
+        let dev = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Tracked);
+        let clock = Clock::new();
+        (PmemPool::create(&clock, dev, "pptr").unwrap(), clock)
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    struct Header {
+        version: u64,
+        count: u64,
+        next: u64, // a stored PPtr offset
+    }
+    impl_persistent_value!(Header, 24);
+
+    #[test]
+    fn alloc_read_write_round_trip() {
+        let (pool, clock) = pool();
+        let p = PPtr::alloc(&clock, &pool, 42u64).unwrap();
+        assert_eq!(p.read(&clock, &pool).unwrap(), 42);
+        p.write(&clock, &pool, 99);
+        assert_eq!(p.read(&clock, &pool).unwrap(), 99);
+    }
+
+    #[test]
+    fn struct_values_and_linked_objects() {
+        let (pool, clock) = pool();
+        let tail = PPtr::alloc(&clock, &pool, Header { version: 2, count: 0, next: 0 }).unwrap();
+        let head = PPtr::alloc(
+            &clock,
+            &pool,
+            Header { version: 1, count: 7, next: tail.offset() },
+        )
+        .unwrap();
+        // Follow the persistent link.
+        let h = head.read(&clock, &pool).unwrap();
+        let t = PPtr::<Header>::from_offset(h.next).read(&clock, &pool).unwrap();
+        assert_eq!(t.version, 2);
+    }
+
+    #[test]
+    fn pointers_survive_reopen() {
+        let (pool, clock) = pool();
+        let p = PPtr::alloc(&clock, &pool, 3.25f64).unwrap();
+        let off = p.offset();
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        let pool = PmemPool::open(&clock, dev, "pptr").unwrap();
+        let p = PPtr::<f64>::from_offset(off);
+        assert_eq!(p.read(&clock, &pool).unwrap(), 3.25);
+    }
+
+    #[test]
+    fn null_pointer_is_rejected() {
+        let (pool, clock) = pool();
+        let p = PPtr::<u64>::null();
+        assert!(p.is_null());
+        assert!(p.read(&clock, &pool).is_err());
+    }
+
+    #[test]
+    fn tx_update_rolls_back_on_crash() {
+        let (pool, clock) = pool();
+        let p = PPtr::alloc(&clock, &pool, 100u64).unwrap();
+        pool.device().persist(&clock, p.offset() as usize, 8);
+        pool.fail_points.arm("tx::commit-before", 1);
+        assert!(p.update_tx(&clock, &pool, 200).is_err());
+        pool.device().crash();
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        let pool = PmemPool::open(&clock, dev, "pptr").unwrap();
+        assert_eq!(p.read(&clock, &pool).unwrap(), 100);
+    }
+
+    #[test]
+    fn free_releases_memory() {
+        let (pool, clock) = pool();
+        let before = pool.allocated_bytes();
+        let p = PPtr::alloc(&clock, &pool, [0u8; 1][0]).unwrap();
+        p.free(&clock, &pool).unwrap();
+        assert_eq!(pool.allocated_bytes(), before);
+    }
+}

@@ -1,0 +1,491 @@
+//! Undo-log transactions over the pool, PMDK-lane style.
+//!
+//! Each transaction claims a *lane*: a fixed persistent region holding the
+//! lane state, an intent array and an undo log. The protocol is the standard
+//! pmemobj one:
+//!
+//! * `snapshot(range)` copies the pre-image into the undo log **before** the
+//!   caller overwrites the range.
+//! * `alloc` persists an *allocation intent* before the heap allocation so a
+//!   crash cannot leak the block.
+//! * `free` is deferred: a *free intent* is persisted and only executed once
+//!   the lane has durably entered `COMMITTING` (a crash before that leaves
+//!   the block alive; after that, recovery finishes the frees).
+//! * Recovery (`LaneTable::recover`, run at pool open) rolls back `ACTIVE`
+//!   lanes (apply undo log backwards, free alloc-intents) and rolls forward
+//!   `COMMITTING` lanes (execute free-intents, discard the log).
+//!
+//! Alloc- and free-intents share one array: heap payloads are 64-byte
+//! aligned, so the low bit tags the entry kind (1 = deferred free).
+
+use crate::error::{PmdkError, Result};
+use crate::layout::*;
+use crate::pool::PmemPool;
+use parking_lot::Mutex;
+use pmem_sim::Clock;
+use std::sync::Arc;
+
+/// Volatile lane bookkeeping: which lanes are free to claim.
+#[derive(Debug)]
+pub struct LaneTable {
+    free: Mutex<Vec<u64>>,
+}
+
+impl LaneTable {
+    pub fn new() -> Self {
+        LaneTable { free: Mutex::new((0..LANES).rev().collect()) }
+    }
+
+    /// Persist pristine lane headers (pool create).
+    pub fn format(clock: &Clock, device: &Arc<pmem_sim::PmemDevice>) {
+        let zeros = vec![0u8; LANE_HEADER_SIZE as usize];
+        for i in 0..LANES {
+            let off = lane_offset(i) as usize;
+            device.write_meta(clock, off, &zeros);
+            device.persist(clock, off, zeros.len());
+        }
+    }
+
+    fn claim(&self) -> Result<u64> {
+        self.free.lock().pop().ok_or(PmdkError::NoFreeLanes)
+    }
+
+    fn release(&self, lane: u64) {
+        self.free.lock().push(lane);
+    }
+
+    /// Scan all lanes and repair interrupted transactions.
+    /// Returns how many lanes needed recovery.
+    pub fn recover(&self, clock: &Clock, pool: &PmemPool) -> Result<u64> {
+        let mut repaired = 0;
+        for i in 0..LANES {
+            let base = lane_offset(i);
+            let state = pool.read_u32(clock, base + lane::STATE);
+            match state {
+                LANE_IDLE => {}
+                LANE_ACTIVE => {
+                    rollback_lane(clock, pool, base)?;
+                    repaired += 1;
+                }
+                LANE_COMMITTING => {
+                    rollforward_lane(clock, pool, base)?;
+                    repaired += 1;
+                }
+                s => {
+                    return Err(PmdkError::BadPool(format!("lane {i} has invalid state {s}")))
+                }
+            }
+        }
+        Ok(repaired)
+    }
+}
+
+impl Default for LaneTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Apply the undo log backwards and free alloc-intents (crashed ACTIVE tx).
+fn rollback_lane(clock: &Clock, pool: &PmemPool, base: u64) -> Result<()> {
+    // Restore snapshotted pre-images, newest first.
+    let undo_len = pool.read_u32(clock, base + lane::UNDO_LEN) as u64;
+    let undo_base = base + LANE_HEADER_SIZE + LANE_INTENT_BYTES;
+    let mut entries = vec![];
+    let mut cursor = 0u64;
+    while cursor < undo_len {
+        let off = pool.read_u64(clock, undo_base + cursor);
+        let len = pool.read_u32(clock, undo_base + cursor + 8) as u64;
+        entries.push((off, len, undo_base + cursor + 12));
+        cursor += 12 + len;
+    }
+    for (off, len, data_off) in entries.into_iter().rev() {
+        let mut data = vec![0u8; len as usize];
+        pool.read_bytes(clock, data_off, &mut data);
+        pool.write_bytes(clock, off, &data);
+    }
+    // Free blocks allocated by the dead transaction.
+    let intents = pool.read_u32(clock, base + lane::INTENT_COUNT) as u64;
+    for slot in 0..intents {
+        let entry = pool.read_u64(clock, base + LANE_HEADER_SIZE + slot * 8);
+        if entry & 1 == 0 && entry != 0 {
+            // Alloc intent: free it if the allocation actually happened.
+            if pool.usable_size(entry).is_ok() {
+                pool.free(clock, entry)?;
+            }
+        }
+        // Free intents are simply dropped: the free never executed.
+    }
+    reset_lane(clock, pool, base);
+    Ok(())
+}
+
+/// Finish a committed transaction: execute deferred frees, discard the log.
+fn rollforward_lane(clock: &Clock, pool: &PmemPool, base: u64) -> Result<()> {
+    let intents = pool.read_u32(clock, base + lane::INTENT_COUNT) as u64;
+    for slot in 0..intents {
+        let entry = pool.read_u64(clock, base + LANE_HEADER_SIZE + slot * 8);
+        if entry & 1 == 1 {
+            let off = entry & !1;
+            // Idempotent: skip if an earlier attempt already freed it.
+            if pool.usable_size(off).is_ok() {
+                pool.free(clock, off)?;
+            }
+        }
+    }
+    reset_lane(clock, pool, base);
+    Ok(())
+}
+
+fn reset_lane(clock: &Clock, pool: &PmemPool, base: u64) {
+    pool.write_u32(clock, base + lane::UNDO_LEN, 0);
+    pool.write_u32(clock, base + lane::INTENT_COUNT, 0);
+    pool.write_u32(clock, base + lane::STATE, LANE_IDLE);
+}
+
+/// A live transaction handle.
+pub struct Tx<'a> {
+    pool: &'a Arc<PmemPool>,
+    clock: &'a Clock,
+    lane: u64,
+    lane_base: u64,
+    undo_used: u64,
+    intents_used: u64,
+}
+
+impl<'a> Tx<'a> {
+    /// Run `body` in a transaction; commit on `Ok`, roll back on `Err`.
+    pub fn run<T>(
+        pool: &'a Arc<PmemPool>,
+        clock: &'a Clock,
+        body: impl FnOnce(&mut Tx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        let lane = pool.lanes.claim()?;
+        let lane_base = lane_offset(lane);
+        pool.write_u32(clock, lane_base + lane::STATE, LANE_ACTIVE);
+        let mut tx = Tx { pool, clock, lane, lane_base, undo_used: 0, intents_used: 0 };
+        match body(&mut tx) {
+            Ok(v) => match tx.commit() {
+                Ok(()) => {
+                    pool.lanes.release(lane);
+                    Ok(v)
+                }
+                Err(e) => {
+                    // Injected commit failures leave the lane untouched so a
+                    // test can crash the device and exercise recovery.
+                    if !matches!(e, PmdkError::Injected(_)) {
+                        pool.lanes.release(lane);
+                    }
+                    Err(e)
+                }
+            },
+            Err(e) => {
+                if matches!(e, PmdkError::Injected(_)) {
+                    // Simulated power-failure point: leave everything as-is.
+                    return Err(e);
+                }
+                tx.abort()?;
+                pool.lanes.release(lane);
+                Err(e)
+            }
+        }
+    }
+
+    pub fn lane(&self) -> u64 {
+        self.lane
+    }
+
+    /// Record the pre-image of `[off, off+len)` so a rollback can restore it.
+    /// Call before overwriting existing persistent data.
+    pub fn snapshot(&mut self, off: u64, len: u64) -> Result<()> {
+        self.pool.fail_points.check("tx::snapshot")?;
+        let capacity = LANE_SIZE - LANE_HEADER_SIZE - LANE_INTENT_BYTES;
+        if self.undo_used + 12 + len > capacity {
+            return Err(PmdkError::TxFailure(format!(
+                "undo log overflow: {} + {} > {capacity}",
+                self.undo_used,
+                12 + len
+            )));
+        }
+        let undo_base = self.lane_base + LANE_HEADER_SIZE + LANE_INTENT_BYTES;
+        let entry = undo_base + self.undo_used;
+        let mut pre = vec![0u8; len as usize];
+        self.pool.read_bytes(self.clock, off, &mut pre);
+        self.pool.write_bytes(self.clock, entry, &off.to_le_bytes());
+        self.pool
+            .write_bytes(self.clock, entry + 8, &(len as u32).to_le_bytes());
+        self.pool.write_bytes(self.clock, entry + 12, &pre);
+        self.undo_used += 12 + len;
+        // The length update is the commit point of the log append.
+        self.pool
+            .write_u32(self.clock, self.lane_base + lane::UNDO_LEN, self.undo_used as u32);
+        Ok(())
+    }
+
+    /// Snapshot + overwrite in one step.
+    pub fn set(&mut self, off: u64, data: &[u8]) -> Result<()> {
+        self.snapshot(off, data.len() as u64)?;
+        self.pool.write_bytes(self.clock, off, data);
+        Ok(())
+    }
+
+    /// Write without snapshotting (for freshly-allocated ranges that need no
+    /// rollback image).
+    pub fn write_new(&mut self, off: u64, data: &[u8]) {
+        self.pool.write_bytes(self.clock, off, data);
+    }
+
+    /// Transactionally allocate `size` bytes; rolled back if the tx aborts.
+    pub fn alloc(&mut self, size: u64) -> Result<u64> {
+        self.pool.fail_points.check("tx::alloc")?;
+        if self.intents_used >= LANE_INTENTS {
+            return Err(PmdkError::TxFailure("intent table overflow".into()));
+        }
+        // Reserve the intent slot before allocating (crash-safe ordering):
+        // bump the count first, then fill the slot, so recovery never reads
+        // an unfilled slot as garbage — a zero entry is ignored.
+        let slot_off = self.lane_base + LANE_HEADER_SIZE + self.intents_used * 8;
+        self.pool.write_bytes(self.clock, slot_off, &0u64.to_le_bytes());
+        self.intents_used += 1;
+        self.pool.write_u32(
+            self.clock,
+            self.lane_base + lane::INTENT_COUNT,
+            self.intents_used as u32,
+        );
+        let off = self.pool.alloc(self.clock, size)?;
+        debug_assert_eq!(off & 1, 0, "heap payloads are aligned");
+        self.pool.write_bytes(self.clock, slot_off, &off.to_le_bytes());
+        self.pool.fail_points.check("tx::alloc-after")?;
+        Ok(off)
+    }
+
+    /// Transactionally free `off`; executed only if the tx commits.
+    pub fn free(&mut self, off: u64) -> Result<()> {
+        if self.intents_used >= LANE_INTENTS {
+            return Err(PmdkError::TxFailure("intent table overflow".into()));
+        }
+        // Validate now so the error surfaces in the tx, not at commit.
+        self.pool.usable_size(off)?;
+        let slot_off = self.lane_base + LANE_HEADER_SIZE + self.intents_used * 8;
+        self.pool.write_bytes(self.clock, slot_off, &(off | 1).to_le_bytes());
+        self.intents_used += 1;
+        self.pool.write_u32(
+            self.clock,
+            self.lane_base + lane::INTENT_COUNT,
+            self.intents_used as u32,
+        );
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        self.pool.fail_points.check("tx::commit-before")?;
+        // Durable commit point.
+        self.pool
+            .write_u32(self.clock, self.lane_base + lane::STATE, LANE_COMMITTING);
+        self.pool.fail_points.check("tx::commit-during")?;
+        // Execute deferred frees.
+        for slot in 0..self.intents_used {
+            let entry =
+                self.pool
+                    .read_u64(self.clock, self.lane_base + LANE_HEADER_SIZE + slot * 8);
+            if entry & 1 == 1 {
+                self.pool.free(self.clock, entry & !1)?;
+            }
+        }
+        reset_lane(self.clock, self.pool, self.lane_base);
+        Ok(())
+    }
+
+    fn abort(&mut self) -> Result<()> {
+        rollback_lane(self.clock, self.pool, self.lane_base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+
+    fn fresh_pool(bytes: usize) -> (Arc<PmemPool>, Clock) {
+        let dev = PmemDevice::new(Machine::chameleon(), bytes, PersistenceMode::Tracked);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "tx-test").unwrap();
+        (pool, clock)
+    }
+
+    fn reopen(pool: Arc<PmemPool>, clock: &Clock) -> Arc<PmemPool> {
+        let dev = Arc::clone(pool.device());
+        drop(pool);
+        PmemPool::open(clock, dev, "tx-test").unwrap()
+    }
+
+    #[test]
+    fn committed_tx_is_durable() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let root = pool.root(&clock, 64).unwrap();
+        pool.tx(&clock, |tx| tx.set(root, b"committed")).unwrap();
+        let pool = reopen(pool, &clock);
+        let mut buf = [0u8; 9];
+        pool.read_bytes(&clock, root, &mut buf);
+        assert_eq!(&buf, b"committed");
+    }
+
+    #[test]
+    fn aborted_tx_rolls_back_data() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let root = pool.root(&clock, 64).unwrap();
+        pool.write_bytes(&clock, root, b"original!");
+        let err = pool
+            .tx(&clock, |tx| {
+                tx.set(root, b"scribbled")?;
+                Err::<(), _>(PmdkError::TxFailure("user abort".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, PmdkError::TxFailure(_)));
+        let mut buf = [0u8; 9];
+        pool.read_bytes(&clock, root, &mut buf);
+        assert_eq!(&buf, b"original!");
+    }
+
+    #[test]
+    fn aborted_tx_releases_allocations() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let before = pool.allocated_bytes();
+        let _ = pool.tx(&clock, |tx| {
+            tx.alloc(1000)?;
+            tx.alloc(2000)?;
+            Err::<(), _>(PmdkError::TxFailure("abort".into()))
+        });
+        assert_eq!(pool.allocated_bytes(), before);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn tx_free_applies_only_on_commit() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let p = pool.alloc(&clock, 128).unwrap();
+        // Aborted: block survives.
+        let _ = pool.tx(&clock, |tx| {
+            tx.free(p)?;
+            Err::<(), _>(PmdkError::TxFailure("abort".into()))
+        });
+        assert!(pool.usable_size(p).is_ok());
+        // Committed: block is gone.
+        pool.tx(&clock, |tx| tx.free(p)).unwrap();
+        assert!(pool.usable_size(p).is_err());
+    }
+
+    #[test]
+    fn crash_mid_body_rolls_back_on_open() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let root = pool.root(&clock, 64).unwrap();
+        pool.write_bytes(&clock, root, b"original!");
+        pool.fail_points.arm("tx::snapshot", 2);
+        let err = pool
+            .tx(&clock, |tx| {
+                tx.set(root, b"first ok!")?; // snapshot #1 succeeds
+                tx.set(root, b"second no")?; // snapshot #2 injected
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, PmdkError::Injected(_)));
+        pool.device().crash();
+        let pool = reopen(pool, &clock);
+        let mut buf = [0u8; 9];
+        pool.read_bytes(&clock, root, &mut buf);
+        assert_eq!(&buf, b"original!");
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn crash_before_commit_point_rolls_back() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let root = pool.root(&clock, 64).unwrap();
+        pool.write_bytes(&clock, root, b"original!");
+        pool.fail_points.arm("tx::commit-before", 1);
+        let _ = pool.tx(&clock, |tx| tx.set(root, b"newvalue!"));
+        pool.device().crash();
+        let pool = reopen(pool, &clock);
+        let mut buf = [0u8; 9];
+        pool.read_bytes(&clock, root, &mut buf);
+        assert_eq!(&buf, b"original!");
+    }
+
+    #[test]
+    fn crash_after_commit_point_rolls_forward() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let root = pool.root(&clock, 64).unwrap();
+        let victim = pool.alloc(&clock, 128).unwrap();
+        pool.write_bytes(&clock, root, b"original!");
+        pool.fail_points.arm("tx::commit-during", 1);
+        let _ = pool.tx(&clock, |tx| {
+            tx.set(root, b"newvalue!")?;
+            tx.free(victim)?;
+            Ok(())
+        });
+        pool.device().crash();
+        let pool = reopen(pool, &clock);
+        // Data keeps the new value (commit point passed)...
+        let mut buf = [0u8; 9];
+        pool.read_bytes(&clock, root, &mut buf);
+        assert_eq!(&buf, b"newvalue!");
+        // ...and the deferred free completed during recovery.
+        assert!(pool.usable_size(victim).is_err());
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn crash_mid_alloc_does_not_leak() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let baseline = pool.allocated_bytes();
+        pool.fail_points.arm("tx::alloc-after", 1);
+        let _ = pool.tx(&clock, |tx| {
+            tx.alloc(4096)?; // injected right after the heap alloc
+            Ok(())
+        });
+        pool.device().crash();
+        let pool = reopen(pool, &clock);
+        assert_eq!(pool.allocated_bytes(), baseline);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn undo_log_overflow_is_detected() {
+        let (pool, clock) = fresh_pool(1 << 22);
+        let big = pool.alloc(&clock, 128 * 1024).unwrap();
+        let err = pool
+            .tx(&clock, |tx| tx.snapshot(big, 100 * 1024))
+            .unwrap_err();
+        assert!(matches!(err, PmdkError::TxFailure(_)));
+    }
+
+    #[test]
+    fn concurrent_transactions_use_distinct_lanes() {
+        let (pool, clock) = fresh_pool(1 << 22);
+        let a = pool.alloc(&clock, 64).unwrap();
+        let b = pool.alloc(&clock, 64).unwrap();
+        pool.tx(&clock, |tx1| {
+            assert_eq!(tx1.lane(), 0);
+            tx1.set(a, &[1; 64])?;
+            // Nested/overlapping tx from the same thread uses another lane.
+            pool.tx(&clock, |tx2| {
+                assert_ne!(tx2.lane(), 0);
+                tx2.set(b, &[2; 64])
+            })
+        })
+        .unwrap();
+        let mut buf = [0u8; 64];
+        pool.read_bytes(&clock, a, &mut buf);
+        assert_eq!(buf, [1; 64]);
+    }
+
+    #[test]
+    fn many_sequential_transactions_reuse_lanes() {
+        let (pool, clock) = fresh_pool(1 << 22);
+        let p = pool.alloc(&clock, 8).unwrap();
+        for i in 0..200u64 {
+            pool.tx(&clock, |tx| tx.set(p, &i.to_le_bytes())).unwrap();
+        }
+        assert_eq!(pool.read_u64(&clock, p), 199);
+    }
+}

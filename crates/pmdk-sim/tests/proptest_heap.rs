@@ -1,0 +1,106 @@
+//! Property-based tests: the persistent allocator against a reference model.
+
+use pmdk_sim::PmemPool;
+use pmem_sim::{Clock, Machine, PersistenceMode, PmemDevice};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    /// Free the nth live allocation (modulo count).
+    Free(usize),
+    /// Write a pattern into the nth live allocation and read it back.
+    Touch(usize),
+    /// Reopen the pool (rebuild volatile state) and re-check.
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..5000).prop_map(Op::Alloc),
+        2 => any::<usize>().prop_map(Op::Free),
+        2 => any::<usize>().prop_map(Op::Touch),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allocator_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let dev = PmemDevice::new(Machine::chameleon(), 4 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        let mut pool = PmemPool::create(&clock, Arc::clone(&dev), "prop").unwrap();
+
+        // Reference model: live allocations and their fill pattern.
+        let mut live: Vec<(u64, u64, u8)> = vec![]; // (off, size, pattern)
+        let mut next_pattern = 1u8;
+        let mut expected_bytes: HashMap<u64, (u64, u8)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    match pool.alloc(&clock, size) {
+                        Ok(off) => {
+                            // No overlap with any live allocation.
+                            for &(o, s, _) in &live {
+                                prop_assert!(
+                                    off + size <= o || off >= o + s,
+                                    "overlap: [{off},{}) vs [{o},{})", off + size, o + s
+                                );
+                            }
+                            let pat = next_pattern;
+                            next_pattern = next_pattern.wrapping_add(1).max(1);
+                            pool.write_bytes(&clock, off, &vec![pat; size as usize]);
+                            live.push((off, size, pat));
+                            expected_bytes.insert(off, (size, pat));
+                        }
+                        Err(pmdk_sim::PmdkError::OutOfMemory { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("alloc: {e}"))),
+                    }
+                }
+                Op::Free(n) => {
+                    if !live.is_empty() {
+                        let (off, _, _) = live.remove(n % live.len());
+                        expected_bytes.remove(&off);
+                        pool.free(&clock, off).unwrap();
+                        // Double free must fail.
+                        prop_assert!(pool.free(&clock, off).is_err());
+                    }
+                }
+                Op::Touch(n) => {
+                    if !live.is_empty() {
+                        let (off, size, pat) = live[n % live.len()];
+                        let mut buf = vec![0u8; size as usize];
+                        pool.read_bytes(&clock, off, &mut buf);
+                        prop_assert!(buf.iter().all(|&b| b == pat), "pattern torn at {off}");
+                    }
+                }
+                Op::Reopen => {
+                    let dev2 = Arc::clone(pool.device());
+                    drop(pool);
+                    pool = PmemPool::open(&clock, dev2, "prop").unwrap();
+                    // All live data must survive.
+                    for (&off, &(size, pat)) in &expected_bytes {
+                        let mut buf = vec![0u8; size as usize];
+                        pool.read_bytes(&clock, off, &mut buf);
+                        prop_assert!(buf.iter().all(|&b| b == pat), "lost data at {off}");
+                    }
+                }
+            }
+            pool.check_heap().map_err(|e| TestCaseError::fail(format!("invariant: {e}")))?;
+        }
+    }
+
+    #[test]
+    fn usable_size_is_at_least_requested(size in 1u64..100_000) {
+        let dev = PmemDevice::new(Machine::chameleon(), 8 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "sz").unwrap();
+        let off = pool.alloc(&clock, size).unwrap();
+        prop_assert!(pool.usable_size(off).unwrap() >= size);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: transactions (crash atomicity at arbitrary fail
+//! points) and the persistent hashtable against a HashMap model.
+
+use pmdk_sim::{PersistentHashtable, PmdkError, PmemPool};
+use pmem_sim::{Clock, Machine, PersistenceMode, PmemDevice};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// A transaction that crashes at its n-th snapshot leaves the pre-tx
+    /// state bit-for-bit intact after recovery.
+    #[test]
+    fn tx_crash_at_any_snapshot_rolls_back(
+        writes in prop::collection::vec((0u64..8, prop::collection::vec(any::<u8>(), 1..64)), 1..8),
+        crash_at in 1u32..9,
+    ) {
+        let dev = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Tracked);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, Arc::clone(&dev), "txp").unwrap();
+        // Eight 64-byte slots with known contents.
+        let base = pool.alloc(&clock, 8 * 64).unwrap();
+        let initial: Vec<u8> = (0..8 * 64).map(|i| (i % 251) as u8).collect();
+        pool.write_bytes(&clock, base, &initial);
+        dev.persist(&clock, base as usize, 8 * 64);
+
+        pool.fail_points.arm("tx::snapshot", crash_at);
+        let res = pool.tx(&clock, |tx| {
+            for (slot, data) in &writes {
+                let off = base + slot * 64;
+                let mut padded = data.clone();
+                padded.truncate(64);
+                tx.set(off, &padded)?;
+            }
+            Ok(())
+        });
+        match res {
+            Ok(()) => {
+                // Fewer snapshots than crash_at: tx committed normally.
+            }
+            Err(PmdkError::Injected(_)) => {
+                dev.crash();
+                let dev2 = Arc::clone(&dev);
+                drop(pool);
+                let pool = PmemPool::open(&clock, dev2, "txp").unwrap();
+                let mut buf = vec![0u8; 8 * 64];
+                pool.read_bytes(&clock, base, &mut buf);
+                prop_assert_eq!(buf, initial, "rollback not atomic");
+                pool.check_heap().map_err(|e| TestCaseError::fail(e.to_string()))?;
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+    }
+
+    /// The persistent hashtable behaves exactly like a HashMap under an
+    /// arbitrary interleaving of puts, gets, and removes, across reopens.
+    #[test]
+    fn hashtable_matches_hashmap_model(
+        ops in prop::collection::vec(
+            (0u8..3, 0u16..24, prop::collection::vec(any::<u8>(), 0..40)),
+            1..80,
+        ),
+        buckets in 1u64..32,
+    ) {
+        let dev = PmemDevice::new(Machine::chameleon(), 8 << 20, PersistenceMode::Fast);
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, Arc::clone(&dev), "htp").unwrap();
+        let ht = PersistentHashtable::create(&clock, &pool, buckets).unwrap();
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+        for (kind, key_id, value) in ops {
+            let key = format!("key-{key_id}").into_bytes();
+            match kind {
+                0 => {
+                    ht.put(&clock, &key, &value).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    prop_assert_eq!(ht.get(&clock, &key), model.get(&key).cloned());
+                }
+                _ => {
+                    let removed = ht.remove(&clock, &key).unwrap();
+                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                }
+            }
+            prop_assert_eq!(ht.len(&clock), model.len() as u64);
+        }
+        // Final full comparison, including key enumeration.
+        let mut keys = ht.keys(&clock);
+        keys.sort();
+        let mut expected: Vec<Vec<u8>> = model.keys().cloned().collect();
+        expected.sort();
+        prop_assert_eq!(keys, expected);
+        for (k, v) in &model {
+            let got = ht.get(&clock, k);
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        pool.check_heap().map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+}

@@ -1,0 +1,49 @@
+//! # pmem-sim — emulated persistent memory with a virtual-time cost model
+//!
+//! This crate is the hardware substrate of the pMEMCPY reproduction. The
+//! paper (Logan et al., CLUSTER'21) evaluated on *emulated* PMEM — DRAM with
+//! injected latency and bandwidth limits per the Strata methodology: 300 ns
+//! read / 125 ns write latency, 30 GB/s read / 8 GB/s write bandwidth. We
+//! reproduce the same idea deterministically: real bytes move through a
+//! [`device::PmemDevice`] backed by host memory, while every operation also
+//! advances a per-rank virtual [`time::Clock`] according to the
+//! [`machine::Machine`] cost model. Shared resources (PMEM bandwidth, the
+//! DRAM bus, the fabric) are FCFS reservation [`server::Server`]s, which
+//! yields realistic contention, saturation and queueing without needing the
+//! paper's 24-core testbed.
+//!
+//! Layers above this crate:
+//! * `pmdk-sim` — PMDK-style pools, transactions, persistent data structures.
+//! * `simfs` — the simulated kernel I/O path (POSIX page-cache vs DAX).
+//! * `mpi-sim` — thread-backed MPI ranks and collectives.
+//!
+//! ## Example
+//!
+//! ```
+//! use pmem_sim::{Machine, PmemDevice, PersistenceMode, Clock};
+//!
+//! let machine = Machine::chameleon();
+//! let dev = PmemDevice::new(machine, 1 << 20, PersistenceMode::Tracked);
+//! let clock = Clock::new();
+//! dev.write(&clock, 0, b"checkpoint");
+//! dev.persist(&clock, 0, 10);
+//! dev.crash(); // persisted data survives
+//! assert_eq!(dev.read_vec_untimed(0, 10), b"checkpoint");
+//! ```
+
+pub mod buffer;
+pub mod device;
+pub mod machine;
+pub mod mmap;
+pub mod persistence;
+pub mod server;
+pub mod stats;
+pub mod time;
+
+pub use buffer::SharedBuffer;
+pub use device::{PersistenceMode, PmemDevice};
+pub use machine::{Machine, MachineConfig};
+pub use mmap::DaxMapping;
+pub use server::{BandwidthServer, Server};
+pub use stats::{Stats, StatsSnapshot};
+pub use time::{Clock, SimTime};

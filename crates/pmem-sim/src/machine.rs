@@ -1,0 +1,455 @@
+//! The simulated compute node: CPU, DRAM, PMEM and fabric cost model.
+//!
+//! The constants in [`MachineConfig::chameleon_skylake`] mirror the paper's
+//! testbed (§4): a Chameleon Cloud Compute Skylake node (2× Xeon Gold 6126,
+//! 24 cores / 48 threads, 192 GB DRAM) with PMEM emulated per the Strata
+//! method — 300 ns read / 125 ns write latency, 30 GB/s read / 8 GB/s write
+//! bandwidth. Shared bandwidth resources use a deterministic *fluid-share*
+//! model: during a parallel phase each of the `active_ranks` ranks streams at
+//! `min(per_core_bound, aggregate / active_ranks)`. This matches the
+//! symmetric, all-ranks-active phases of the evaluation exactly, is fair by
+//! construction, and keeps results independent of host thread scheduling
+//! (which a greedy reservation calendar is not). Purely local work
+//! (serialization compute, private-buffer copies) is charged to the rank's
+//! own clock, scaled by the CPU oversubscription factor when more ranks run
+//! than physical cores.
+
+use crate::stats::Stats;
+use crate::time::{Clock, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tunable hardware constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Physical cores; ranks beyond this are time-multiplexed.
+    pub cores: usize,
+    /// Hardware threads (informational; SMT gives no extra copy throughput).
+    pub smt_threads: usize,
+
+    /// PMEM media read latency per operation.
+    pub pmem_read_latency: SimTime,
+    /// PMEM media write latency per operation.
+    pub pmem_write_latency: SimTime,
+    /// Aggregate PMEM read bandwidth (shared across ranks).
+    pub pmem_read_bw: u64,
+    /// Aggregate PMEM write bandwidth (shared across ranks).
+    pub pmem_write_bw: u64,
+    /// Per-rank attended PMEM read throughput. The Strata-style emulation
+    /// injects delays per access, which bounds what a single thread can
+    /// stream regardless of aggregate headroom; this is what produces the
+    /// paper's downward slope from 8 to 24 ranks before the aggregate
+    /// bandwidth flattens the curves.
+    pub pmem_read_core_bw: u64,
+    /// Per-rank attended PMEM write throughput (see `pmem_read_core_bw`).
+    pub pmem_write_core_bw: u64,
+
+    /// Aggregate DRAM bus bandwidth (shared across ranks).
+    pub dram_bw: u64,
+    /// Single-core memcpy throughput (private cost of a copy).
+    pub core_copy_bw: u64,
+    /// DRAM access latency per bulk operation.
+    pub dram_latency: SimTime,
+
+    /// Cost of one kernel crossing (syscall entry/exit + dispatch).
+    pub syscall: SimTime,
+    /// Cost of a minor page fault on a DAX mapping.
+    pub page_fault: SimTime,
+    /// Extra cost per dirty page when the mapping was created with
+    /// MAP_SYNC: the filesystem must sync block-allocation metadata before
+    /// the fault returns, which is the latency penalty §3/§4.1 describe.
+    pub map_sync_page: SimTime,
+    /// Page size for fault/MAP_SYNC accounting.
+    pub page_size: u64,
+    /// Cacheline size for flush accounting.
+    pub cacheline: u64,
+    /// Fixed CPU cost of issuing a flush call over a range.
+    pub flush_base: SimTime,
+    /// Pipelined per-line cost of CLWB.
+    pub flush_per_line: SimTime,
+    /// Cost of a store fence.
+    pub fence: SimTime,
+
+    /// Per-message fabric latency (intra-node MPI over shared memory).
+    pub net_latency: SimTime,
+    /// Aggregate fabric bandwidth (shared across ranks).
+    pub net_bw: u64,
+
+    /// Burst-buffer / parallel-filesystem drain bandwidth.
+    pub storage_bw: u64,
+    /// Burst-buffer per-operation latency.
+    pub storage_latency: SimTime,
+
+    /// CPU cost of serializing one byte (format encoding work), before
+    /// oversubscription scaling. Serialization formats multiply this.
+    pub serialize_ns_per_byte: f64,
+
+    /// Virtual-to-real byte ratio. All *timing and statistics* treat one real
+    /// byte moved as `byte_scale` modelled bytes. This lets the benchmark
+    /// harness reproduce the paper's 40 GB working set with laptop-scale
+    /// backing memory while keeping bandwidth arithmetic exact. Correctness
+    /// paths (actual data movement) are unaffected.
+    pub byte_scale: u64,
+}
+
+impl MachineConfig {
+    /// The paper's testbed (§4 "Testbed" + "Emulating PMEM").
+    pub fn chameleon_skylake() -> Self {
+        MachineConfig {
+            cores: 24,
+            smt_threads: 48,
+            pmem_read_latency: SimTime::from_nanos(300),
+            pmem_write_latency: SimTime::from_nanos(125),
+            pmem_read_bw: 30_000_000_000,
+            pmem_write_bw: 8_000_000_000,
+            pmem_read_core_bw: 1_300_000_000,
+            pmem_write_core_bw: 450_000_000,
+            dram_bw: 90_000_000_000,
+            core_copy_bw: 1_800_000_000,
+            dram_latency: SimTime::from_nanos(85),
+            syscall: SimTime::from_nanos(1_300),
+            page_fault: SimTime::from_nanos(300),
+            map_sync_page: SimTime::from_nanos(2_500),
+            page_size: 4096,
+            cacheline: 64,
+            flush_base: SimTime::from_nanos(30),
+            flush_per_line: SimTime::from_nanos(1) / 2, // 0.5ns, pipelined CLWB
+            fence: SimTime::from_nanos(30),
+            net_latency: SimTime::from_nanos(900),
+            net_bw: 7_000_000_000,
+            storage_bw: 2_000_000_000,
+            storage_latency: SimTime::from_micros(50),
+            serialize_ns_per_byte: 0.05,
+            byte_scale: 1,
+        }
+    }
+
+    /// A small machine useful for stressing contention effects in tests.
+    pub fn tiny(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            smt_threads: cores * 2,
+            ..Self::chameleon_skylake()
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::chameleon_skylake()
+    }
+}
+
+/// The shared node: fluid-shared resources + counters + oversubscription
+/// state.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    active_ranks: AtomicUsize,
+    pub stats: Stats,
+}
+
+impl Machine {
+    pub fn new(config: MachineConfig) -> Arc<Self> {
+        Arc::new(Machine {
+            active_ranks: AtomicUsize::new(1),
+            stats: Stats::default(),
+            config,
+        })
+    }
+
+    /// The paper's node with default constants.
+    pub fn chameleon() -> Arc<Self> {
+        Self::new(MachineConfig::chameleon_skylake())
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Declare how many ranks are running (set by the MPI runner).
+    pub fn set_active_ranks(&self, n: usize) {
+        self.active_ranks.store(n.max(1), Ordering::Relaxed);
+    }
+
+    pub fn active_ranks(&self) -> usize {
+        self.active_ranks.load(Ordering::Relaxed)
+    }
+
+    /// Multiplier applied to CPU-bound work when more ranks than cores run.
+    pub fn cpu_factor(&self) -> u64 {
+        let ranks = self.active_ranks();
+        (ranks as u64).div_ceil(self.config.cores as u64).max(1)
+    }
+
+    /// Scale a span of single-threaded CPU work by the oversubscription factor.
+    #[inline]
+    fn cpu_scaled(&self, t: SimTime) -> SimTime {
+        t * self.cpu_factor()
+    }
+
+    /// Convert real bytes moved into modelled bytes (see
+    /// [`MachineConfig::byte_scale`]).
+    #[inline]
+    fn scaled_bytes(&self, bytes: u64) -> u64 {
+        bytes * self.config.byte_scale
+    }
+
+    /// Fluid-share effective bandwidth for one rank: its per-core attended
+    /// bound (time-sliced when oversubscribed), capped by a fair share of
+    /// the aggregate.
+    #[inline]
+    fn effective_bw(&self, core_bw: u64, aggregate_bw: u64) -> u64 {
+        let share = aggregate_bw / self.active_ranks() as u64;
+        (core_bw / self.cpu_factor()).min(share).max(1)
+    }
+
+    /// Charge pure CPU work (e.g. encoding) to a rank.
+    pub fn charge_compute(&self, clock: &Clock, t: SimTime) {
+        clock.advance(self.cpu_scaled(t));
+    }
+
+    /// CPU cost of serializing `bytes` through a format with the given
+    /// relative cost factor (1.0 = the machine's base rate).
+    pub fn charge_serialize(&self, clock: &Clock, bytes: u64, format_factor: f64) {
+        let bytes = self.scaled_bytes(bytes);
+        let ns = self.config.serialize_ns_per_byte * format_factor * bytes as f64;
+        self.charge_compute(clock, SimTime::from_secs_f64(ns / 1e9));
+    }
+
+    /// A DRAM→DRAM copy of `bytes`: bound by the copying core and by a fair
+    /// share of the memory bus.
+    pub fn charge_dram_copy(&self, clock: &Clock, bytes: u64) {
+        let bytes = self.scaled_bytes(bytes);
+        self.stats.dram_bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+        let bw = self.effective_bw(self.config.core_copy_bw, self.config.dram_bw);
+        clock.advance(self.config.dram_latency + SimTime::for_transfer(bytes, bw));
+    }
+
+    /// A store stream into PMEM media (the actual persist traffic): the rank
+    /// streams at its attended per-core throughput, capped by its fair share
+    /// of the device's aggregate write bandwidth.
+    pub fn charge_pmem_write(&self, clock: &Clock, bytes: u64) {
+        let bytes = self.scaled_bytes(bytes);
+        self.stats.pmem_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        let bw = self.effective_bw(self.config.pmem_write_core_bw, self.config.pmem_write_bw);
+        clock.advance(self.config.pmem_write_latency + SimTime::for_transfer(bytes, bw));
+    }
+
+    /// A load stream out of PMEM media (same two bounds as writes).
+    pub fn charge_pmem_read(&self, clock: &Clock, bytes: u64) {
+        let bytes = self.scaled_bytes(bytes);
+        self.stats.pmem_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        let bw = self.effective_bw(self.config.pmem_read_core_bw, self.config.pmem_read_bw);
+        clock.advance(self.config.pmem_read_latency + SimTime::for_transfer(bytes, bw));
+    }
+
+    /// Metadata store: like [`Machine::charge_pmem_write`] but *not*
+    /// multiplied by `byte_scale`. Library-internal structures (allocator
+    /// headers, undo logs, hashtable entries) have fixed real sizes
+    /// regardless of how large the modelled payload volume is.
+    pub fn charge_pmem_write_meta(&self, clock: &Clock, bytes: u64) {
+        self.stats.pmem_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        let bw = self.effective_bw(self.config.pmem_write_core_bw, self.config.pmem_write_bw);
+        clock.advance(self.config.pmem_write_latency + SimTime::for_transfer(bytes, bw));
+    }
+
+    /// Metadata load: unscaled counterpart of [`Machine::charge_pmem_read`].
+    pub fn charge_pmem_read_meta(&self, clock: &Clock, bytes: u64) {
+        self.stats.pmem_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        let bw = self.effective_bw(self.config.pmem_read_core_bw, self.config.pmem_read_bw);
+        clock.advance(self.config.pmem_read_latency + SimTime::for_transfer(bytes, bw));
+    }
+
+    /// One kernel crossing.
+    pub fn charge_syscall(&self, clock: &Clock) {
+        self.stats.syscalls.fetch_add(1, Ordering::Relaxed);
+        clock.advance(self.cpu_scaled(self.config.syscall));
+    }
+
+    /// `n` minor faults on a DAX mapping; with `map_sync` each dirty page
+    /// additionally waits for filesystem metadata synchronization.
+    pub fn charge_page_faults(&self, clock: &Clock, n: u64, map_sync: bool) {
+        if n == 0 {
+            return;
+        }
+        self.stats.page_faults.fetch_add(n, Ordering::Relaxed);
+        let mut per_page = self.config.page_fault;
+        if map_sync {
+            self.stats.map_sync_page_syncs.fetch_add(n, Ordering::Relaxed);
+            per_page += self.config.map_sync_page;
+        }
+        clock.advance(self.cpu_scaled(per_page * n));
+    }
+
+    /// Fault accounting for a freshly-touched byte range of a DAX mapping:
+    /// one fault per modelled page.
+    pub fn charge_page_faults_bytes(&self, clock: &Clock, real_bytes: u64, map_sync: bool) {
+        if real_bytes == 0 {
+            return;
+        }
+        let pages = self.scaled_bytes(real_bytes).div_ceil(self.config.page_size);
+        self.charge_page_faults(clock, pages, map_sync);
+    }
+
+    /// Flush a byte range of cachelines toward the persistence domain.
+    pub fn charge_flush(&self, clock: &Clock, bytes: u64) {
+        self.stats.flush_calls.fetch_add(1, Ordering::Relaxed);
+        let lines = self.scaled_bytes(bytes).div_ceil(self.config.cacheline);
+        let t = self.config.flush_base + self.config.flush_per_line * lines;
+        clock.advance(self.cpu_scaled(t));
+    }
+
+    /// A store fence.
+    pub fn charge_fence(&self, clock: &Clock) {
+        self.stats.fences.fetch_add(1, Ordering::Relaxed);
+        clock.advance(self.cpu_scaled(self.config.fence));
+    }
+
+    /// One message over the node fabric; returns the delivery instant so the
+    /// receiver's clock can be synchronized by the caller.
+    pub fn charge_message(&self, sender: &Clock, bytes: u64) -> SimTime {
+        let bytes = self.scaled_bytes(bytes);
+        self.stats.net_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.net_messages.fetch_add(1, Ordering::Relaxed);
+        let bw = self.effective_bw(self.config.net_bw, self.config.net_bw);
+        sender.advance(self.config.net_latency + SimTime::for_transfer(bytes, bw))
+    }
+
+    /// A write toward the burst-buffer / mass-storage tier.
+    pub fn charge_storage_write(&self, clock: &Clock, bytes: u64) {
+        let bytes = self.scaled_bytes(bytes);
+        self.stats.storage_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        let bw = self.effective_bw(self.config.storage_bw, self.config.storage_bw);
+        clock.advance(self.config.storage_latency + SimTime::for_transfer(bytes, bw));
+    }
+
+    /// Ideal busy time per shared resource (modelled bytes over aggregate
+    /// bandwidth) — a lower bound on the phase length each resource imposes.
+    pub fn utilization(&self) -> Vec<(&'static str, SimTime, u64)> {
+        let s = self.stats.snapshot();
+        vec![
+            (
+                "pmem-read",
+                SimTime::for_transfer(s.pmem_bytes_read, self.config.pmem_read_bw),
+                s.pmem_bytes_read,
+            ),
+            (
+                "pmem-write",
+                SimTime::for_transfer(s.pmem_bytes_written, self.config.pmem_write_bw),
+                s.pmem_bytes_written,
+            ),
+            (
+                "dram-bus",
+                SimTime::for_transfer(s.dram_bytes_copied, self.config.dram_bw),
+                s.dram_bytes_copied,
+            ),
+            ("fabric", SimTime::for_transfer(s.net_bytes, self.config.net_bw), s.net_bytes),
+            (
+                "storage",
+                SimTime::for_transfer(s.storage_bytes_written, self.config.storage_bw),
+                s.storage_bytes_written,
+            ),
+        ]
+    }
+
+    /// Clear all counters (start of a fresh timed region).
+    pub fn reset(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chameleon_constants_match_paper() {
+        let c = MachineConfig::chameleon_skylake();
+        assert_eq!(c.cores, 24);
+        assert_eq!(c.pmem_read_latency, SimTime::from_nanos(300));
+        assert_eq!(c.pmem_write_latency, SimTime::from_nanos(125));
+        assert_eq!(c.pmem_read_bw, 30_000_000_000);
+        assert_eq!(c.pmem_write_bw, 8_000_000_000);
+    }
+
+    #[test]
+    fn oversubscription_kicks_in_past_core_count() {
+        let m = Machine::chameleon();
+        m.set_active_ranks(24);
+        assert_eq!(m.cpu_factor(), 1);
+        m.set_active_ranks(25);
+        assert_eq!(m.cpu_factor(), 2);
+        m.set_active_ranks(48);
+        assert_eq!(m.cpu_factor(), 2);
+        m.set_active_ranks(49);
+        assert_eq!(m.cpu_factor(), 3);
+    }
+
+    #[test]
+    fn pmem_write_charges_the_binding_bound() {
+        let m = Machine::chameleon();
+        let c = Clock::new();
+        m.charge_pmem_write(&c, 8_000_000_000);
+        // A single rank is bound by its attended throughput (450 MB/s),
+        // not the 8 GB/s aggregate.
+        let expect = 8_000_000_000.0 / 450_000_000.0;
+        assert!((c.now().as_secs_f64() - expect).abs() < 0.01);
+        assert_eq!(m.stats.snapshot().pmem_bytes_written, 8_000_000_000);
+    }
+
+    #[test]
+    fn many_ranks_hit_the_aggregate_bound() {
+        let m = Machine::chameleon();
+        m.set_active_ranks(24);
+        let mut last = SimTime::ZERO;
+        for _ in 0..24 {
+            let c = Clock::new();
+            // ~1.67 GB per rank: 24 * 1.67 GB = 40 GB at 8 GB/s = 5 s.
+            m.charge_pmem_write(&c, 1_666_666_667);
+            last = last.max(c.now());
+        }
+        assert!((last.as_secs_f64() - 5.0).abs() < 0.2, "last={last}");
+    }
+
+    #[test]
+    fn map_sync_faults_cost_more() {
+        let m = Machine::chameleon();
+        let plain = Clock::new();
+        let synced = Clock::new();
+        m.charge_page_faults(&plain, 100, false);
+        m.charge_page_faults(&synced, 100, true);
+        assert!(synced.now() > plain.now());
+        let s = m.stats.snapshot();
+        assert_eq!(s.page_faults, 200);
+        assert_eq!(s.map_sync_page_syncs, 100);
+    }
+
+    #[test]
+    fn dram_copy_is_bounded_by_slowest_of_core_and_bus() {
+        let m = Machine::chameleon();
+        let c = Clock::new();
+        // 1.8 GB at 1.8 GB/s per-core = 1s locally; bus at 90 GB/s is faster.
+        m.charge_dram_copy(&c, 1_800_000_000);
+        assert!(c.now() >= SimTime::from_secs_f64(1.0));
+        assert!(c.now() < SimTime::from_secs_f64(1.1));
+    }
+
+    #[test]
+    fn reset_restores_pristine_machine() {
+        let m = Machine::chameleon();
+        let c = Clock::new();
+        m.charge_pmem_write(&c, 1000);
+        m.charge_syscall(&c);
+        m.reset();
+        assert_eq!(m.stats.snapshot().pmem_bytes_written, 0);
+        assert!(m.utilization().iter().all(|(_, busy, n)| *busy == SimTime::ZERO && *n == 0));
+    }
+
+    #[test]
+    fn utilization_reports_all_servers() {
+        let m = Machine::chameleon();
+        let names: Vec<_> = m.utilization().iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(names, ["pmem-read", "pmem-write", "dram-bus", "fabric", "storage"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cacheline-granularity persistence tracking for crash simulation.
+//!
+//! Real PMEM sits behind the CPU cache hierarchy: a store is *visible*
+//! immediately but *persistent* only after the line is flushed (CLWB) and a
+//! fence drains the write-pending queue. To test crash consistency we keep a
+//! shadow copy of the device representing its durable image: writes mark
+//! cachelines dirty, `flush` copies the covered lines from the working buffer
+//! into the shadow, and a simulated power failure discards the working buffer
+//! in favour of the shadow.
+//!
+//! Tracking costs 2× memory, so the device only enables it in
+//! [`crate::device::PersistenceMode::Tracked`]; the benchmark configurations
+//! use `Fast` (no shadow) since they never crash.
+
+use crate::buffer::SharedBuffer;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub const CACHELINE: usize = 64;
+
+/// One bit per cacheline, concurrently settable.
+#[derive(Debug)]
+pub struct DirtyBitmap {
+    words: Box<[AtomicU64]>,
+    lines: usize,
+}
+
+impl DirtyBitmap {
+    pub fn new(bytes: usize) -> Self {
+        let lines = bytes.div_ceil(CACHELINE);
+        let words = (0..lines.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        DirtyBitmap { words, lines }
+    }
+
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Mark every line overlapping `[off, off+len)` dirty.
+    pub fn mark_range(&self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / CACHELINE;
+        let last = (off + len - 1) / CACHELINE;
+        for line in first..=last {
+            self.words[line / 64].fetch_or(1 << (line % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// Clear and report the dirty lines overlapping `[off, off+len)`.
+    /// Returns the line indices that were dirty.
+    pub fn take_range(&self, off: usize, len: usize) -> Vec<usize> {
+        if len == 0 {
+            return vec![];
+        }
+        let first = off / CACHELINE;
+        let last = ((off + len - 1) / CACHELINE).min(self.lines.saturating_sub(1));
+        let mut out = vec![];
+        for line in first..=last {
+            let mask = 1u64 << (line % 64);
+            let prev = self.words[line / 64].fetch_and(!mask, Ordering::Relaxed);
+            if prev & mask != 0 {
+                out.push(line);
+            }
+        }
+        out
+    }
+
+    pub fn is_dirty(&self, line: usize) -> bool {
+        self.words[line / 64].load(Ordering::Relaxed) & (1 << (line % 64)) != 0
+    }
+
+    pub fn count_dirty(&self) -> usize {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+    }
+
+    pub fn clear_all(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Shadow-copy persistence tracker.
+#[derive(Debug)]
+pub struct PersistenceTracker {
+    shadow: SharedBuffer,
+    dirty: DirtyBitmap,
+    /// Serializes flush/crash so a crash sees a consistent shadow.
+    flush_lock: Mutex<()>,
+}
+
+impl PersistenceTracker {
+    pub fn new(bytes: usize) -> Self {
+        PersistenceTracker {
+            shadow: SharedBuffer::new(bytes),
+            dirty: DirtyBitmap::new(bytes),
+            flush_lock: Mutex::new(()),
+        }
+    }
+
+    /// Record that `[off, off+len)` of the working buffer was overwritten.
+    pub fn record_write(&self, off: usize, len: usize) {
+        self.dirty.mark_range(off, len);
+    }
+
+    /// Persist the dirty lines of `[off, off+len)`: copy them from `working`
+    /// into the shadow. Returns the number of lines persisted.
+    pub fn flush(&self, working: &SharedBuffer, off: usize, len: usize) -> usize {
+        let _g = self.flush_lock.lock();
+        let lines = self.dirty.take_range(off, len);
+        for &line in &lines {
+            let start = line * CACHELINE;
+            let end = (start + CACHELINE).min(working.len());
+            self.shadow.copy_from(start, working, start, end - start);
+        }
+        lines.len()
+    }
+
+    /// Simulated power failure: restore the working buffer from the durable
+    /// shadow, discarding all unflushed stores.
+    pub fn crash_restore(&self, working: &SharedBuffer) {
+        let _g = self.flush_lock.lock();
+        working.copy_from(0, &self.shadow, 0, working.len());
+        self.dirty.clear_all();
+    }
+
+    /// Number of lines currently dirty (unpersisted).
+    pub fn dirty_lines(&self) -> usize {
+        self.dirty.count_dirty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_marks_and_takes_line_spans() {
+        let bm = DirtyBitmap::new(1024);
+        bm.mark_range(60, 10); // straddles lines 0 and 1
+        assert!(bm.is_dirty(0));
+        assert!(bm.is_dirty(1));
+        assert!(!bm.is_dirty(2));
+        let taken = bm.take_range(0, 1024);
+        assert_eq!(taken, vec![0, 1]);
+        assert_eq!(bm.count_dirty(), 0);
+    }
+
+    #[test]
+    fn bitmap_take_is_range_scoped() {
+        let bm = DirtyBitmap::new(4096);
+        bm.mark_range(0, 64);
+        bm.mark_range(2048, 64);
+        let taken = bm.take_range(0, 64);
+        assert_eq!(taken, vec![0]);
+        assert!(bm.is_dirty(32)); // line at byte 2048 untouched
+    }
+
+    #[test]
+    fn bitmap_empty_range_is_noop() {
+        let bm = DirtyBitmap::new(1024);
+        bm.mark_range(100, 0);
+        assert_eq!(bm.count_dirty(), 0);
+        assert!(bm.take_range(0, 0).is_empty());
+    }
+
+    #[test]
+    fn unflushed_stores_are_lost_on_crash() {
+        let working = SharedBuffer::new(256);
+        let t = PersistenceTracker::new(256);
+
+        working.write(0, &[1; 64]);
+        t.record_write(0, 64);
+        t.flush(&working, 0, 64); // persisted
+
+        working.write(64, &[2; 64]);
+        t.record_write(64, 64); // NOT flushed
+
+        t.crash_restore(&working);
+        assert_eq!(working.read_vec(0, 64), vec![1; 64]); // survived
+        assert_eq!(working.read_vec(64, 64), vec![0; 64]); // lost
+    }
+
+    #[test]
+    fn flush_reports_line_count() {
+        let working = SharedBuffer::new(512);
+        let t = PersistenceTracker::new(512);
+        working.write(10, &[7; 100]);
+        t.record_write(10, 100);
+        // Bytes 10..110 straddle lines 0 and 1.
+        assert_eq!(t.flush(&working, 0, 512), 2);
+        assert_eq!(t.flush(&working, 0, 512), 0); // idempotent
+    }
+
+    #[test]
+    fn partial_flush_persists_only_covered_lines() {
+        let working = SharedBuffer::new(256);
+        let t = PersistenceTracker::new(256);
+        working.write(0, &[9; 256]);
+        t.record_write(0, 256);
+        t.flush(&working, 0, 64); // only the first line
+        t.crash_restore(&working);
+        assert_eq!(working.read_vec(0, 64), vec![9; 64]);
+        assert_eq!(working.read_vec(64, 192), vec![0; 192]);
+    }
+
+    #[test]
+    fn dirty_line_count_tracks_outstanding_writes() {
+        let t = PersistenceTracker::new(1024);
+        t.record_write(0, 128);
+        assert_eq!(t.dirty_lines(), 2);
+    }
+}

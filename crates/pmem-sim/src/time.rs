@@ -1,0 +1,265 @@
+//! Virtual time: the simulation's notion of nanoseconds.
+//!
+//! All performance numbers in this workspace are *virtual*: each simulated
+//! rank owns a [`Clock`] that it advances as it performs modelled work
+//! (device transfers, memory copies, syscalls, message exchanges). Real
+//! wall-clock time never enters the model, which makes every experiment
+//! deterministic and independent of the host machine.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `SimTime` is used both as an instant (nanoseconds since simulation start)
+/// and as a duration; the arithmetic is identical and keeping one type avoids
+/// a large amount of conversion noise in the cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds expressed as a float (useful for model math).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative virtual durations are meaningless");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; spans never go negative.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    /// The time needed to move `bytes` at `bytes_per_sec`, rounded up to a
+    /// whole nanosecond so repeated tiny transfers are never free.
+    #[inline]
+    pub fn for_transfer(bytes: u64, bytes_per_sec: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        debug_assert!(bytes_per_sec > 0, "zero-bandwidth resource");
+        // ceil(bytes * 1e9 / bw) using u128 to avoid overflow at GB scale.
+        let ns = ((bytes as u128) * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+        SimTime(ns as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A per-rank virtual clock.
+///
+/// The clock is shared (behind `Arc`) between the rank's call stack and the
+/// shared resources it touches, so the counter is atomic; a rank only ever
+/// moves its own clock forward.
+#[derive(Debug, Default)]
+pub struct Clock {
+    now: AtomicU64,
+}
+
+impl Clock {
+    pub fn new() -> Self {
+        Clock { now: AtomicU64::new(0) }
+    }
+
+    pub fn starting_at(t: SimTime) -> Self {
+        Clock { now: AtomicU64::new(t.0) }
+    }
+
+    /// Current virtual time of this rank.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now.load(Ordering::Relaxed))
+    }
+
+    /// Advance by a span of local work (compute, latency, copies).
+    #[inline]
+    pub fn advance(&self, d: SimTime) -> SimTime {
+        SimTime(self.now.fetch_add(d.0, Ordering::Relaxed) + d.0)
+    }
+
+    /// Jump forward to `t` if `t` is later than now (used when a shared
+    /// resource or a message dictates a completion time).
+    #[inline]
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        self.now.fetch_max(t.0, Ordering::Relaxed);
+        self.now()
+    }
+
+    /// Reset to zero (start of a fresh timed region).
+    pub fn reset(&self) {
+        self.now.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 30 GB/s is well under 1ns but must not be free.
+        let t = SimTime::for_transfer(1, 30_000_000_000);
+        assert_eq!(t, SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        // 8 GB at 8 GB/s = 1 second.
+        let t = SimTime::for_transfer(8_000_000_000, 8_000_000_000);
+        assert_eq!(t.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn transfer_zero_bytes_is_free() {
+        assert_eq!(SimTime::for_transfer(0, 1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn transfer_huge_values_do_not_overflow() {
+        // 1 TB at 1 GB/s = 1000 seconds; intermediate product exceeds u64.
+        let t = SimTime::for_transfer(1_000_000_000_000, 1_000_000_000);
+        assert_eq!(t.as_secs_f64(), 1000.0);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimTime::from_nanos(5));
+        c.advance(SimTime::from_nanos(7));
+        assert_eq!(c.now(), SimTime::from_nanos(12));
+        // advance_to backwards is a no-op
+        c.advance_to(SimTime::from_nanos(3));
+        assert_eq!(c.now(), SimTime::from_nanos(12));
+        c.advance_to(SimTime::from_nanos(40));
+        assert_eq!(c.now(), SimTime::from_nanos(40));
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(SimTime::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_micros(5).to_string(), "5.000us");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_millis(5000).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn sim_time_sum_and_scalar_ops() {
+        let total: SimTime = [SimTime(1), SimTime(2), SimTime(3)].into_iter().sum();
+        assert_eq!(total, SimTime(6));
+        assert_eq!(SimTime(6) * 2, SimTime(12));
+        assert_eq!(SimTime(6) / 2, SimTime(3));
+        assert_eq!(SimTime(6).saturating_sub(SimTime(10)), SimTime::ZERO);
+    }
+}

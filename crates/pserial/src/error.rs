@@ -1,0 +1,34 @@
+//! Error type for serialization backends.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// Magic/version mismatch: the bytes are not this format.
+    BadMagic { expected: &'static str, found: Vec<u8> },
+    /// Structurally invalid or truncated input.
+    Corrupt(String),
+    /// The caller-supplied destination buffer is too small.
+    ShortBuffer { need: u64, have: u64 },
+    /// Unknown datatype/format code.
+    UnknownCode(u8),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected}, found {found:02x?}")
+            }
+            SerialError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
+            SerialError::ShortBuffer { need, have } => {
+                write!(f, "destination too small: need {need}, have {have}")
+            }
+            SerialError::UnknownCode(c) => write!(f, "unknown code {c:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+pub type Result<T> = std::result::Result<T, SerialError>;

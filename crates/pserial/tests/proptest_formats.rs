@@ -1,0 +1,117 @@
+//! Property-based conformance tests for every serialization format.
+
+use proptest::prelude::*;
+use pserial::{all_formats, Datatype, SliceSource, VarMeta};
+
+fn arb_dtype() -> impl Strategy<Value = Datatype> {
+    prop_oneof![
+        Just(Datatype::U8),
+        Just(Datatype::I32),
+        Just(Datatype::U32),
+        Just(Datatype::I64),
+        Just(Datatype::U64),
+        Just(Datatype::F32),
+        Just(Datatype::F64),
+    ]
+}
+
+fn arb_meta_and_payload() -> impl Strategy<Value = (VarMeta, Vec<u8>)> {
+    (
+        "[a-zA-Z0-9_/#@.-]{1,40}",
+        arb_dtype(),
+        prop::collection::vec(1u64..8, 0..4),
+    )
+        .prop_flat_map(|(name, dtype, dims)| {
+            let elems: u64 = dims.iter().product::<u64>().max(1);
+            let len = (elems * dtype.size()) as usize;
+            let gdims: Vec<u64> = dims.iter().map(|d| d * 3).collect();
+            let offsets: Vec<u64> = dims.clone();
+            let meta = VarMeta { name, dtype, dims, offsets, global_dims: gdims };
+            (Just(meta), prop::collection::vec(any::<u8>(), len..=len))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// write_var emits exactly serialized_len bytes and round-trips the
+    /// payload; self-describing formats also round-trip the metadata.
+    #[test]
+    fn every_format_round_trips((meta, payload) in arb_meta_and_payload()) {
+        for s in all_formats() {
+            let mut buf = Vec::new();
+            s.write_var(&meta, &payload, &mut buf).unwrap();
+            prop_assert_eq!(
+                buf.len() as u64,
+                s.serialized_len(&meta, payload.len() as u64),
+                "length contract broken by {}", s.name()
+            );
+            let mut src = SliceSource::new(&buf);
+            let (hdr, got) = s.read_var(&mut src).unwrap();
+            prop_assert_eq!(&got, &payload, "payload torn by {}", s.name());
+            prop_assert_eq!(hdr.payload_len, payload.len() as u64);
+            if s.name() != "raw" {
+                prop_assert_eq!(&hdr.meta, &meta, "metadata torn by {}", s.name());
+            }
+            prop_assert_eq!(src.remaining(), 0, "{} left trailing bytes", s.name());
+        }
+    }
+
+    /// Concatenated records decode back in order (the BP-style stream case).
+    #[test]
+    fn streams_of_records_decode_in_order(
+        records in prop::collection::vec(arb_meta_and_payload(), 1..6)
+    ) {
+        for s in all_formats() {
+            let mut buf = Vec::new();
+            for (meta, payload) in &records {
+                s.write_var(meta, payload, &mut buf).unwrap();
+            }
+            let mut src = SliceSource::new(&buf);
+            for (meta, payload) in &records {
+                let (hdr, got) = s.read_var(&mut src).unwrap();
+                prop_assert_eq!(&got, payload);
+                if s.name() != "raw" {
+                    prop_assert_eq!(&hdr.meta.name, &meta.name);
+                }
+            }
+        }
+    }
+
+    /// Truncated streams produce errors, never panics or garbage successes.
+    #[test]
+    fn truncation_is_detected((meta, payload) in arb_meta_and_payload(), cut in 0.0f64..1.0) {
+        for s in all_formats() {
+            let mut buf = Vec::new();
+            s.write_var(&meta, &payload, &mut buf).unwrap();
+            let keep = ((buf.len() as f64) * cut) as usize;
+            if keep == buf.len() {
+                continue;
+            }
+            let truncated = &buf[..keep];
+            let mut src = SliceSource::new(truncated);
+            // Either the header fails, or the payload read fails.
+            if let Ok(hdr) = s.read_header(&mut src) {
+                let mut dst = vec![0u8; hdr.payload_len as usize];
+                prop_assert!(
+                    s.read_payload(&mut src, &mut dst).is_err(),
+                    "{} accepted a truncated stream", s.name()
+                );
+            }
+        }
+    }
+
+    /// Corrupting the first byte is always rejected (magic check).
+    #[test]
+    fn corrupt_magic_is_rejected((meta, payload) in arb_meta_and_payload(), noise in 1u8..255) {
+        for s in all_formats() {
+            let mut buf = Vec::new();
+            s.write_var(&meta, &payload, &mut buf).unwrap();
+            buf[0] ^= noise;
+            prop_assert!(
+                s.read_header(&mut SliceSource::new(&buf)).is_err(),
+                "{} accepted corrupt magic", s.name()
+            );
+        }
+    }
+}

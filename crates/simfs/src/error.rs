@@ -1,0 +1,36 @@
+//! Error type for the simulated filesystem.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    NotFound(String),
+    AlreadyExists(String),
+    NotADirectory(String),
+    IsADirectory(String),
+    BadDescriptor(u64),
+    NoSpace { requested: u64 },
+    InvalidPath(String),
+    NotMappable(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::BadDescriptor(fd) => write!(f, "bad file descriptor: {fd}"),
+            FsError::NoSpace { requested } => {
+                write!(f, "no space on device (requested {requested} bytes)")
+            }
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+            FsError::NotMappable(m) => write!(f, "mapping not possible: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+pub type Result<T> = std::result::Result<T, FsError>;

@@ -1,0 +1,152 @@
+//! Failure injection across the persistence stack: crashes at every stage of
+//! a pMEMCPY store must leave the pool consistent and old data intact.
+
+use pmdk_sim::{PmdkError, PmemPool};
+use pmem_sim::{Clock, Machine, PersistenceMode, PmemDevice};
+use std::sync::Arc;
+
+fn tracked_pool(mb: usize) -> (Arc<PmemPool>, Arc<PmemDevice>, Clock) {
+    let dev = PmemDevice::new(Machine::chameleon(), mb << 20, PersistenceMode::Tracked);
+    let clock = Clock::new();
+    let pool = PmemPool::create(&clock, Arc::clone(&dev), "crash").unwrap();
+    (pool, dev, clock)
+}
+
+fn reopen(dev: &Arc<PmemDevice>, clock: &Clock) -> Arc<PmemPool> {
+    PmemPool::open(clock, Arc::clone(dev), "crash").unwrap()
+}
+
+/// Crash at every distinct fail site of a replace transaction: afterwards
+/// the table must still hold the old value and pass heap invariants.
+#[test]
+fn hashtable_replace_is_crash_atomic_at_every_site() {
+    for site in ["tx::snapshot", "tx::alloc", "tx::alloc-after", "tx::commit-before"] {
+        let (pool, dev, clock) = tracked_pool(8);
+        let ht = pmdk_sim::PersistentHashtable::create(&clock, &pool, 16).unwrap();
+        ht.put(&clock, b"key", b"stable-value").unwrap();
+        let header = ht.header_offset();
+
+        pool.fail_points.arm(site, 1);
+        let err = ht.put(&clock, b"key", b"doomed-value").unwrap_err();
+        assert!(matches!(err, PmdkError::Injected(_)), "site {site}: {err}");
+        dev.crash();
+        drop((ht, pool));
+
+        let pool = reopen(&dev, &clock);
+        let ht = pmdk_sim::PersistentHashtable::open(&clock, &pool, header).unwrap();
+        assert_eq!(
+            ht.get(&clock, b"key").as_deref(),
+            Some(&b"stable-value"[..]),
+            "site {site} lost the old value"
+        );
+        assert_eq!(ht.len(&clock), 1, "site {site} corrupted the count");
+        pool.check_heap().unwrap_or_else(|e| panic!("site {site}: {e}"));
+    }
+}
+
+/// Crash *after* the commit point: the new value must win.
+#[test]
+fn committed_replacement_survives_crash_during_cleanup() {
+    let (pool, dev, clock) = tracked_pool(8);
+    let ht = pmdk_sim::PersistentHashtable::create(&clock, &pool, 16).unwrap();
+    ht.put(&clock, b"key", b"old").unwrap();
+    let header = ht.header_offset();
+
+    pool.fail_points.arm("tx::commit-during", 1);
+    let _ = ht.put(&clock, b"key", b"new");
+    dev.crash();
+    drop((ht, pool));
+
+    let pool = reopen(&dev, &clock);
+    let ht = pmdk_sim::PersistentHashtable::open(&clock, &pool, header).unwrap();
+    assert_eq!(ht.get(&clock, b"key").as_deref(), Some(&b"new"[..]));
+    assert_eq!(ht.len(&clock), 1);
+    pool.check_heap().unwrap();
+}
+
+/// Repeated crash/recover cycles with interleaved successful work: the pool
+/// must stay usable and leak-free throughout.
+#[test]
+fn repeated_crash_cycles_do_not_leak() {
+    let (mut pool, dev, clock) = tracked_pool(8);
+    let ht = pmdk_sim::PersistentHashtable::create(&clock, &pool, 32).unwrap();
+    let header = ht.header_offset();
+    let baseline = pool.allocated_bytes();
+    drop(ht);
+
+    for round in 0..10u32 {
+        let ht = pmdk_sim::PersistentHashtable::open(&clock, &pool, header).unwrap();
+        // A successful put...
+        ht.put(&clock, format!("k{round}").as_bytes(), b"v").unwrap();
+        // ...then a crashed replace of the same key.
+        pool.fail_points.arm("tx::commit-before", 1);
+        let _ = ht.put(&clock, format!("k{round}").as_bytes(), b"doomed");
+        dev.crash();
+        drop(ht);
+        pool = reopen(&dev, &clock);
+        pool.check_heap().unwrap();
+    }
+    let ht = pmdk_sim::PersistentHashtable::open(&clock, &pool, header).unwrap();
+    assert_eq!(ht.len(&clock), 10);
+    // Allocations grew only by the 10 live entries, not by leaked doom.
+    let per_entry = pmdk_sim::layout::align_up(24 + 2 + 1);
+    assert!(
+        pool.allocated_bytes() <= baseline + 10 * per_entry,
+        "leak: {} vs baseline {}",
+        pool.allocated_bytes(),
+        baseline
+    );
+}
+
+/// The pMEMCPY core API: data persisted before a crash is readable after
+/// reopening the pool; an unflushed store is not torn into other entries.
+#[test]
+fn core_api_data_survives_crash_after_store_returns() {
+    use mpi_sim::{Comm, World};
+    use pmemcpy::{MmapTarget, Pmem};
+
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 16 << 20, PersistenceMode::Tracked);
+    let world = World::new(Arc::clone(&machine), 1);
+    let comm = Comm::new(world, 0);
+
+    let mut pmem = Pmem::new();
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+    pmem.store_slice("checkpoint", &data).unwrap();
+    pmem.munmap().unwrap();
+
+    // Power failure after a completed store+munmap.
+    dev.crash();
+
+    let world = World::new(Arc::clone(&machine), 1);
+    let comm = Comm::new(world, 0);
+    let mut pmem = Pmem::new();
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    assert_eq!(pmem.load_slice::<f64>("checkpoint").unwrap(), data);
+    pmem.munmap().unwrap();
+}
+
+/// Robust locks: a crash while holding a persistent mutex releases it.
+#[test]
+fn persistent_locks_release_on_crash() {
+    use pmdk_sim::locks::{LockRegistry, PersistentMutex, PERSISTENT_MUTEX_SIZE};
+    let (pool, dev, clock) = tracked_pool(8);
+    let off = pool.alloc(&clock, PERSISTENT_MUTEX_SIZE).unwrap();
+    pool.device().zero(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
+    pool.device().persist(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
+
+    let reg = Arc::new(LockRegistry::default());
+    let m = PersistentMutex::attach(&pool, &reg, off);
+    let guard = m.lock(&clock).unwrap();
+    pool.device().persist(&clock, off as usize, 16);
+    std::mem::forget(guard);
+    dev.crash();
+    drop(pool);
+
+    let pool = reopen(&dev, &clock);
+    let reg = Arc::new(LockRegistry::default());
+    let m = PersistentMutex::attach(&pool, &reg, off);
+    assert!(!m.is_held_persistently(&clock));
+    assert!(m.try_lock(&clock).is_some());
+}

@@ -1,0 +1,88 @@
+//! The VPIC-style particle workload through pMEMCPY: uneven 1-D blocks,
+//! struct-of-arrays components, mixed f64/u64 payloads.
+
+use mpi_sim::run_world;
+use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+use pmemcpy::{MmapTarget, Pmem};
+use std::sync::Arc;
+use workloads::particles::{
+    assemble, component_f64, component_ids, generate_particles, verify_particles, ParticleSpec,
+    COMPONENTS,
+};
+
+#[test]
+fn particle_checkpoint_round_trips_with_uneven_blocks() {
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 64 << 20, PersistenceMode::Fast);
+    let dev2 = Arc::clone(&dev);
+    run_world(machine, 6, move |comm| {
+        let spec = ParticleSpec::new(30_000, comm.size() as u64);
+        let rank = comm.rank() as u64;
+        let parts = generate_particles(&spec, rank);
+        let (off, count) = (spec.offset_of(rank), spec.count_of(rank));
+
+        let mut pmem = Pmem::new();
+        pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
+        if comm.rank() == 0 {
+            for comp in COMPONENTS.iter().take(6) {
+                pmem.alloc::<f64>(&format!("particles/{comp}"), &[spec.total]).unwrap();
+            }
+            pmem.alloc::<u64>("particles/id", &[spec.total]).unwrap();
+        }
+        comm.barrier();
+
+        // Store each SoA component block at this rank's (uneven) offset.
+        for comp in COMPONENTS.iter().take(6) {
+            let data = component_f64(&parts, comp);
+            pmem.store_block(&format!("particles/{comp}"), &data, &[off], &[count]).unwrap();
+        }
+        pmem.store_block("particles/id", &component_ids(&parts), &[off], &[count]).unwrap();
+        comm.barrier();
+
+        // Read back and reassemble.
+        let mut comps: [Vec<f64>; 6] = Default::default();
+        for (i, comp) in COMPONENTS.iter().take(6).enumerate() {
+            let mut buf = vec![0f64; count as usize];
+            pmem.load_block(&format!("particles/{comp}"), &mut buf, &[off], &[count]).unwrap();
+            comps[i] = buf;
+        }
+        let mut ids = vec![0u64; count as usize];
+        pmem.load_block("particles/id", &mut ids, &[off], &[count]).unwrap();
+        let back = assemble(&comps, &ids);
+        assert_eq!(verify_particles(&spec, rank, &back), 0);
+        pmem.munmap().unwrap();
+    });
+}
+
+#[test]
+fn region_read_extracts_particles_across_rank_boundaries() {
+    // An analysis task reads a window of particle ids spanning two writers.
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 64 << 20, PersistenceMode::Fast);
+    let dev2 = Arc::clone(&dev);
+    run_world(machine, 4, move |comm| {
+        let spec = ParticleSpec::new(8_000, 4);
+        let rank = comm.rank() as u64;
+        let (off, count) = (spec.offset_of(rank), spec.count_of(rank));
+        let ids = component_ids(&generate_particles(&spec, rank));
+
+        let mut pmem = Pmem::new();
+        pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
+        if comm.rank() == 0 {
+            pmem.alloc::<u64>("ids", &[spec.total]).unwrap();
+        }
+        comm.barrier();
+        pmem.store_block("ids", &ids, &[off], &[count]).unwrap();
+        comm.barrier();
+
+        // A window straddling the rank-0/rank-1 boundary.
+        let boundary = spec.count_of(0);
+        let window_off = boundary - 50;
+        let mut window = vec![0u64; 100];
+        pmem.load_region("ids", &mut window, &[window_off], &[100]).unwrap();
+        for (i, &id) in window.iter().enumerate() {
+            assert_eq!(id, window_off + i as u64);
+        }
+        pmem.munmap().unwrap();
+    });
+}

@@ -1,0 +1,161 @@
+//! The "six degrees of scientific data" read patterns (Lofstead et al. [28]
+//! — the source of the paper's workload) exercised against pMEMCPY's
+//! per-block storage:
+//!
+//! 1. full restart (every rank reads its own blocks)     — load_block
+//! 2. subvolume (an arbitrary 3-D box)                   — load_region
+//! 3. plane (a 2-D slice of the 3-D domain)              — load_region
+//! 4. single variable, whole domain                      — load_region
+//! 5. decimation (strided subsample, client-side)        — load_region + stride
+//! 6. point/pencil (a 1-D line through the domain)       — load_region
+
+use mpi_sim::run_world;
+use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+use pmemcpy::{MmapTarget, Pmem};
+use std::sync::Arc;
+use workloads::BlockDecomp;
+
+const GLOBAL: [u64; 3] = [24, 24, 24];
+const NPROCS: usize = 8;
+const NVARS: usize = 3;
+
+/// Write the domain once; returns the device for the analysis phases.
+fn written_domain() -> (Arc<PmemDevice>, BlockDecomp) {
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 96 << 20, PersistenceMode::Fast);
+    let dev2 = Arc::clone(&dev);
+    run_world(machine, NPROCS, move |comm| {
+        let decomp = BlockDecomp::new(&GLOBAL, NPROCS as u64);
+        let (off, dims) = decomp.block(comm.rank() as u64);
+        let mut pmem = Pmem::new();
+        pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
+        if comm.rank() == 0 {
+            for v in 0..NVARS {
+                pmem.alloc::<f64>(&format!("var{v}"), &GLOBAL).unwrap();
+            }
+        }
+        comm.barrier();
+        for v in 0..NVARS {
+            let block = workloads::generate_block(&decomp, v, comm.rank() as u64);
+            pmem.store_block(&format!("var{v}"), &block, &off, &dims).unwrap();
+        }
+        comm.barrier();
+        pmem.munmap().unwrap();
+    });
+    (dev, BlockDecomp::new(&GLOBAL, NPROCS as u64))
+}
+
+/// Single-rank analysis session over the written domain.
+fn analysis(dev: &Arc<PmemDevice>) -> (Pmem, mpi_sim::Comm) {
+    let comm = mpi_sim::Comm::new(mpi_sim::World::new(Arc::clone(dev.machine()), 1), 0);
+    let mut pmem = Pmem::new();
+    pmem.mmap(MmapTarget::DevDax(dev), &comm).unwrap();
+    (pmem, comm)
+}
+
+fn expected(v: usize, x: u64, y: u64, z: u64) -> f64 {
+    workloads::element_value(v, (x * GLOBAL[1] + y) * GLOBAL[2] + z)
+}
+
+#[test]
+fn pattern1_full_restart() {
+    let (dev, decomp) = written_domain();
+    let dev2 = Arc::clone(&dev);
+    run_world(Arc::clone(dev.machine()), NPROCS, move |comm| {
+        let (off, dims) = decomp.block(comm.rank() as u64);
+        let mut pmem = Pmem::new();
+        pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
+        for v in 0..NVARS {
+            let mut block = vec![0f64; decomp.block_elements(comm.rank() as u64) as usize];
+            pmem.load_block(&format!("var{v}"), &mut block, &off, &dims).unwrap();
+            assert_eq!(workloads::verify_block(&decomp, v, comm.rank() as u64, &block), 0);
+        }
+        pmem.munmap().unwrap();
+    });
+}
+
+#[test]
+fn pattern2_subvolume() {
+    let (dev, _) = written_domain();
+    let (mut pmem, _comm) = analysis(&dev);
+    let (off, dims) = ([5u64, 7, 9], [10u64, 8, 6]);
+    let mut region = vec![0f64; (10 * 8 * 6) as usize];
+    pmem.load_region("var1", &mut region, &off, &dims).unwrap();
+    for x in 0..dims[0] {
+        for y in 0..dims[1] {
+            for z in 0..dims[2] {
+                let r = (x * dims[1] * dims[2] + y * dims[2] + z) as usize;
+                assert_eq!(region[r], expected(1, off[0] + x, off[1] + y, off[2] + z));
+            }
+        }
+    }
+    pmem.munmap().unwrap();
+}
+
+#[test]
+fn pattern3_plane() {
+    let (dev, _) = written_domain();
+    let (mut pmem, _comm) = analysis(&dev);
+    // An xy-plane at z=11 (one element thick) crossing every z-block column.
+    let mut plane = vec![0f64; (GLOBAL[0] * GLOBAL[1]) as usize];
+    pmem.load_region("var0", &mut plane, &[0, 0, 11], &[GLOBAL[0], GLOBAL[1], 1]).unwrap();
+    for x in 0..GLOBAL[0] {
+        for y in 0..GLOBAL[1] {
+            assert_eq!(plane[(x * GLOBAL[1] + y) as usize], expected(0, x, y, 11));
+        }
+    }
+    pmem.munmap().unwrap();
+}
+
+#[test]
+fn pattern4_whole_variable() {
+    let (dev, _) = written_domain();
+    let (mut pmem, _comm) = analysis(&dev);
+    let total = (GLOBAL[0] * GLOBAL[1] * GLOBAL[2]) as usize;
+    let mut all = vec![0f64; total];
+    pmem.load_region("var2", &mut all, &[0, 0, 0], &GLOBAL).unwrap();
+    // Spot-check corners and centre.
+    assert_eq!(all[0], expected(2, 0, 0, 0));
+    assert_eq!(all[total - 1], expected(2, 23, 23, 23));
+    assert_eq!(
+        all[(12 * GLOBAL[1] * GLOBAL[2] + 12 * GLOBAL[2] + 12) as usize],
+        expected(2, 12, 12, 12)
+    );
+    pmem.munmap().unwrap();
+}
+
+#[test]
+fn pattern5_decimation() {
+    let (dev, _) = written_domain();
+    let (mut pmem, _comm) = analysis(&dev);
+    // Client-side 4x decimation: read the volume, stride in memory (the
+    // pattern [28] describes — I/O reads the covering region).
+    let total = (GLOBAL[0] * GLOBAL[1] * GLOBAL[2]) as usize;
+    let mut all = vec![0f64; total];
+    pmem.load_region("var0", &mut all, &[0, 0, 0], &GLOBAL).unwrap();
+    let mut samples = 0;
+    for x in (0..GLOBAL[0]).step_by(4) {
+        for y in (0..GLOBAL[1]).step_by(4) {
+            for z in (0..GLOBAL[2]).step_by(4) {
+                let idx = (x * GLOBAL[1] * GLOBAL[2] + y * GLOBAL[2] + z) as usize;
+                assert_eq!(all[idx], expected(0, x, y, z));
+                samples += 1;
+            }
+        }
+    }
+    assert_eq!(samples, 6 * 6 * 6);
+    pmem.munmap().unwrap();
+}
+
+#[test]
+fn pattern6_pencil() {
+    let (dev, _) = written_domain();
+    let (mut pmem, _comm) = analysis(&dev);
+    // A 1-D pencil along z through (x=13, y=2) — crosses z-block boundaries.
+    let mut line = vec![0f64; GLOBAL[2] as usize];
+    pmem.load_region("var1", &mut line, &[13, 2, 0], &[1, 1, GLOBAL[2]]).unwrap();
+    for (z, v) in line.iter().enumerate() {
+        assert_eq!(*v, expected(1, 13, 2, z as u64));
+    }
+    pmem.munmap().unwrap();
+}
