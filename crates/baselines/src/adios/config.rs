@@ -29,7 +29,10 @@ pub struct AdiosConfig {
 
 impl Default for AdiosConfig {
     fn default() -> Self {
-        AdiosConfig { method: Method::Posix, buffer_mb: 64 }
+        AdiosConfig {
+            method: Method::Posix,
+            buffer_mb: 64,
+        }
     }
 }
 
@@ -97,9 +100,8 @@ mod tests {
             r#"<adios-config><method name="CARRIER-PIGEON"/></adios-config>"#
         )
         .is_err());
-        assert!(AdiosConfig::parse(
-            r#"<adios-config><buffer size-MB="lots"/></adios-config>"#
-        )
-        .is_err());
+        assert!(
+            AdiosConfig::parse(r#"<adios-config><buffer size-MB="lots"/></adios-config>"#).is_err()
+        );
     }
 }

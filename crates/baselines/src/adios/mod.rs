@@ -233,7 +233,10 @@ mod tests {
             let blocks: Vec<Vec<f64>> = (0..vars.len())
                 .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
                 .collect();
-            let target = Target::Fs { fs: Arc::clone(&fs), path: "/adios.bp".into() };
+            let target = Target::Fs {
+                fs: Arc::clone(&fs),
+                path: "/adios.bp".into(),
+            };
             let lib = AdiosLike::default();
             lib.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
             comm.barrier();
@@ -258,16 +261,20 @@ mod tests {
             let blocks: Vec<Vec<f64>> = (0..vars.len())
                 .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
                 .collect();
-            let target = Target::Fs { fs: Arc::clone(&fs), path: "/aggr.bp".into() };
-            let cfg = config::AdiosConfig::parse(
-                r#"<adios-config><method name="MPI"/></adios-config>"#,
-            )
-            .unwrap();
+            let target = Target::Fs {
+                fs: Arc::clone(&fs),
+                path: "/aggr.bp".into(),
+            };
+            let cfg =
+                config::AdiosConfig::parse(r#"<adios-config><method name="MPI"/></adios-config>"#)
+                    .unwrap();
             let lib = AdiosLike::new(cfg);
             lib.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
             comm.barrier();
             // The file is format-identical: the default (POSIX) reader works.
-            let back = AdiosLike::default().read(&comm, &target, &decomp, &vars).unwrap();
+            let back = AdiosLike::default()
+                .read(&comm, &target, &decomp, &vars)
+                .unwrap();
             for (v, blk) in back.iter().enumerate() {
                 assert_eq!(
                     workloads::verify_block(&decomp, v, comm.rank() as u64, blk),
@@ -288,7 +295,10 @@ mod tests {
                 let decomp = BlockDecomp::new(&[16, 16, 16], 8);
                 let vars = vec!["x".to_string()];
                 let blocks = vec![workloads::generate_block(&decomp, 0, comm.rank() as u64)];
-                let target = Target::Fs { fs: Arc::clone(&fs), path: "/m.bp".into() };
+                let target = Target::Fs {
+                    fs: Arc::clone(&fs),
+                    path: "/m.bp".into(),
+                };
                 let lib = AdiosLike::new(config::AdiosConfig::parse(&xml).unwrap());
                 lib.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
             });
@@ -307,8 +317,13 @@ mod tests {
             let decomp = BlockDecomp::new(&[16, 16, 16], 2);
             let vars = vec!["x".to_string()];
             let blocks = vec![workloads::generate_block(&decomp, 0, comm.rank() as u64)];
-            let target = Target::Fs { fs: Arc::clone(&fs), path: "/a.bp".into() };
-            AdiosLike::default().write(&comm, &target, &decomp, &vars, &blocks).unwrap();
+            let target = Target::Fs {
+                fs: Arc::clone(&fs),
+                path: "/a.bp".into(),
+            };
+            AdiosLike::default()
+                .write(&comm, &target, &decomp, &vars, &blocks)
+                .unwrap();
         });
         let s = machine.stats.snapshot();
         // Every payload byte staged once in DRAM and written once to PMEM.
@@ -326,14 +341,24 @@ mod tests {
             let decomp = BlockDecomp::new(&[8, 8, 8], 2);
             let vars = vec!["x".to_string()];
             let blocks = vec![workloads::generate_block(&decomp, 0, comm.rank() as u64)];
-            let target = Target::Fs { fs: Arc::clone(&fs2), path: "/two.bp".into() };
-            AdiosLike::default().write(&comm, &target, &decomp, &vars, &blocks).unwrap();
+            let target = Target::Fs {
+                fs: Arc::clone(&fs2),
+                path: "/two.bp".into(),
+            };
+            AdiosLike::default()
+                .write(&comm, &target, &decomp, &vars, &blocks)
+                .unwrap();
         });
         run_world(Arc::clone(dev.machine()), 1, move |comm| {
             let decomp = BlockDecomp::new(&[8, 8, 8], 1);
             let vars = vec!["x".to_string()];
-            let target = Target::Fs { fs: Arc::clone(&fs), path: "/two.bp".into() };
-            assert!(AdiosLike::default().read(&comm, &target, &decomp, &vars).is_err());
+            let target = Target::Fs {
+                fs: Arc::clone(&fs),
+                path: "/two.bp".into(),
+            };
+            assert!(AdiosLike::default()
+                .read(&comm, &target, &decomp, &vars)
+                .is_err());
         });
     }
 }

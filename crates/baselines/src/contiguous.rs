@@ -31,13 +31,15 @@ pub fn write_var_contiguous(
     let bytes = f64_bytes(block);
     // Packing the scattered runs into send segments is a full pass over the
     // block in DRAM.
-    comm.machine().charge_dram_copy(comm.clock(), bytes.len() as u64);
+    comm.machine()
+        .charge_dram_copy(comm.clock(), bytes.len() as u64);
     let segments: Vec<WriteSegment> = sub
         .runs()
         .into_iter()
         .map(|run| WriteSegment {
             offset: data_offset + run.global_offset * 8,
-            data: bytes[(run.local_offset * 8) as usize..((run.local_offset + run.len) * 8) as usize]
+            data: bytes
+                [(run.local_offset * 8) as usize..((run.local_offset + run.len) * 8) as usize]
                 .to_vec(),
         })
         .collect();
@@ -57,7 +59,10 @@ pub fn read_var_contiguous(
     let runs = sub.runs();
     let requests: Vec<ReadSegment> = runs
         .iter()
-        .map(|run| ReadSegment { offset: data_offset + run.global_offset * 8, len: run.len * 8 })
+        .map(|run| ReadSegment {
+            offset: data_offset + run.global_offset * 8,
+            len: run.len * 8,
+        })
         .collect();
     let pieces = file.read_at_all(&requests)?;
     // Reassembling the runs into the dense local block is a full DRAM pass.

@@ -134,7 +134,12 @@ pub fn decode_table(bytes: &[u8], ndims: usize) -> Result<Vec<ChunkEntry>> {
         let stored = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
         let raw = u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().unwrap());
         pos += 24;
-        out.push(ChunkEntry { grid_offsets, data_off, stored, raw });
+        out.push(ChunkEntry {
+            grid_offsets,
+            data_off,
+            stored,
+            raw,
+        });
     }
     Ok(out)
 }
@@ -172,8 +177,11 @@ pub fn write_chunked(
         let raw = f64_bytes(&blocks[v]);
         let stored: Vec<u8> = match filter {
             Some(f) => {
-                comm.machine()
-                    .charge_serialize(comm.clock(), raw.len() as u64, f.cpu_cost_factor());
+                comm.machine().charge_serialize(
+                    comm.clock(),
+                    raw.len() as u64,
+                    f.cpu_cost_factor(),
+                );
                 f.encode(raw)
             }
             None => raw.to_vec(),
@@ -197,7 +205,12 @@ pub fn write_chunked(
             let offs: Vec<u64> = (0..nd)
                 .map(|d| u64::from_le_bytes(buf[16 + d * 8..24 + d * 8].try_into().unwrap()))
                 .collect();
-            entries.push(ChunkEntry { grid_offsets: offs, data_off: data_cursor, stored: st, raw: rw });
+            entries.push(ChunkEntry {
+                grid_offsets: offs,
+                data_off: data_cursor,
+                stored: st,
+                raw: rw,
+            });
             data_cursor += st;
         }
 
@@ -286,8 +299,18 @@ mod tests {
     #[test]
     fn table_round_trips() {
         let entries = vec![
-            ChunkEntry { grid_offsets: vec![0, 0, 0], data_off: 100, stored: 50, raw: 64 },
-            ChunkEntry { grid_offsets: vec![12, 0, 6], data_off: 150, stored: 60, raw: 64 },
+            ChunkEntry {
+                grid_offsets: vec![0, 0, 0],
+                data_off: 100,
+                stored: 50,
+                raw: 64,
+            },
+            ChunkEntry {
+                grid_offsets: vec![12, 0, 6],
+                data_off: 150,
+                stored: 60,
+                raw: 64,
+            },
         ];
         let bytes = encode_table(&entries);
         assert_eq!(bytes.len() as u64, table_len(2, 3));

@@ -52,7 +52,10 @@ pub fn encode_header(datasets: &[Dataset]) -> (Vec<u8>, Vec<VarPlacement>) {
             buf.extend_from_slice(&g.to_le_bytes());
         }
         buf.extend_from_slice(&cursor.to_le_bytes());
-        placements.push(VarPlacement { name: d.name.clone(), data_offset: cursor });
+        placements.push(VarPlacement {
+            name: d.name.clone(),
+            data_offset: cursor,
+        });
         cursor = (cursor + d.byte_len()).div_ceil(DATA_ALIGN) * DATA_ALIGN;
     }
     debug_assert_eq!(buf.len() as u64, header_len);
@@ -82,7 +85,9 @@ pub fn decode_header(bytes: &[u8]) -> Result<(Vec<Dataset>, Vec<VarPlacement>)> 
             .map_err(|_| PioError::Format("bad dataset name".into()))?;
         let class = take(&mut pos, 1)?[0];
         if class != 6 {
-            return Err(PioError::Format(format!("unsupported datatype class {class}")));
+            return Err(PioError::Format(format!(
+                "unsupported datatype class {class}"
+            )));
         }
         let nd = take(&mut pos, 1)?[0] as usize;
         let mut dims = Vec::with_capacity(nd);
@@ -90,8 +95,14 @@ pub fn decode_header(bytes: &[u8]) -> Result<(Vec<Dataset>, Vec<VarPlacement>)> 
             dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
         }
         let addr = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-        placements.push(VarPlacement { name: name.clone(), data_offset: addr });
-        datasets.push(Dataset { name, global_dims: dims });
+        placements.push(VarPlacement {
+            name: name.clone(),
+            data_offset: addr,
+        });
+        datasets.push(Dataset {
+            name,
+            global_dims: dims,
+        });
     }
     Ok((datasets, placements))
 }
@@ -102,8 +113,14 @@ mod tests {
 
     fn sample() -> Vec<Dataset> {
         vec![
-            Dataset { name: "rho".into(), global_dims: vec![16, 16, 16] },
-            Dataset { name: "velocity_u".into(), global_dims: vec![16, 16, 16] },
+            Dataset {
+                name: "rho".into(),
+                global_dims: vec![16, 16, 16],
+            },
+            Dataset {
+                name: "velocity_u".into(),
+                global_dims: vec![16, 16, 16],
+            },
         ]
     }
 

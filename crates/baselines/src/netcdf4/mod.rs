@@ -44,14 +44,20 @@ pub struct Netcdf4Like {
 impl Default for Netcdf4Like {
     fn default() -> Self {
         // The paper's configuration.
-        Netcdf4Like { nofill: true, layout: H5Layout::Contiguous }
+        Netcdf4Like {
+            nofill: true,
+            layout: H5Layout::Contiguous,
+        }
     }
 }
 
 impl Netcdf4Like {
     /// Chunked-mode instance with an optional filter.
     pub fn chunked(filter: Option<&'static str>) -> Self {
-        Netcdf4Like { nofill: true, layout: H5Layout::Chunked { filter } }
+        Netcdf4Like {
+            nofill: true,
+            layout: H5Layout::Chunked { filter },
+        }
     }
 
     fn resolve_filter(&self) -> Result<Option<&'static dyn pserial::Filter>> {
@@ -69,9 +75,9 @@ impl Netcdf4Like {
     fn fs_of(target: &Target) -> Result<(&Arc<SimFs>, &str)> {
         match target {
             Target::Fs { fs, path } => Ok((fs, path)),
-            Target::DevDax(_) => {
-                Err(PioError::Format("NetCDF-4 needs a filesystem target".into()))
-            }
+            Target::DevDax(_) => Err(PioError::Format(
+                "NetCDF-4 needs a filesystem target".into(),
+            )),
         }
     }
 
@@ -86,7 +92,10 @@ impl Netcdf4Like {
         let header = if comm.rank() == 0 {
             let datasets: Vec<Dataset> = vars
                 .iter()
-                .map(|name| Dataset { name: name.clone(), global_dims: decomp.global_dims.clone() })
+                .map(|name| Dataset {
+                    name: name.clone(),
+                    global_dims: decomp.global_dims.clone(),
+                })
                 .collect();
             let (bytes, _) = encode_header(&datasets);
             file.write_at(0, &bytes)?;
@@ -180,7 +189,12 @@ impl PioLibrary for Netcdf4Like {
                 .iter()
                 .position(|d| &d.name == name)
                 .ok_or_else(|| PioError::Format(format!("variable {name:?} not in file")))?;
-            out.push(read_var_contiguous(comm, &file, decomp, placements[idx].data_offset)?);
+            out.push(read_var_contiguous(
+                comm,
+                &file,
+                decomp,
+                placements[idx].data_offset,
+            )?);
         }
         file.close()?;
         Ok(out)
@@ -203,8 +217,14 @@ mod tests {
             let blocks: Vec<Vec<f64>> = (0..vars.len())
                 .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
                 .collect();
-            let target = Target::Fs { fs: Arc::clone(&fs), path: "/file.nc4".into() };
-            let lib = Netcdf4Like { nofill, ..Netcdf4Like::default() };
+            let target = Target::Fs {
+                fs: Arc::clone(&fs),
+                path: "/file.nc4".into(),
+            };
+            let lib = Netcdf4Like {
+                nofill,
+                ..Netcdf4Like::default()
+            };
             lib.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
             comm.barrier();
             let back = lib.read(&comm, &target, &decomp, &vars).unwrap();
@@ -239,7 +259,10 @@ mod tests {
                 let blocks: Vec<Vec<f64>> = (0..vars.len())
                     .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
                     .collect();
-                let target = Target::Fs { fs: Arc::clone(&fs), path: "/chunked.nc4".into() };
+                let target = Target::Fs {
+                    fs: Arc::clone(&fs),
+                    path: "/chunked.nc4".into(),
+                };
                 let lib = Netcdf4Like::chunked(filter);
                 lib.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
                 comm.barrier();
@@ -267,7 +290,10 @@ mod tests {
                 let decomp = BlockDecomp::new(&[24, 24, 24], 4);
                 let vars = vec!["x".to_string()];
                 let blocks = vec![workloads::generate_block(&decomp, 0, comm.rank() as u64)];
-                let target = Target::Fs { fs: Arc::clone(&fs), path: "/t.nc4".into() };
+                let target = Target::Fs {
+                    fs: Arc::clone(&fs),
+                    path: "/t.nc4".into(),
+                };
                 lib.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
             });
             machine.stats.snapshot().net_bytes
@@ -290,7 +316,10 @@ mod tests {
                 let decomp = BlockDecomp::new(&[24, 24, 24], 2);
                 let vars = vec!["x".to_string()];
                 let blocks = vec![workloads::generate_block(&decomp, 0, comm.rank() as u64)];
-                let target = Target::Fs { fs: Arc::clone(&fs), path: "/g.nc4".into() };
+                let target = Target::Fs {
+                    fs: Arc::clone(&fs),
+                    path: "/g.nc4".into(),
+                };
                 Netcdf4Like::chunked(filter)
                     .write(&comm, &target, &decomp, &vars, &blocks)
                     .unwrap();
@@ -315,8 +344,16 @@ mod tests {
                 let decomp = BlockDecomp::new(&[8, 8, 8], 2);
                 let vars = vec!["x".to_string()];
                 let blocks = vec![workloads::generate_block(&decomp, 0, comm.rank() as u64)];
-                let target = Target::Fs { fs: Arc::clone(&fs), path: "/f.nc4".into() };
-                Netcdf4Like { nofill, ..Netcdf4Like::default() }.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
+                let target = Target::Fs {
+                    fs: Arc::clone(&fs),
+                    path: "/f.nc4".into(),
+                };
+                Netcdf4Like {
+                    nofill,
+                    ..Netcdf4Like::default()
+                }
+                .write(&comm, &target, &decomp, &vars, &blocks)
+                .unwrap();
             });
             machine.stats.snapshot().pmem_bytes_written
         };

@@ -17,12 +17,18 @@ pub struct PmemcpyLib {
 impl PmemcpyLib {
     /// PMCPY-A: MAP_SYNC disabled (the paper's fast configuration).
     pub fn variant_a() -> Self {
-        PmemcpyLib { options: Options::pmcpy_a(), label: "PMCPY-A" }
+        PmemcpyLib {
+            options: Options::pmcpy_a(),
+            label: "PMCPY-A",
+        }
     }
 
     /// PMCPY-B: MAP_SYNC enabled.
     pub fn variant_b() -> Self {
-        PmemcpyLib { options: Options::pmcpy_b(), label: "PMCPY-B" }
+        PmemcpyLib {
+            options: Options::pmcpy_b(),
+            label: "PMCPY-B",
+        }
     }
 
     /// Custom options under a custom label (ablation benches).
@@ -71,7 +77,8 @@ impl PioLibrary for PmemcpyLib {
                 .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
         }
         comm.barrier();
-        pmem.munmap().map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+        pmem.munmap()
+            .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
         Ok(())
     }
 
@@ -93,7 +100,8 @@ impl PioLibrary for PmemcpyLib {
             out.push(block);
         }
         comm.barrier();
-        pmem.munmap().map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+        pmem.munmap()
+            .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
         Ok(out)
     }
 }

@@ -54,7 +54,10 @@ pub fn encode_header(global_dims: &[u64], vars: &[String]) -> (Vec<u8>, Vec<VarP
         buf.extend_from_slice(&NC_DOUBLE.to_le_bytes());
         buf.extend_from_slice(&vsize.to_le_bytes());
         buf.extend_from_slice(&begin.to_le_bytes());
-        placements.push(VarPlacement { name: name.clone(), data_offset: begin });
+        placements.push(VarPlacement {
+            name: name.clone(),
+            data_offset: begin,
+        });
         begin += vsize;
     }
     debug_assert_eq!(buf.len() as u64, header_len);
@@ -96,7 +99,10 @@ pub fn decode_header(bytes: &[u8]) -> Result<(Vec<u64>, Vec<VarPlacement>)> {
         }
         take(&mut pos, 8)?; // vsize
         let begin = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-        placements.push(VarPlacement { name, data_offset: begin });
+        placements.push(VarPlacement {
+            name,
+            data_offset: begin,
+        });
     }
     Ok((dims, placements))
 }

@@ -119,8 +119,13 @@ mod tests {
                 let blocks: Vec<Vec<f64>> = (0..vars.len())
                     .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
                     .collect();
-                let target = Target::Fs { fs: Arc::clone(&fs), path: "/file.nc".into() };
-                PnetcdfLike.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
+                let target = Target::Fs {
+                    fs: Arc::clone(&fs),
+                    path: "/file.nc".into(),
+                };
+                PnetcdfLike
+                    .write(&comm, &target, &decomp, &vars, &blocks)
+                    .unwrap();
                 comm.barrier();
                 let back = PnetcdfLike.read(&comm, &target, &decomp, &vars).unwrap();
                 for (v, blk) in back.iter().enumerate() {
@@ -142,8 +147,13 @@ mod tests {
             let decomp = BlockDecomp::new(&[8, 8, 8], 2);
             let vars = vec!["x".to_string()];
             let blocks = vec![workloads::generate_block(&decomp, 0, comm.rank() as u64)];
-            let target = Target::Fs { fs: Arc::clone(&fs2), path: "/h.nc".into() };
-            PnetcdfLike.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
+            let target = Target::Fs {
+                fs: Arc::clone(&fs2),
+                path: "/h.nc".into(),
+            };
+            PnetcdfLike
+                .write(&comm, &target, &decomp, &vars, &blocks)
+                .unwrap();
         });
         let clock = pmem_sim::Clock::new();
         let fd = fs.open(&clock, "/h.nc").unwrap();

@@ -93,8 +93,13 @@ mod tests {
             let blocks: Vec<Vec<f64>> = (0..vars.len())
                 .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
                 .collect();
-            let target = Target::Fs { fs: Arc::clone(&fs), path: "/raw".into() };
-            PosixRaw.write(&comm, &target, &decomp, &vars, &blocks).unwrap();
+            let target = Target::Fs {
+                fs: Arc::clone(&fs),
+                path: "/raw".into(),
+            };
+            PosixRaw
+                .write(&comm, &target, &decomp, &vars, &blocks)
+                .unwrap();
             comm.barrier();
             let back = PosixRaw.read(&comm, &target, &decomp, &vars).unwrap();
             for (v, blk) in back.iter().enumerate() {

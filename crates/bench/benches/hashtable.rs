@@ -24,7 +24,8 @@ fn bench_hashtable(c: &mut Criterion) {
             // Bounded key space: beyond 10k keys puts become replaces, which
             // free the superseded entry and keep the pool size steady no
             // matter how many iterations Criterion runs.
-            ht.put(&clock, &(i % 10_000).to_le_bytes(), &[7u8; 64]).unwrap();
+            ht.put(&clock, &(i % 10_000).to_le_bytes(), &[7u8; 64])
+                .unwrap();
             i += 1;
         });
     });

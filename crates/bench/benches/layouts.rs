@@ -24,14 +24,15 @@ fn bench_layouts(c: &mut Criterion) {
             let dev = PmemDevice::new(Arc::clone(&machine), 64 << 20, PersistenceMode::Fast);
             let fs = SimFs::mount_all(Arc::clone(&dev), MountMode::Dax);
             let comm = Comm::new(World::new(Arc::clone(&machine), 1), 0);
-            let mut pmem = Pmem::with_options(Options { layout, ..Options::default() });
+            let mut pmem = Pmem::with_options(Options {
+                layout,
+                ..Options::default()
+            });
             match layout {
-                DataLayout::PmdkHashtable => {
-                    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap()
-                }
-                DataLayout::HierarchicalFiles => {
-                    pmem.mmap(MmapTarget::Fs { fs: &fs, dir: "/b" }, &comm).unwrap()
-                }
+                DataLayout::PmdkHashtable => pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap(),
+                DataLayout::HierarchicalFiles => pmem
+                    .mmap(MmapTarget::Fs { fs: &fs, dir: "/b" }, &comm)
+                    .unwrap(),
             }
             let mut back = vec![0f64; data.len()];
             b.iter(|| {

@@ -125,15 +125,18 @@ pub struct Complexity {
 /// Count non-blank source lines and C-family lexical tokens.
 pub fn measure(source: &str) -> Complexity {
     let lines = source.lines().filter(|l| !l.trim().is_empty()).count();
-    Complexity { lines, tokens: tokenize(source).len() }
+    Complexity {
+        lines,
+        tokens: tokenize(source).len(),
+    }
 }
 
 /// A small C-family lexer: identifiers/numbers, string/char literals, and
 /// multi-character operators count as one token each.
 pub fn tokenize(source: &str) -> Vec<String> {
     const MULTI: [&str; 19] = [
-        "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
-        "-=", "*=", "/=", "::", "..",
+        "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+        "*=", "/=", "::", "..",
     ];
     let mut tokens = vec![];
     let bytes: Vec<char> = source.chars().collect();
@@ -169,7 +172,8 @@ pub fn tokenize(source: &str) -> Vec<String> {
         // Identifiers / numbers (includes #include's word after '#').
         if c.is_alphanumeric() || c == '_' {
             let start = i;
-            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            while i < bytes.len()
+                && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
             {
                 i += 1;
             }
@@ -232,7 +236,10 @@ pub fn api_table() -> Vec<ApiRow> {
 pub fn render_api_table() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "## §3 API complexity (same 1-D parallel write program)");
+    let _ = writeln!(
+        out,
+        "## §3 API complexity (same 1-D parallel write program)"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>8} {:>8} {:>12} {:>12}",
@@ -245,8 +252,16 @@ pub fn render_api_table() -> String {
             r.library,
             r.measured.lines,
             r.measured.tokens,
-            if r.paper_lines == 0 { "-".to_string() } else { r.paper_lines.to_string() },
-            if r.paper_tokens == 0 { "-".to_string() } else { r.paper_tokens.to_string() },
+            if r.paper_lines == 0 {
+                "-".to_string()
+            } else {
+                r.paper_lines.to_string()
+            },
+            if r.paper_tokens == 0 {
+                "-".to_string()
+            } else {
+                r.paper_tokens.to_string()
+            },
         );
     }
     out
@@ -259,7 +274,10 @@ mod tests {
     #[test]
     fn tokenizer_basics() {
         let toks = tokenize("a += b->c(\"str\", 10);");
-        assert_eq!(toks, vec!["a", "+=", "b", "->", "c", "(", "\"str\"", ",", "10", ")", ";"]);
+        assert_eq!(
+            toks,
+            vec!["a", "+=", "b", "->", "c", "(", "\"str\"", ",", "10", ")", ";"]
+        );
     }
 
     #[test]
@@ -276,9 +294,8 @@ mod tests {
         assert!(p.tokens < a.tokens && a.tokens < h.tokens);
         // Within ~25% of the paper's reported counts (the paper's exact
         // token definition is unstated).
-        let close = |got: usize, want: usize| {
-            (got as f64 - want as f64).abs() / want as f64 <= 0.35
-        };
+        let close =
+            |got: usize, want: usize| (got as f64 - want as f64).abs() / want as f64 <= 0.35;
         assert!(close(p.tokens, 132), "pmemcpy tokens {}", p.tokens);
         assert!(close(h.tokens, 253), "hdf5 tokens {}", h.tokens);
         assert!(close(a.tokens, 164), "adios tokens {}", a.tokens);

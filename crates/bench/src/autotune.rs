@@ -33,7 +33,10 @@ pub fn pmemcpy_knobs() -> Vec<Knob> {
         },
         Knob {
             name: "buckets",
-            candidates: ["16", "256", "4096"].iter().map(|s| s.to_string()).collect(),
+            candidates: ["16", "256", "4096"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         },
         Knob {
             name: "map_sync",
@@ -85,7 +88,10 @@ pub fn coordinate_descent(knobs: &[Knob], nprocs: u64, real_bytes: u64) -> Vec<T
         .collect();
     let mut trace = vec![];
     let mut best = evaluate(&current, nprocs, real_bytes);
-    trace.push(TuneStep { assignment: current.clone(), score: best });
+    trace.push(TuneStep {
+        assignment: current.clone(),
+        score: best,
+    });
 
     loop {
         let mut improved = false;
@@ -97,7 +103,10 @@ pub fn coordinate_descent(knobs: &[Knob], nprocs: u64, real_bytes: u64) -> Vec<T
                 let mut trial = current.clone();
                 trial[ki].1 = cand.clone();
                 let score = evaluate(&trial, nprocs, real_bytes);
-                trace.push(TuneStep { assignment: trial.clone(), score });
+                trace.push(TuneStep {
+                    assignment: trial.clone(),
+                    score,
+                });
                 if score < best {
                     best = score;
                     current = trial;
@@ -130,7 +139,10 @@ mod tests {
     fn search_terminates_and_covers_every_knob() {
         let trace = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
         // At least the initial evaluation plus one candidate sweep.
-        let min_evals = 1 + pmemcpy_knobs().iter().map(|k| k.candidates.len() - 1).sum::<usize>();
+        let min_evals = 1 + pmemcpy_knobs()
+            .iter()
+            .map(|k| k.candidates.len() - 1)
+            .sum::<usize>();
         assert!(trace.len() >= min_evals, "{} evals", trace.len());
         assert!(trace.iter().all(|s| s.score.is_finite() && s.score > 0.0));
     }
@@ -139,7 +151,11 @@ mod tests {
     fn tuner_turns_map_sync_off() {
         let trace = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
         let best = best_of(&trace);
-        let ms = best.assignment.iter().find(|(k, _)| k == "map_sync").unwrap();
+        let ms = best
+            .assignment
+            .iter()
+            .find(|(k, _)| k == "map_sync")
+            .unwrap();
         assert_eq!(ms.1, "off", "MAP_SYNC must never win on performance");
     }
 
@@ -152,8 +168,20 @@ mod tests {
         let a = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
         let b = coordinate_descent(&pmemcpy_knobs(), 4, SMALL);
         let (ba, bb) = (best_of(&a), best_of(&b));
-        assert!((ba.score - bb.score).abs() < 1e-2, "{} vs {}", ba.score, bb.score);
-        let ms = |t: &TuneStep| t.assignment.iter().find(|(k, _)| k == "map_sync").unwrap().1.clone();
+        assert!(
+            (ba.score - bb.score).abs() < 1e-2,
+            "{} vs {}",
+            ba.score,
+            bb.score
+        );
+        let ms = |t: &TuneStep| {
+            t.assignment
+                .iter()
+                .find(|(k, _)| k == "map_sync")
+                .unwrap()
+                .1
+                .clone()
+        };
         assert_eq!(ms(ba), ms(bb));
     }
 }

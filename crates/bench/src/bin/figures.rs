@@ -22,8 +22,8 @@
 use baselines::{Netcdf4Like, PioLibrary, PmemcpyLib, Target};
 use pmemcpy::{DataLayout, Options};
 use pmemcpy_bench::{
-    api_complexity, check_fig6_shape, check_fig7_shape, render_checks, run_cell, run_figure,
-    CellConfig, Direction, PAPER_PROCS,
+    api_complexity, check_fig6_shape, check_fig7_shape, render_checks, render_phase_breakdown,
+    run_cell, run_cell_traced, run_figure, CellConfig, Direction, PAPER_PROCS,
 };
 use std::io::Write as _;
 
@@ -36,7 +36,11 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--bytes" => {
-                bytes_mb = it.next().expect("--bytes <MB>").parse().expect("numeric MB")
+                bytes_mb = it
+                    .next()
+                    .expect("--bytes <MB>")
+                    .parse()
+                    .expect("numeric MB")
             }
             "--procs" => {
                 procs = it
@@ -107,6 +111,27 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) {
         Direction::Read => "fig7_reads",
     };
     write_file(&format!("results/{name}.csv"), &fig.csv());
+
+    // Traced re-run of the paper's headline cell: where the virtual time
+    // goes inside PMCPY-A at 24 ranks. Tracing never changes the numbers.
+    use pmem_sim::{chrome_trace_json, CollectingSink, TraceSummary};
+    let sink = CollectingSink::new();
+    let cfg = CellConfig::paper(24, real_bytes.min(16 << 20));
+    run_cell_traced(&PmemcpyLib::variant_a(), direction, &cfg, sink.clone());
+    let spans = sink.take();
+    let summary = TraceSummary::from_spans(&spans);
+    println!(
+        "{}",
+        render_phase_breakdown(
+            &format!("Phase breakdown (PMCPY-A, 24 procs, traced {name} cell)"),
+            &summary
+        )
+    );
+    let lanes: Vec<(u64, String)> = (0..24).map(|r| (r, format!("rank {r}"))).collect();
+    write_file(
+        &format!("results/{name}_trace.json"),
+        &chrome_trace_json(&spans, &lanes),
+    );
 }
 
 fn machine_cmd() {
@@ -115,9 +140,18 @@ fn machine_cmd() {
     println!("cores / SMT threads      {} / {}", c.cores, c.smt_threads);
     println!("PMEM read latency        {}", c.pmem_read_latency);
     println!("PMEM write latency       {}", c.pmem_write_latency);
-    println!("PMEM read bandwidth      {} GB/s", c.pmem_read_bw / 1_000_000_000);
-    println!("PMEM write bandwidth     {} GB/s", c.pmem_write_bw / 1_000_000_000);
-    println!("DRAM bus bandwidth       {} GB/s", c.dram_bw / 1_000_000_000);
+    println!(
+        "PMEM read bandwidth      {} GB/s",
+        c.pmem_read_bw / 1_000_000_000
+    );
+    println!(
+        "PMEM write bandwidth     {} GB/s",
+        c.pmem_write_bw / 1_000_000_000
+    );
+    println!(
+        "DRAM bus bandwidth       {} GB/s",
+        c.dram_bw / 1_000_000_000
+    );
     println!("syscall / page fault     {} / {}", c.syscall, c.page_fault);
     println!("MAP_SYNC page penalty    {}", c.map_sync_page);
     println!();
@@ -129,7 +163,10 @@ fn ablate_serializer(real_bytes: u64) {
     for ser in ["bp4", "cereal", "capnp-lite", "raw"] {
         let lib = PmemcpyLib::custom(
             "PMCPY-A",
-            Options { serializer: ser.into(), ..Options::default() },
+            Options {
+                serializer: ser.into(),
+                ..Options::default()
+            },
         );
         let cfg = CellConfig::paper(24, real_bytes);
         let w = run_cell(&lib, Direction::Write, &cfg);
@@ -157,7 +194,13 @@ fn ablate_layout(real_bytes: u64) {
         ("pmdk-hashtable", DataLayout::PmdkHashtable),
         ("hierarchical", DataLayout::HierarchicalFiles),
     ] {
-        let lib = PmemcpyLib::custom("PMCPY-A", Options { layout, ..Options::default() });
+        let lib = PmemcpyLib::custom(
+            "PMCPY-A",
+            Options {
+                layout,
+                ..Options::default()
+            },
+        );
         let cfg = CellConfig::paper(24, real_bytes);
         let (w, r) = run_layout_cell(&lib, &cfg, layout);
         println!("{name:<16} write {w:>8.3}s   read {r:>8.3}s");
@@ -190,11 +233,17 @@ fn run_layout_cell(lib: &PmemcpyLib, cfg: &CellConfig, layout: DataLayout) -> (f
             DataLayout::HierarchicalFiles => {
                 let fs = SimFs::mount_all(Arc::clone(&device), MountMode::Dax);
                 fs.mkdir_p(&pmem_sim::Clock::new(), "/vars").unwrap();
-                Target::Fs { fs, path: "/vars".into() }
+                Target::Fs {
+                    fs,
+                    path: "/vars".into(),
+                }
             }
         };
-        let spec =
-            Domain3dSpec { total_bytes: cfg.real_bytes, nvars: cfg.nvars, nprocs: cfg.nprocs };
+        let spec = Domain3dSpec {
+            total_bytes: cfg.real_bytes,
+            nvars: cfg.nvars,
+            nprocs: cfg.nprocs,
+        };
         let decomp = Arc::new(spec.decompose());
         let vars = Arc::new(spec.var_names());
 
@@ -202,8 +251,12 @@ fn run_layout_cell(lib: &PmemcpyLib, cfg: &CellConfig, layout: DataLayout) -> (f
             if timed {
                 machine.reset();
             }
-            let (l, d, v, t) =
-                (lib.clone(), Arc::clone(&decomp), Arc::clone(&vars), target.clone());
+            let (l, d, v, t) = (
+                lib.clone(),
+                Arc::clone(&decomp),
+                Arc::clone(&vars),
+                target.clone(),
+            );
             let times = run_world(Arc::clone(&machine), cfg.nprocs as usize, move |comm| {
                 let rank = comm.rank() as u64;
                 match dir {
@@ -233,7 +286,10 @@ fn run_layout_cell(lib: &PmemcpyLib, cfg: &CellConfig, layout: DataLayout) -> (f
             }
         }
     };
-    (run_direction(Direction::Write), run_direction(Direction::Read))
+    (
+        run_direction(Direction::Write),
+        run_direction(Direction::Read),
+    )
 }
 
 fn ablate_staging(real_bytes: u64) {
@@ -268,7 +324,14 @@ fn ablate_fill(real_bytes: u64) {
     println!("## Ablation: NetCDF fill vs NC_NOFILL (the paper disables fill)");
     let cfg = CellConfig::paper(24, real_bytes);
     let nofill = run_cell(&Netcdf4Like::default(), Direction::Write, &cfg);
-    let fill = run_cell(&Netcdf4Like { nofill: false, ..Netcdf4Like::default() }, Direction::Write, &cfg);
+    let fill = run_cell(
+        &Netcdf4Like {
+            nofill: false,
+            ..Netcdf4Like::default()
+        },
+        Direction::Write,
+        &cfg,
+    );
     println!("NC_NOFILL       {:>8.3}s", nofill.time.as_secs_f64());
     println!("fill (default)  {:>8.3}s", fill.time.as_secs_f64());
     write_file(
@@ -319,7 +382,10 @@ fn ablate_buckets(real_bytes: u64) {
     for buckets in [1u64, 16, 256, 4096] {
         let lib = PmemcpyLib::custom(
             "PMCPY-A",
-            Options { hashtable_buckets: buckets, ..Options::default() },
+            Options {
+                hashtable_buckets: buckets,
+                ..Options::default()
+            },
         );
         let cfg = CellConfig::paper(24, real_bytes);
         let w = run_cell(&lib, Direction::Write, &cfg);
@@ -347,7 +413,11 @@ fn ablate_drain(real_bytes: u64) {
     use std::sync::Arc;
     println!("## Ablation: burst-buffer drain (Fig. 1: PMEM -> shared burst buffer)");
     let mut mc = pmem_sim::MachineConfig::chameleon_skylake();
-    let spec = workloads::Domain3dSpec { total_bytes: real_bytes, nvars: 10, nprocs: 1 };
+    let spec = workloads::Domain3dSpec {
+        total_bytes: real_bytes,
+        nvars: 10,
+        nprocs: 1,
+    };
     mc.byte_scale = ((40u64 << 30) / spec.actual_bytes()).max(1);
     let machine = Machine::new(mc);
     let device = PmemDevice::new(
@@ -362,7 +432,8 @@ fn ablate_drain(real_bytes: u64) {
     for (v, name) in spec.var_names().iter().enumerate() {
         let block = workloads::generate_block(&decomp, v, 0);
         pmem.alloc::<f64>(name, &decomp.global_dims).unwrap();
-        pmem.store_block(name, &block, &[0, 0, 0], &decomp.global_dims).unwrap();
+        pmem.store_block(name, &block, &[0, 0, 0], &decomp.global_dims)
+            .unwrap();
     }
     let store_time = pmem.now();
     let bb_dev = PmemDevice::new(
@@ -379,7 +450,10 @@ fn ablate_drain(real_bytes: u64) {
         report.keys,
         machine.stats.snapshot().storage_bytes_written as f64 / 1e9,
     );
-    println!("app clock after drain: {} (unchanged — drain is asynchronous)", pmem.now());
+    println!(
+        "app clock after drain: {} (unchanged — drain is asynchronous)",
+        pmem.now()
+    );
     write_file(
         "results/ablate_drain.csv",
         &format!(
@@ -398,13 +472,20 @@ fn tune_cmd(real_bytes: u64) {
     let trace = coordinate_descent(&pmemcpy_knobs(), 24, real_bytes.min(16 << 20));
     let mut csv = String::from("step,assignment,score_s\n");
     for (i, step) in trace.iter().enumerate() {
-        let label: Vec<String> =
-            step.assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let label: Vec<String> = step
+            .assignment
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
         println!("  [{i:>2}] {:<50} {:>8.3}s", label.join(" "), step.score);
         csv.push_str(&format!("{i},{},{:.6}\n", label.join(";"), step.score));
     }
     let best = best_of(&trace);
-    let label: Vec<String> = best.assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let label: Vec<String> = best
+        .assignment
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
     println!("best: {} at {:.3}s", label.join(" "), best.score);
     println!("(the spread is small: tuning cannot fix a data path — §1's argument)");
     write_file("results/autotune.csv", &csv);
@@ -417,7 +498,11 @@ fn volume_cmd() {
     for gb in [5u64, 10, 20, 40, 80] {
         // Fix the real volume; scale the model.
         let mut cfg = CellConfig::paper(24, 16 << 20);
-        let spec = workloads::Domain3dSpec { total_bytes: 16 << 20, nvars: 10, nprocs: 24 };
+        let spec = workloads::Domain3dSpec {
+            total_bytes: 16 << 20,
+            nvars: 10,
+            nprocs: 24,
+        };
         cfg.byte_scale = ((gb << 30) / spec.actual_bytes()).max(1);
         let lib = PmemcpyLib::variant_a();
         let w = run_cell(&lib, Direction::Write, &cfg);
@@ -427,7 +512,11 @@ fn volume_cmd() {
             w.time.as_secs_f64(),
             r.time.as_secs_f64()
         );
-        csv.push_str(&format!("{gb},{:.6},{:.6}\n", w.time.as_secs_f64(), r.time.as_secs_f64()));
+        csv.push_str(&format!(
+            "{gb},{:.6},{:.6}\n",
+            w.time.as_secs_f64(),
+            r.time.as_secs_f64()
+        ));
     }
     println!("(bandwidth-bound: time is linear in volume)");
     write_file("results/volume_scaling.csv", &csv);

@@ -19,8 +19,10 @@ pub mod autotune;
 pub mod report;
 pub mod sweep;
 
-pub use report::{check_fig6_shape, check_fig7_shape, render_checks, Figure, ShapeCheck};
-pub use sweep::{run_cell, CellConfig, CellResult, Direction};
+pub use report::{
+    check_fig6_shape, check_fig7_shape, render_checks, render_phase_breakdown, Figure, ShapeCheck,
+};
+pub use sweep::{run_cell, run_cell_traced, CellConfig, CellResult, Direction};
 
 use baselines::figure_lineup;
 

@@ -2,7 +2,7 @@
 //! paper's claims.
 
 use crate::sweep::{CellResult, Direction};
-use pmem_sim::SimTime;
+use pmem_sim::{SimTime, TraceSummary};
 use std::fmt::Write as _;
 
 /// A full figure: every (library × nprocs) cell of one direction.
@@ -189,8 +189,7 @@ pub fn check_fig7_shape(fig: &Figure) -> Vec<ShapeCheck> {
 /// not much better than at 24, while 8 -> 24 shows improvement.
 fn check_flattening(fig: &Figure, lib: &str) -> Vec<ShapeCheck> {
     let mut out = vec![];
-    if let (Some(t8), Some(t24), Some(t48)) =
-        (fig.get(lib, 8), fig.get(lib, 24), fig.get(lib, 48))
+    if let (Some(t8), Some(t24), Some(t48)) = (fig.get(lib, 8), fig.get(lib, 24), fig.get(lib, 48))
     {
         let slope = t8.time.as_secs_f64() / t24.time.as_secs_f64();
         out.push(ShapeCheck {
@@ -205,6 +204,23 @@ fn check_flattening(fig: &Figure, lib: &str) -> Vec<ShapeCheck> {
             pass: flat >= 0.85,
         });
     }
+    out
+}
+
+/// Render the traced phase breakdown that accompanies a figure: where the
+/// virtual time of one representative cell went, as percentages within
+/// each phase category plus the full aggregated table.
+pub fn render_phase_breakdown(title: &str, summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    for cat in ["put", "get", "mpi", "pmdk", "drain"] {
+        let line = summary.breakdown(cat);
+        if !line.is_empty() {
+            let _ = writeln!(out, "{cat:<6} {line}");
+        }
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{summary}");
     out
 }
 
@@ -285,6 +301,33 @@ mod tests {
         }
         let checks = check_fig6_shape(&f);
         assert!(checks.iter().any(|c| !c.pass));
+    }
+
+    #[test]
+    fn renders_phase_breakdown() {
+        use pmem_sim::TraceSpan;
+        use std::borrow::Cow;
+        let spans = vec![
+            TraceSpan {
+                cat: "put",
+                name: Cow::Borrowed("put.memcpy"),
+                lane: 0,
+                start: SimTime(0),
+                dur: SimTime(710),
+                arg: None,
+            },
+            TraceSpan {
+                cat: "put",
+                name: Cow::Borrowed("put.serialize"),
+                lane: 0,
+                start: SimTime(710),
+                dur: SimTime(290),
+                arg: None,
+            },
+        ];
+        let text = render_phase_breakdown("trace", &TraceSummary::from_spans(&spans));
+        assert!(text.contains("put.memcpy 71.0%"), "{text}");
+        assert!(text.contains("put.serialize 29.0%"), "{text}");
     }
 
     #[test]

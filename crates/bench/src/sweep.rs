@@ -7,7 +7,9 @@
 
 use baselines::{PioLibrary, Target};
 use mpi_sim::run_world;
-use pmem_sim::{Machine, MachineConfig, PersistenceMode, PmemDevice, SimTime, StatsSnapshot};
+use pmem_sim::{
+    Machine, MachineConfig, PersistenceMode, PmemDevice, SimTime, StatsSnapshot, TraceSink,
+};
 use simfs::{MountMode, SimFs};
 use std::sync::Arc;
 use workloads::{BlockDecomp, Domain3dSpec};
@@ -42,7 +44,12 @@ impl CellConfig {
     /// the modelled total is the paper's 40 GB regardless of rounding.
     pub fn paper(nprocs: u64, real_bytes: u64) -> Self {
         let target = 40u64 << 30;
-        let actual = Domain3dSpec { total_bytes: real_bytes, nvars: 10, nprocs }.actual_bytes();
+        let actual = Domain3dSpec {
+            total_bytes: real_bytes,
+            nvars: 10,
+            nprocs,
+        }
+        .actual_bytes();
         CellConfig {
             nprocs,
             real_bytes,
@@ -75,7 +82,7 @@ pub fn run_cell(lib: &dyn PioLibrary, direction: Direction, cfg: &CellConfig) ->
     let mut stats = StatsSnapshot::default();
     let mut mismatches = 0usize;
     for _ in 0..cfg.repeats.max(1) {
-        let (t, s, m) = run_cell_once(lib, direction, cfg);
+        let (t, s, m) = run_cell_once(lib, direction, cfg, None);
         total += t;
         stats = s; // keep the last repetition's counters
         mismatches += m;
@@ -90,10 +97,32 @@ pub fn run_cell(lib: &dyn PioLibrary, direction: Direction, cfg: &CellConfig) ->
     }
 }
 
+/// Like [`run_cell`] but runs a single repetition with a trace sink
+/// installed on the cell's machine, so every rank's spans (and the timed
+/// phase's collectives, pool transactions and persists) land in `sink`.
+/// Virtual times are identical to the untraced run by construction.
+pub fn run_cell_traced(
+    lib: &dyn PioLibrary,
+    direction: Direction,
+    cfg: &CellConfig,
+    sink: Arc<dyn TraceSink>,
+) -> CellResult {
+    let (time, stats, mismatches) = run_cell_once(lib, direction, cfg, Some(sink));
+    CellResult {
+        library: lib.name().to_string(),
+        direction,
+        nprocs: cfg.nprocs,
+        time,
+        stats,
+        mismatches,
+    }
+}
+
 fn run_cell_once(
     lib: &dyn PioLibrary,
     direction: Direction,
     cfg: &CellConfig,
+    sink: Option<Arc<dyn TraceSink>>,
 ) -> (SimTime, StatsSnapshot, usize) {
     let mut mc = cfg.machine.clone();
     mc.byte_scale = cfg.byte_scale;
@@ -103,7 +132,11 @@ fn run_cell_once(
     let dev_size = (cfg.real_bytes * 3 + (32 << 20)) as usize;
     let device = PmemDevice::new(Arc::clone(&machine), dev_size, PersistenceMode::Fast);
 
-    let spec = Domain3dSpec { total_bytes: cfg.real_bytes, nvars: cfg.nvars, nprocs: cfg.nprocs };
+    let spec = Domain3dSpec {
+        total_bytes: cfg.real_bytes,
+        nvars: cfg.nvars,
+        nprocs: cfg.nprocs,
+    };
     let decomp = Arc::new(spec.decompose());
     let vars = Arc::new(spec.var_names());
 
@@ -111,18 +144,38 @@ fn run_cell_once(
         Target::DevDax(Arc::clone(&device))
     } else {
         let fs = SimFs::mount_all(Arc::clone(&device), MountMode::Dax);
-        fs.mkdir_p(&pmem_sim::Clock::new(), "/job").expect("mkdir /job");
-        Target::Fs { fs, path: pick_path(lib.name()) }
+        fs.mkdir_p(&pmem_sim::Clock::new(), "/job")
+            .expect("mkdir /job");
+        Target::Fs {
+            fs,
+            path: pick_path(lib.name()),
+        }
     };
 
     // Data must exist before a read cell; produce it untimed.
     if direction == Direction::Read {
-        run_phase(lib, Direction::Write, &machine, &target, &decomp, &vars, cfg, false);
+        run_phase(
+            lib,
+            Direction::Write,
+            &machine,
+            &target,
+            &decomp,
+            &vars,
+            cfg,
+            false,
+        );
         machine.reset();
     }
 
+    // Install the sink only now, so traces cover just the timed phase.
+    if let Some(sink) = sink {
+        machine.set_trace_sink(sink);
+    }
+
     let verify = cfg.verify && direction == Direction::Read;
-    let (time, mism) = run_phase(lib, direction, &machine, &target, &decomp, &vars, cfg, verify);
+    let (time, mism) = run_phase(
+        lib, direction, &machine, &target, &decomp, &vars, cfg, verify,
+    );
     (time, machine.stats.snapshot(), mism)
 }
 
@@ -159,14 +212,17 @@ fn run_phase(
                 let blocks: Vec<Vec<f64>> = (0..vars.len())
                     .map(|v| workloads::generate_block(&decomp, v, rank))
                     .collect();
-                lib.write(&comm, &target, &decomp, &vars, &blocks).expect("write failed");
+                lib.write(&comm, &target, &decomp, &vars, &blocks)
+                    .expect("write failed");
                 // The paper measures wall-clock across the whole parallel
                 // phase; the final barrier folds the slowest rank into all.
                 comm.barrier();
                 (comm.now(), 0usize)
             }
             Direction::Read => {
-                let blocks = lib.read(&comm, &target, &decomp, &vars).expect("read failed");
+                let blocks = lib
+                    .read(&comm, &target, &decomp, &vars)
+                    .expect("read failed");
                 comm.barrier();
                 let mism = if verify {
                     (0..vars.len())
@@ -179,7 +235,10 @@ fn run_phase(
             }
         }
     });
-    let time = results.iter().map(|(t, _)| *t).fold(SimTime::ZERO, SimTime::max);
+    let time = results
+        .iter()
+        .map(|(t, _)| *t)
+        .fold(SimTime::ZERO, SimTime::max);
     let mism = results.iter().map(|(_, m)| *m).sum();
     (time, mism)
 }

@@ -15,7 +15,9 @@
 //! convention §3 describes — and per-rank blocks under
 //! `"<id>#block@o1,o2,..."`, mirroring how ADIOS keeps per-writer blocks.
 
-use crate::element::{pod_as_bytes, pod_from_bytes, slice_as_bytes, slice_as_bytes_mut, Element, Pod};
+use crate::element::{
+    pod_as_bytes, pod_from_bytes, slice_as_bytes, slice_as_bytes_mut, Element, Pod,
+};
 use crate::error::{PmemCpyError, Result};
 use crate::layout::{hashtable::HashtableLayout, hierarchical::HierarchicalLayout, Layout};
 use crate::options::{DataLayout, Options};
@@ -59,11 +61,17 @@ impl Pmem {
     /// A handle with the paper's default configuration (BP4 serialization,
     /// PMDK hashtable layout, MAP_SYNC off — "PMCPY-A").
     pub fn new() -> Self {
-        Pmem { opts: Options::default(), mounted: None }
+        Pmem {
+            opts: Options::default(),
+            mounted: None,
+        }
     }
 
     pub fn with_options(opts: Options) -> Self {
-        Pmem { opts, mounted: None }
+        Pmem {
+            opts,
+            mounted: None,
+        }
     }
 
     pub fn options(&self) -> &Options {
@@ -80,12 +88,8 @@ impl Pmem {
         let clock = comm.clock_arc();
         let mounted = match (target, self.opts.layout) {
             (MmapTarget::DevDax(device), DataLayout::PmdkHashtable) => {
-                let shared = registry::shared_pool(
-                    &clock,
-                    device,
-                    "pmemcpy",
-                    self.opts.hashtable_buckets,
-                )?;
+                let shared =
+                    registry::shared_pool(&clock, device, "pmemcpy", self.opts.hashtable_buckets)?;
                 comm.barrier();
                 Mounted {
                     layout: Box::new(HashtableLayout::new(
@@ -106,7 +110,12 @@ impl Pmem {
                 }
                 comm.barrier();
                 Mounted {
-                    layout: Box::new(HierarchicalLayout::new(fs, dir, serializer, self.opts.map_sync)),
+                    layout: Box::new(HierarchicalLayout::new(
+                        fs,
+                        dir,
+                        serializer,
+                        self.opts.map_sync,
+                    )),
                     machine: Arc::clone(fs.device().machine()),
                     clock,
                     device_for_release: None,
@@ -173,7 +182,10 @@ impl Pmem {
 
     /// The handle's virtual clock (its rank's clock).
     pub fn now(&self) -> SimTime {
-        self.mounted.as_ref().map(|m| m.clock.now()).unwrap_or(SimTime::ZERO)
+        self.mounted
+            .as_ref()
+            .map(|m| m.clock.now())
+            .unwrap_or(SimTime::ZERO)
     }
 
     // ---- scalars, slices, PODs ----
@@ -182,14 +194,21 @@ impl Pmem {
     pub fn store_scalar<T: Element>(&self, id: &str, value: T) -> Result<()> {
         let m = self.m()?;
         let meta = VarMeta::scalar(id, T::DTYPE);
-        m.layout.store(&m.clock, id, &meta, slice_as_bytes(std::slice::from_ref(&value)))
+        m.layout.store(
+            &m.clock,
+            id,
+            &meta,
+            slice_as_bytes(std::slice::from_ref(&value)),
+        )
     }
 
     /// Load a scalar.
     pub fn load_scalar<T: Element>(&self, id: &str) -> Result<T> {
         let m = self.m()?;
         let mut out = [unsafe { std::mem::zeroed::<T>() }; 1];
-        let hdr = m.layout.load_into(&m.clock, id, slice_as_bytes_mut(&mut out))?;
+        let hdr = m
+            .layout
+            .load_into(&m.clock, id, slice_as_bytes_mut(&mut out))?;
         self.check_dtype::<T>(id, hdr.meta.dtype)?;
         Ok(out[0])
     }
@@ -207,7 +226,9 @@ impl Pmem {
         let hdr = m.layout.stat(&m.clock, id)?;
         let n = (hdr.payload_len / T::DTYPE.size()) as usize;
         let mut out = vec![unsafe { std::mem::zeroed::<T>() }; n];
-        let hdr = m.layout.load_into(&m.clock, id, slice_as_bytes_mut(&mut out))?;
+        let hdr = m
+            .layout
+            .load_into(&m.clock, id, slice_as_bytes_mut(&mut out))?;
         self.check_dtype::<T>(id, hdr.meta.dtype)?;
         Ok(out)
     }
@@ -324,7 +345,9 @@ impl Pmem {
             });
         }
         let key = block_key(id, offsets);
-        let hdr = m.layout.load_into(&m.clock, &key, slice_as_bytes_mut(dst))?;
+        let hdr = m
+            .layout
+            .load_into(&m.clock, &key, slice_as_bytes_mut(dst))?;
         self.check_dtype::<T>(id, hdr.meta.dtype)?;
         Ok(())
     }
@@ -370,7 +393,9 @@ impl Pmem {
     // ---- namespace ----
 
     pub fn exists(&self, id: &str) -> bool {
-        self.m().map(|m| m.layout.exists(&m.clock, id)).unwrap_or(false)
+        self.m()
+            .map(|m| m.layout.exists(&m.clock, id))
+            .unwrap_or(false)
     }
 
     /// Remove a variable (and its `#dims` companion, if present).

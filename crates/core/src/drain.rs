@@ -13,7 +13,7 @@
 
 use crate::api::Pmem;
 use crate::error::{PmemCpyError, Result};
-use pmem_sim::{Clock, SimTime};
+use pmem_sim::{Clock, SimTime, DRAIN_LANE};
 use simfs::SimFs;
 use std::sync::Arc;
 
@@ -34,11 +34,14 @@ impl Pmem {
     /// virtual time: the handle's own clock does not advance.
     pub fn drain_to_storage(&self, target: &Arc<SimFs>, dir: &str) -> Result<DrainReport> {
         let (layout, machine) = self.layout_and_machine()?;
-        let drain_clock = Clock::new();
+        // The drain's activity traces on its own reserved lane.
+        let drain_clock = Clock::with_lane(DRAIN_LANE);
+        let t0 = machine.trace_start(&drain_clock);
         target.mkdir_p(&drain_clock, dir)?;
         let mut keys = 0usize;
         let mut bytes = 0u64;
         for key in layout.keys(&drain_clock) {
+            let tk = machine.trace_start(&drain_clock);
             let record = layout.raw_value(&drain_clock, &key)?;
             // Push over the burst-buffer interconnect.
             machine.charge_storage_write(&drain_clock, record.len() as u64);
@@ -50,8 +53,20 @@ impl Pmem {
             target.close(&drain_clock, fd)?;
             keys += 1;
             bytes += record.len() as u64;
+            machine.trace_finish(
+                &drain_clock,
+                tk,
+                "drain",
+                "drain.key",
+                Some(("bytes", record.len() as u64)),
+            );
         }
-        Ok(DrainReport { keys, bytes, drain_time: drain_clock.now() })
+        machine.trace_finish(&drain_clock, t0, "drain", "drain", Some(("bytes", bytes)));
+        Ok(DrainReport {
+            keys,
+            bytes,
+            drain_time: drain_clock.now(),
+        })
     }
 
     /// Restore one drained record back into PMEM under the same key
@@ -61,6 +76,21 @@ impl Pmem {
     pub fn restore_from_storage(&self, target: &Arc<SimFs>, dir: &str, key: &str) -> Result<()> {
         let (layout, machine) = self.layout_and_machine()?;
         let clock = self.clock()?;
+        let t0 = machine.trace_start(clock);
+        let out = self.restore_inner(layout, machine, clock, target, dir, key);
+        machine.trace_finish(clock, t0, "drain", "restore", None);
+        out
+    }
+
+    fn restore_inner(
+        &self,
+        layout: &dyn crate::layout::Layout,
+        machine: &Arc<pmem_sim::Machine>,
+        clock: &Clock,
+        target: &Arc<SimFs>,
+        dir: &str,
+        key: &str,
+    ) -> Result<()> {
         let path = format!("{dir}/{}", sanitize(key));
         if !target.exists(&path) {
             return Err(PmemCpyError::NotFound(key.to_string()));
@@ -71,7 +101,7 @@ impl Pmem {
         target.read_at(clock, fd, 0, &mut record)?;
         target.close(clock, fd)?;
         machine.charge_storage_write(clock, 0); // metadata touch; read side is the fs charge
-        // Decode with the configured serializer and re-store.
+                                                // Decode with the configured serializer and re-store.
         let serializer = self.options().resolve_serializer()?;
         let mut src = pserial::SliceSource::new(&record);
         let (hdr, payload) = serializer.read_var(&mut src)?;
@@ -180,7 +210,8 @@ mod tests {
         pmem.drain_to_storage(&bb, "/bb").unwrap();
         assert!(bb.exists("/bb/deep%2Fnested%2Fkey"));
         pmem.remove("deep/nested/key").unwrap();
-        pmem.restore_from_storage(&bb, "/bb", "deep/nested/key").unwrap();
+        pmem.restore_from_storage(&bb, "/bb", "deep/nested/key")
+            .unwrap();
         assert_eq!(pmem.load_scalar::<u64>("deep/nested/key").unwrap(), 1);
         pmem.munmap().unwrap();
     }

@@ -47,9 +47,7 @@ unsafe impl Element for f64 {
 /// View a slice of elements as bytes.
 pub fn slice_as_bytes<T: Element>(data: &[T]) -> &[u8] {
     // SAFETY: Element guarantees POD layout.
-    unsafe {
-        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
-    }
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
 }
 
 /// View a mutable slice of elements as bytes.
@@ -128,7 +126,12 @@ mod tests {
 
     #[test]
     fn pod_round_trip() {
-        let p = Particle { x: 1.0, y: 2.0, z: 3.0, id: 42 };
+        let p = Particle {
+            x: 1.0,
+            y: 2.0,
+            z: 3.0,
+            id: 42,
+        };
         let bytes = pod_as_bytes(&p).to_vec();
         assert_eq!(bytes.len(), 32);
         let q: Particle = pod_from_bytes(&bytes);
@@ -137,8 +140,17 @@ mod tests {
 
     #[test]
     fn dtype_constants_match_sizes() {
-        assert_eq!(<f64 as Element>::DTYPE.size() as usize, std::mem::size_of::<f64>());
-        assert_eq!(<u32 as Element>::DTYPE.size() as usize, std::mem::size_of::<u32>());
-        assert_eq!(<u8 as Element>::DTYPE.size() as usize, std::mem::size_of::<u8>());
+        assert_eq!(
+            <f64 as Element>::DTYPE.size() as usize,
+            std::mem::size_of::<f64>()
+        );
+        assert_eq!(
+            <u32 as Element>::DTYPE.size() as usize,
+            std::mem::size_of::<u32>()
+        );
+        assert_eq!(
+            <u8 as Element>::DTYPE.size() as usize,
+            std::mem::size_of::<u8>()
+        );
     }
 }

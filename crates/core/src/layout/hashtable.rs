@@ -51,13 +51,37 @@ impl Layout for HashtableLayout {
         let slen = self.serializer.serialized_len(meta, payload.len() as u64);
         // Reserve the record space in the pool (metadata transaction), then
         // serialize straight into the mapped region — no DRAM staging.
-        let vref = self.shared.hashtable.put_reserve(clock, key.as_bytes(), slen)?;
+        let t0 = self.machine.trace_start(clock);
+        let vref = self
+            .shared
+            .hashtable
+            .put_reserve(clock, key.as_bytes(), slen)?;
         self.machine
-            .charge_serialize(clock, payload.len() as u64, self.serializer.cpu_cost_factor());
+            .trace_finish(clock, t0, "put", "put.reserve", None);
+        let t1 = self.machine.trace_start(clock);
+        self.machine.charge_serialize(
+            clock,
+            payload.len() as u64,
+            self.serializer.cpu_cost_factor(),
+        );
+        self.machine.trace_finish(
+            clock,
+            t1,
+            "put",
+            "put.serialize",
+            Some(("bytes", payload.len() as u64)),
+        );
+        let t2 = self.machine.trace_start(clock);
         let mut sink = MappingSink::new(&self.mapping, clock, vref.offset as usize, slen as usize);
         self.serializer.write_var(meta, payload, &mut sink)?;
         debug_assert_eq!(sink.written() as u64, slen);
-        self.mapping.persist(clock, vref.offset as usize, slen as usize);
+        self.machine
+            .trace_finish(clock, t2, "put", "put.memcpy", Some(("bytes", slen)));
+        let t3 = self.machine.trace_start(clock);
+        self.mapping
+            .persist(clock, vref.offset as usize, slen as usize);
+        self.machine
+            .trace_finish(clock, t3, "put", "put.persist", Some(("bytes", slen)));
         Ok(())
     }
 
@@ -67,30 +91,61 @@ impl Layout for HashtableLayout {
             .hashtable
             .get_ref(clock, key.as_bytes())
             .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
-        let mut src =
-            MappingSource::new(&self.mapping, clock, vref.offset as usize, vref.len as usize);
+        let mut src = MappingSource::new(
+            &self.mapping,
+            clock,
+            vref.offset as usize,
+            vref.len as usize,
+        );
         Ok(self.serializer.read_header(&mut src)?)
     }
 
     fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader> {
+        let t0 = self.machine.trace_start(clock);
         let vref = self
             .shared
             .hashtable
             .get_ref(clock, key.as_bytes())
             .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
-        let mut src =
-            MappingSource::new(&self.mapping, clock, vref.offset as usize, vref.len as usize);
+        self.machine
+            .trace_finish(clock, t0, "get", "get.lookup", None);
+        let t1 = self.machine.trace_start(clock);
+        let mut src = MappingSource::new(
+            &self.mapping,
+            clock,
+            vref.offset as usize,
+            vref.len as usize,
+        );
         let hdr = self.serializer.read_header(&mut src)?;
         if hdr.payload_len != dst.len() as u64 {
             return Err(PmemCpyError::ShapeMismatch {
                 id: key.to_string(),
-                detail: format!("payload {} bytes, buffer {} bytes", hdr.payload_len, dst.len()),
+                detail: format!(
+                    "payload {} bytes, buffer {} bytes",
+                    hdr.payload_len,
+                    dst.len()
+                ),
             });
         }
         // Deserialize straight from PMEM into the caller's buffer.
         self.serializer.read_payload(&mut src, dst)?;
+        self.machine.trace_finish(
+            clock,
+            t1,
+            "get",
+            "get.memcpy",
+            Some(("bytes", dst.len() as u64)),
+        );
+        let t2 = self.machine.trace_start(clock);
         self.machine
             .charge_serialize(clock, dst.len() as u64, self.serializer.cpu_cost_factor());
+        self.machine.trace_finish(
+            clock,
+            t2,
+            "get",
+            "get.deserialize",
+            Some(("bytes", dst.len() as u64)),
+        );
         Ok(hdr)
     }
 
@@ -118,8 +173,12 @@ impl Layout for HashtableLayout {
             .get_ref(clock, key.as_bytes())
             .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
         let mut buf = vec![0u8; vref.len as usize];
-        let mut src =
-            MappingSource::new(&self.mapping, clock, vref.offset as usize, vref.len as usize);
+        let mut src = MappingSource::new(
+            &self.mapping,
+            clock,
+            vref.offset as usize,
+            vref.len as usize,
+        );
         use pserial::ReadSource;
         src.get(&mut buf)?;
         Ok(buf)

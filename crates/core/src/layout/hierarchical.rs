@@ -42,7 +42,8 @@ impl HierarchicalLayout {
     /// Create parent directories implied by '/' in the key.
     fn ensure_parent(&self, clock: &Clock, key: &str) -> Result<()> {
         if let Some(pos) = key.rfind('/') {
-            self.fs.mkdir_p(clock, &format!("{}/{}", self.root, &key[..pos]))?;
+            self.fs
+                .mkdir_p(clock, &format!("{}/{}", self.root, &key[..pos]))?;
         }
         Ok(())
     }
@@ -50,6 +51,7 @@ impl HierarchicalLayout {
 
 impl Layout for HierarchicalLayout {
     fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()> {
+        let t0 = self.machine.trace_start(clock);
         self.ensure_parent(clock, key)?;
         let path = self.path_of(key);
         let slen = self.serializer.serialized_len(meta, payload.len() as u64);
@@ -59,11 +61,30 @@ impl Layout for HierarchicalLayout {
         // Map the file and serialize directly into it.
         let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
         self.machine
-            .charge_serialize(clock, payload.len() as u64, self.serializer.cpu_cost_factor());
+            .trace_finish(clock, t0, "put", "put.reserve", None);
+        let t1 = self.machine.trace_start(clock);
+        self.machine.charge_serialize(
+            clock,
+            payload.len() as u64,
+            self.serializer.cpu_cost_factor(),
+        );
+        self.machine.trace_finish(
+            clock,
+            t1,
+            "put",
+            "put.serialize",
+            Some(("bytes", payload.len() as u64)),
+        );
+        let t2 = self.machine.trace_start(clock);
         let mut sink = MappingSink::new(&mapping, clock, 0, slen as usize);
         self.serializer.write_var(meta, payload, &mut sink)?;
+        self.machine
+            .trace_finish(clock, t2, "put", "put.memcpy", Some(("bytes", slen)));
+        let t3 = self.machine.trace_start(clock);
         mapping.persist(clock, 0, slen as usize);
         mapping.unmap(clock);
+        self.machine
+            .trace_finish(clock, t3, "put", "put.persist", Some(("bytes", slen)));
         Ok(())
     }
 
@@ -85,20 +106,43 @@ impl Layout for HierarchicalLayout {
         if !self.fs.exists(&path) {
             return Err(PmemCpyError::NotFound(key.to_string()));
         }
+        let t0 = self.machine.trace_start(clock);
         let len = self.fs.file_size(&path)? as usize;
         let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
+        self.machine
+            .trace_finish(clock, t0, "get", "get.lookup", None);
+        let t1 = self.machine.trace_start(clock);
         let mut src = MappingSource::new(&mapping, clock, 0, len);
         let hdr = self.serializer.read_header(&mut src)?;
         if hdr.payload_len != dst.len() as u64 {
             mapping.unmap(clock);
             return Err(PmemCpyError::ShapeMismatch {
                 id: key.to_string(),
-                detail: format!("payload {} bytes, buffer {} bytes", hdr.payload_len, dst.len()),
+                detail: format!(
+                    "payload {} bytes, buffer {} bytes",
+                    hdr.payload_len,
+                    dst.len()
+                ),
             });
         }
         self.serializer.read_payload(&mut src, dst)?;
+        self.machine.trace_finish(
+            clock,
+            t1,
+            "get",
+            "get.memcpy",
+            Some(("bytes", dst.len() as u64)),
+        );
+        let t2 = self.machine.trace_start(clock);
         self.machine
             .charge_serialize(clock, dst.len() as u64, self.serializer.cpu_cost_factor());
+        self.machine.trace_finish(
+            clock,
+            t2,
+            "get",
+            "get.deserialize",
+            Some(("bytes", dst.len() as u64)),
+        );
         mapping.unmap(clock);
         Ok(hdr)
     }
@@ -126,9 +170,15 @@ impl Layout for HierarchicalLayout {
             } else {
                 format!("{}/{}", self.root, prefix)
             };
-            let Ok(entries) = self.fs.list_dir(&dir) else { continue };
+            let Ok(entries) = self.fs.list_dir(&dir) else {
+                continue;
+            };
             for (name, kind) in entries {
-                let key = if prefix.is_empty() { name.clone() } else { format!("{prefix}/{name}") };
+                let key = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix}/{name}")
+                };
                 match kind {
                     EntryKind::Dir => stack.push(key),
                     EntryKind::File => out.push(key),

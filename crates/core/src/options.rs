@@ -48,13 +48,17 @@ impl Options {
 
     /// The paper's PMCPY-B configuration (MAP_SYNC enabled).
     pub fn pmcpy_b() -> Self {
-        Options { map_sync: true, ..Options::default() }
+        Options {
+            map_sync: true,
+            ..Options::default()
+        }
     }
 
     /// Resolve the serializer from the registry.
     pub fn resolve_serializer(&self) -> Result<&'static dyn Serializer> {
-        pserial::by_name(&self.serializer)
-            .ok_or_else(|| PmemCpyError::Config(format!("unknown serializer {:?}", self.serializer)))
+        pserial::by_name(&self.serializer).ok_or_else(|| {
+            PmemCpyError::Config(format!("unknown serializer {:?}", self.serializer))
+        })
     }
 }
 
@@ -80,7 +84,13 @@ mod tests {
 
     #[test]
     fn unknown_serializer_is_a_config_error() {
-        let o = Options { serializer: "json".into(), ..Options::default() };
-        assert!(matches!(o.resolve_serializer(), Err(PmemCpyError::Config(_))));
+        let o = Options {
+            serializer: "json".into(),
+            ..Options::default()
+        };
+        assert!(matches!(
+            o.resolve_serializer(),
+            Err(PmemCpyError::Config(_))
+        ));
     }
 }

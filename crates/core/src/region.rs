@@ -148,14 +148,24 @@ impl Pmem {
             let mut block = vec![0u8; hdr.payload_len as usize];
             layout.load_into(clock, &key, &mut block)?;
             copy_box(
-                esize, &s_off, &s_dims, &block, b_off, b_dims, dst_bytes, region_off, region_dims,
+                esize,
+                &s_off,
+                &s_dims,
+                &block,
+                b_off,
+                b_dims,
+                dst_bytes,
+                region_off,
+                region_dims,
             );
             covered += s_dims.iter().product::<u64>();
         }
         if covered < want {
             return Err(PmemCpyError::OutOfBounds {
                 id: id.to_string(),
-                detail: format!("region only covered by stored blocks for {covered}/{want} elements"),
+                detail: format!(
+                    "region only covered by stored blocks for {covered}/{want} elements"
+                ),
             });
         }
         Ok(())
@@ -196,7 +206,17 @@ mod tests {
         let src: Vec<u8> = (0..16u8).collect();
         // dst: 2x2 region at (1,1).
         let mut dst = vec![0u8; 4];
-        copy_box(1, &[1, 1], &[2, 2], &src, &[0, 0], &[4, 4], &mut dst, &[1, 1], &[2, 2]);
+        copy_box(
+            1,
+            &[1, 1],
+            &[2, 2],
+            &src,
+            &[0, 0],
+            &[4, 4],
+            &mut dst,
+            &[1, 1],
+            &[2, 2],
+        );
         assert_eq!(dst, vec![5, 6, 9, 10]);
     }
 
@@ -205,7 +225,17 @@ mod tests {
         // 2x2x2 source at origin, copy the z=1 plane into a 2x2x1 region.
         let src: Vec<u8> = (0..8u8).collect();
         let mut dst = vec![0u8; 4];
-        copy_box(1, &[0, 0, 1], &[2, 2, 1], &src, &[0, 0, 0], &[2, 2, 2], &mut dst, &[0, 0, 1], &[2, 2, 1]);
+        copy_box(
+            1,
+            &[0, 0, 1],
+            &[2, 2, 1],
+            &src,
+            &[0, 0, 0],
+            &[2, 2, 2],
+            &mut dst,
+            &[0, 0, 1],
+            &[2, 2, 1],
+        );
         assert_eq!(dst, vec![1, 3, 5, 7]);
     }
 }

@@ -74,7 +74,9 @@ pub fn shared_pool(
         hashtable: Arc::new(hashtable),
         lock_registry: Arc::new(pmdk_sim::locks::LockRegistry::default()),
     };
-    let inner = Arc::new(SharedPoolInner { shared: shared.clone() });
+    let inner = Arc::new(SharedPoolInner {
+        shared: shared.clone(),
+    });
     reg.insert(key, Arc::downgrade(&inner));
     // Keep the interned entry alive as long as any SharedPool clone lives:
     // stash the Arc inside the hashtable's pool via a leak-free side table.

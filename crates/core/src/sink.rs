@@ -21,7 +21,13 @@ impl<'a> MappingSink<'a> {
     /// Write window `[base, base+limit)` of `mapping`.
     pub fn new(mapping: &'a DaxMapping, clock: &'a Clock, base: usize, limit: usize) -> Self {
         assert!(base + limit <= mapping.len(), "sink window exceeds mapping");
-        MappingSink { mapping, clock, base, pos: 0, limit }
+        MappingSink {
+            mapping,
+            clock,
+            base,
+            pos: 0,
+            limit,
+        }
     }
 
     /// Bytes written.
@@ -59,8 +65,17 @@ pub struct MappingSource<'a> {
 
 impl<'a> MappingSource<'a> {
     pub fn new(mapping: &'a DaxMapping, clock: &'a Clock, base: usize, limit: usize) -> Self {
-        assert!(base + limit <= mapping.len(), "source window exceeds mapping");
-        MappingSource { mapping, clock, base, pos: 0, limit }
+        assert!(
+            base + limit <= mapping.len(),
+            "source window exceeds mapping"
+        );
+        MappingSource {
+            mapping,
+            clock,
+            base,
+            pos: 0,
+            limit,
+        }
     }
 }
 
@@ -81,7 +96,9 @@ impl ReadSource for MappingSource<'_> {
 
     fn skip(&mut self, n: u64) -> SResult<()> {
         if self.pos as u64 + n > self.limit as u64 {
-            return Err(SerialError::Corrupt("mapping source skip past window".into()));
+            return Err(SerialError::Corrupt(
+                "mapping source skip past window".into(),
+            ));
         }
         self.pos += n as usize;
         Ok(())

@@ -23,11 +23,18 @@ fn mapped_single(opts: Options, dev: &Arc<PmemDevice>) -> (Pmem, mpi_sim::Comm) 
 fn scalar_round_trip_all_serializers() {
     for ser in ["bp4", "cereal", "capnp-lite", "raw"] {
         let dev = devdax(8);
-        let opts = Options { serializer: ser.into(), ..Options::default() };
+        let opts = Options {
+            serializer: ser.into(),
+            ..Options::default()
+        };
         let (mut pmem, _comm) = mapped_single(opts, &dev);
         pmem.store_scalar("answer", 42.5f64).unwrap();
         pmem.store_scalar("count", 7u64).unwrap();
-        assert_eq!(pmem.load_scalar::<f64>("answer").unwrap(), 42.5, "ser={ser}");
+        assert_eq!(
+            pmem.load_scalar::<f64>("answer").unwrap(),
+            42.5,
+            "ser={ser}"
+        );
         assert_eq!(pmem.load_scalar::<u64>("count").unwrap(), 7, "ser={ser}");
         pmem.munmap().unwrap();
     }
@@ -61,7 +68,12 @@ impl_pod!(SimState, 32);
 fn pod_struct_round_trip() {
     let dev = devdax(8);
     let (mut pmem, _comm) = mapped_single(Options::default(), &dev);
-    let st = SimState { step: 100, time: 0.5, dt: 1e-6, energy: -3.25 };
+    let st = SimState {
+        step: 100,
+        time: 0.5,
+        dt: 1e-6,
+        energy: -3.25,
+    };
     pmem.store_pod("state", &st).unwrap();
     assert_eq!(pmem.load_pod::<SimState>("state").unwrap(), st);
     pmem.munmap().unwrap();
@@ -129,7 +141,10 @@ fn three_d_blocks_round_trip() {
         comm.barrier();
         let mut back = vec![0f64; block.len()];
         pmem.load_block("rho", &mut back, &off, &dims).unwrap();
-        assert_eq!(workloads::verify_block(&decomp, 0, comm.rank() as u64, &back), 0);
+        assert_eq!(
+            workloads::verify_block(&decomp, 0, comm.rank() as u64, &back),
+            0
+        );
         pmem.munmap().unwrap();
     });
 }
@@ -140,20 +155,37 @@ fn hierarchical_layout_round_trip_with_directories() {
     let fs = SimFs::mount_all(Arc::clone(&dev), MountMode::Dax);
     let world = mpi_sim::World::new(Arc::clone(dev.machine()), 1);
     let comm = mpi_sim::Comm::new(world, 0);
-    let opts = Options { layout: DataLayout::HierarchicalFiles, ..Options::default() };
+    let opts = Options {
+        layout: DataLayout::HierarchicalFiles,
+        ..Options::default()
+    };
     let mut pmem = Pmem::with_options(opts);
-    pmem.mmap(MmapTarget::Fs { fs: &fs, dir: "/pmemcpy" }, &comm).unwrap();
+    pmem.mmap(
+        MmapTarget::Fs {
+            fs: &fs,
+            dir: "/pmemcpy",
+        },
+        &comm,
+    )
+    .unwrap();
 
     // '/' in the id creates directories (§3).
-    pmem.store_slice("fluid/velocity/u", &vec![1.0f64; 64]).unwrap();
+    pmem.store_slice("fluid/velocity/u", &vec![1.0f64; 64])
+        .unwrap();
     pmem.store_scalar("fluid/step", 9u64).unwrap();
     assert!(fs.exists("/pmemcpy/fluid/velocity/u"));
-    assert_eq!(pmem.load_slice::<f64>("fluid/velocity/u").unwrap(), vec![1.0f64; 64]);
+    assert_eq!(
+        pmem.load_slice::<f64>("fluid/velocity/u").unwrap(),
+        vec![1.0f64; 64]
+    );
     assert_eq!(pmem.load_scalar::<u64>("fluid/step").unwrap(), 9);
 
     let mut keys = pmem.keys().unwrap();
     keys.sort();
-    assert_eq!(keys, vec!["fluid/step".to_string(), "fluid/velocity/u".to_string()]);
+    assert_eq!(
+        keys,
+        vec!["fluid/step".to_string(), "fluid/velocity/u".to_string()]
+    );
     pmem.munmap().unwrap();
 }
 
@@ -217,7 +249,8 @@ fn map_sync_costs_more_virtual_time() {
             let mut pmem = Pmem::with_options(opts.clone());
             pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
             let data = vec![comm.rank() as f64; 1 << 16];
-            pmem.store_slice(&format!("x{}", comm.rank()), &data).unwrap();
+            pmem.store_slice(&format!("x{}", comm.rank()), &data)
+                .unwrap();
             let t = pmem.now();
             pmem.munmap().unwrap();
             t
@@ -238,7 +271,10 @@ fn data_survives_munmap_and_remap() {
 
     let mut pmem = Pmem::new();
     pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
-    assert_eq!(pmem.load_slice::<u64>("persisted").unwrap(), vec![7u64; 100]);
+    assert_eq!(
+        pmem.load_slice::<u64>("persisted").unwrap(),
+        vec![7u64; 100]
+    );
     pmem.munmap().unwrap();
 }
 
@@ -249,7 +285,10 @@ fn zero_staging_property_holds_on_store() {
     let before = dev.machine().stats.snapshot();
     pmem.store_slice("big", &vec![1.5f64; 1 << 15]).unwrap();
     let delta = dev.machine().stats.snapshot().delta_since(&before);
-    assert!(delta.pmem_bytes_written >= (1 << 18), "payload must hit PMEM");
+    assert!(
+        delta.pmem_bytes_written >= (1 << 18),
+        "payload must hit PMEM"
+    );
     assert_eq!(delta.dram_bytes_copied, 0, "no DRAM staging copies allowed");
     pmem.munmap().unwrap();
 }
@@ -274,7 +313,8 @@ fn load_region_spans_multiple_blocks() {
         // Every rank reads a centred 8x8x8 box straddling all 8 blocks.
         let (roff, rdims) = ([4u64, 4, 4], [8u64, 8, 8]);
         let mut region = vec![0f64; 512];
-        pmem.load_region("field", &mut region, &roff, &rdims).unwrap();
+        pmem.load_region("field", &mut region, &roff, &rdims)
+            .unwrap();
         let g = &decomp.global_dims;
         for x in 0..8u64 {
             for y in 0..8u64 {
@@ -295,13 +335,20 @@ fn load_region_detects_uncovered_elements() {
     let (mut pmem, _comm) = mapped_single(Options::default(), &dev);
     pmem.alloc::<f64>("partial", &[8, 8]).unwrap();
     // Store only the left half.
-    pmem.store_block("partial", &vec![1.0f64; 32], &[0, 0], &[8, 4]).unwrap();
+    pmem.store_block("partial", &vec![1.0f64; 32], &[0, 0], &[8, 4])
+        .unwrap();
     let mut region = vec![0f64; 64];
-    let err = pmem.load_region("partial", &mut region, &[0, 0], &[8, 8]).unwrap_err();
-    assert!(matches!(err, pmemcpy::PmemCpyError::OutOfBounds { .. }), "{err}");
+    let err = pmem
+        .load_region("partial", &mut region, &[0, 0], &[8, 8])
+        .unwrap_err();
+    assert!(
+        matches!(err, pmemcpy::PmemCpyError::OutOfBounds { .. }),
+        "{err}"
+    );
     // The covered half alone works.
     let mut half = vec![0f64; 32];
-    pmem.load_region("partial", &mut half, &[0, 0], &[8, 4]).unwrap();
+    pmem.load_region("partial", &mut half, &[0, 0], &[8, 4])
+        .unwrap();
     assert!(half.iter().all(|&v| v == 1.0));
     pmem.munmap().unwrap();
 }
@@ -309,8 +356,13 @@ fn load_region_detects_uncovered_elements() {
 #[test]
 fn load_region_rejects_raw_serializer_and_bad_shapes() {
     let dev = devdax(16);
-    let (mut pmem, _comm) =
-        mapped_single(Options { serializer: "raw".into(), ..Options::default() }, &dev);
+    let (mut pmem, _comm) = mapped_single(
+        Options {
+            serializer: "raw".into(),
+            ..Options::default()
+        },
+        &dev,
+    );
     pmem.alloc::<f64>("x", &[4, 4]).unwrap();
     let mut buf = vec![0f64; 4];
     assert!(matches!(
@@ -321,7 +373,8 @@ fn load_region_rejects_raw_serializer_and_bad_shapes() {
 
     let (mut pmem, _comm) = mapped_single(Options::default(), &dev);
     pmem.alloc::<f64>("y", &[4, 4]).unwrap();
-    pmem.store_block("y", &[0.5f64; 16], &[0, 0], &[4, 4]).unwrap();
+    pmem.store_block("y", &[0.5f64; 16], &[0, 0], &[4, 4])
+        .unwrap();
     // Region out of global bounds.
     assert!(pmem.load_region("y", &mut buf, &[3, 3], &[2, 2]).is_err());
     // Buffer size mismatch.
@@ -340,7 +393,10 @@ fn attributes_round_trip_and_enumerate() {
     pmem.set_attr("T", "units", "kelvin").unwrap();
     pmem.set_attr("T", "source", "S3D step 12000").unwrap();
     assert_eq!(pmem.get_attr("T", "units").unwrap(), "kelvin");
-    assert_eq!(pmem.attrs("T").unwrap(), vec!["source".to_string(), "units".to_string()]);
+    assert_eq!(
+        pmem.attrs("T").unwrap(),
+        vec!["source".to_string(), "units".to_string()]
+    );
     // Overwrite.
     pmem.set_attr("T", "units", "celsius").unwrap();
     assert_eq!(pmem.get_attr("T", "units").unwrap(), "celsius");

@@ -1,11 +1,12 @@
-//! Property-based tests of the pMEMCPY public API: arbitrary store/load
+//! Property-style tests of the pMEMCPY public API: arbitrary store/load
 //! sequences model-checked against a HashMap, across serializers and
-//! layouts; region reads checked against direct indexing.
+//! layouts; region reads checked against direct indexing. Driven by a
+//! seeded deterministic generator (offline replacement for the former
+//! proptest dependency; same invariants, reproducible cases).
 
 use mpi_sim::{Comm, World};
-use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+use pmem_sim::{DetRng, Machine, PersistenceMode, PmemDevice};
 use pmemcpy::{DataLayout, MmapTarget, Options, Pmem};
-use proptest::prelude::*;
 use simfs::{MountMode, SimFs};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -21,9 +22,9 @@ fn mapped(opts: Options) -> (Pmem, Comm, Arc<SimFs>) {
     let mut pmem = Pmem::with_options(opts.clone());
     match opts.layout {
         DataLayout::PmdkHashtable => pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap(),
-        DataLayout::HierarchicalFiles => {
-            pmem.mmap(MmapTarget::Fs { fs: &fs, dir: "/p" }, &comm).unwrap()
-        }
+        DataLayout::HierarchicalFiles => pmem
+            .mmap(MmapTarget::Fs { fs: &fs, dir: "/p" }, &comm)
+            .unwrap(),
     }
     (pmem, comm, fs)
 }
@@ -37,38 +38,37 @@ enum Op {
     Remove(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0u8..6, prop::collection::vec(any::<f64>(), 1..200)).prop_map(|(k, v)| Op::StoreSlice(k, v)),
-        2 => (0u8..6).prop_map(Op::LoadSlice),
-        2 => (0u8..6, any::<f64>()).prop_map(|(k, v)| Op::StoreScalar(k, v)),
-        2 => (0u8..6).prop_map(Op::LoadScalar),
-        1 => (0u8..6).prop_map(Op::Remove),
-    ]
+fn arb_op(rng: &mut DetRng) -> Op {
+    let k = rng.gen_range(0, 6) as u8;
+    match rng.pick_weighted(&[3, 2, 2, 2, 1]) {
+        0 => {
+            let v: Vec<f64> = (0..rng.gen_range(1, 200)).map(|_| rng.any_f64()).collect();
+            Op::StoreSlice(k, v)
+        }
+        1 => Op::LoadSlice(k),
+        2 => Op::StoreScalar(k, rng.any_f64()),
+        3 => Op::LoadScalar(k),
+        _ => Op::Remove(k),
+    }
 }
 
-fn layout_strategy() -> impl Strategy<Value = DataLayout> {
-    prop_oneof![Just(DataLayout::PmdkHashtable), Just(DataLayout::HierarchicalFiles)]
-}
+#[test]
+fn api_matches_hashmap_model() {
+    let mut rng = DetRng::new(0xAB1);
+    let layouts = [DataLayout::PmdkHashtable, DataLayout::HierarchicalFiles];
+    let serializers = ["bp4", "cereal", "capnp-lite"];
+    for case in 0..24 {
+        let ops: Vec<Op> = (0..rng.gen_range(1, 40))
+            .map(|_| arb_op(&mut rng))
+            .collect();
+        let layout = layouts[rng.index(layouts.len())];
+        let serializer = serializers[rng.index(serializers.len())].to_string();
 
-fn serializer_strategy() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("bp4".to_string()),
-        Just("cereal".to_string()),
-        Just("capnp-lite".to_string()),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn api_matches_hashmap_model(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        layout in layout_strategy(),
-        serializer in serializer_strategy(),
-    ) {
-        let opts = Options { layout, serializer, ..Options::default() };
+        let opts = Options {
+            layout,
+            serializer,
+            ..Options::default()
+        };
         let (mut pmem, _comm, _fs) = mapped(opts);
         // Model: key -> either a slice or a scalar.
         let mut slices: HashMap<String, Vec<f64>> = HashMap::new();
@@ -86,14 +86,15 @@ proptest! {
                     match slices.get(&key) {
                         Some(v) => {
                             let got = pmem.load_slice::<f64>(&key).unwrap();
-                            prop_assert_eq!(
+                            assert_eq!(
                                 got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-                                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                                v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                                "case {case}"
                             );
                         }
                         None => {
                             if !scalars.contains_key(&key) {
-                                prop_assert!(pmem.load_slice::<f64>(&key).is_err());
+                                assert!(pmem.load_slice::<f64>(&key).is_err(), "case {case}");
                             }
                         }
                     }
@@ -108,30 +109,35 @@ proptest! {
                     let key = format!("s{k}");
                     if let Some(v) = scalars.get(&key) {
                         let got = pmem.load_scalar::<f64>(&key).unwrap();
-                        prop_assert_eq!(got.to_bits(), v.to_bits());
+                        assert_eq!(got.to_bits(), v.to_bits(), "case {case}");
                     }
                 }
                 Op::Remove(k) => {
                     let key = format!("s{k}");
                     let existed = slices.remove(&key).is_some() | scalars.remove(&key).is_some();
                     let removed = pmem.remove(&key).unwrap();
-                    prop_assert_eq!(removed, existed);
+                    assert_eq!(removed, existed, "case {case}");
                 }
             }
         }
         // Final sweep: everything in the model is loadable.
         for (key, v) in &slices {
             let got = pmem.load_slice::<f64>(key).unwrap();
-            prop_assert_eq!(got.len(), v.len());
+            assert_eq!(got.len(), v.len(), "case {case}");
         }
         pmem.munmap().unwrap();
     }
+}
 
-    #[test]
-    fn region_reads_match_direct_indexing(
-        gx in 2u64..10, gy in 2u64..10, gz in 2u64..10,
-        fx in 0.0f64..1.0, fy in 0.0f64..1.0, fz in 0.0f64..1.0,
-    ) {
+#[test]
+fn region_reads_match_direct_indexing() {
+    let mut rng = DetRng::new(0x4E61);
+    for case in 0..24 {
+        let gx = rng.gen_range(2, 10);
+        let gy = rng.gen_range(2, 10);
+        let gz = rng.gen_range(2, 10);
+        let (fx, fy, fz) = (rng.next_f64(), rng.next_f64(), rng.next_f64());
+
         let (mut pmem, _comm, _fs) = mapped(Options::default());
         let global = [gx, gy, gz];
         let total = (gx * gy * gz) as usize;
@@ -155,7 +161,7 @@ proptest! {
                 for z in 0..dims[2] {
                     let gl = ((off[0] + x) * gy + (off[1] + y)) * gz + (off[2] + z);
                     let r = (x * dims[1] * dims[2] + y * dims[2] + z) as usize;
-                    prop_assert_eq!(region[r], gl as f64);
+                    assert_eq!(region[r], gl as f64, "case {case}");
                 }
             }
         }

@@ -27,7 +27,10 @@ struct Mailbox {
 
 impl Mailbox {
     fn new() -> Self {
-        Mailbox { queues: Mutex::new(HashMap::new()), signal: Condvar::new() }
+        Mailbox {
+            queues: Mutex::new(HashMap::new()),
+            signal: Condvar::new(),
+        }
     }
 }
 
@@ -37,6 +40,9 @@ pub struct World {
     machine: Arc<Machine>,
     size: usize,
     mailboxes: Vec<Mailbox>,
+    /// First rank panic, if any. A poisoned world wakes every blocked
+    /// receiver so a dead rank cannot deadlock its peers.
+    poison: Mutex<Option<String>>,
 }
 
 impl World {
@@ -47,6 +53,7 @@ impl World {
             machine,
             size,
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            poison: Mutex::new(None),
         })
     }
 
@@ -56,6 +63,35 @@ impl World {
 
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// Mark the world dead (a rank panicked) and wake every blocked
+    /// receiver. The first message wins; later panics are usually the
+    /// secondary "world poisoned" ones from woken peers.
+    pub fn poison(&self, msg: String) {
+        {
+            let mut p = self.poison.lock();
+            if p.is_none() {
+                *p = Some(msg);
+            }
+        }
+        for mbox in &self.mailboxes {
+            // Lock the queue while notifying so a receiver between its
+            // poison check and its wait cannot miss the wakeup.
+            let _q = mbox.queues.lock();
+            mbox.signal.notify_all();
+        }
+    }
+
+    /// The first rank panic recorded by [`World::poison`], if any.
+    pub fn poison_message(&self) -> Option<String> {
+        self.poison.lock().clone()
+    }
+
+    fn check_poison(&self) {
+        if let Some(msg) = self.poison.lock().as_deref() {
+            panic!("world poisoned: {msg}");
+        }
     }
 }
 
@@ -78,7 +114,12 @@ pub enum ReduceOp {
 impl Comm {
     pub fn new(world: Arc<World>, rank: usize) -> Self {
         assert!(rank < world.size());
-        Comm { world, rank, clock: Arc::new(Clock::new()) }
+        // Each rank's clock reports trace spans on its own lane.
+        Comm {
+            world,
+            rank,
+            clock: Arc::new(Clock::with_lane(rank as u64)),
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -115,7 +156,9 @@ impl Comm {
     /// Asynchronous send (buffered, like a small-message MPI_Send).
     pub fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.size(), "send to rank {dest} of {}", self.size());
-        let delivery = self.machine().charge_message(&self.clock, data.len() as u64);
+        let delivery = self
+            .machine()
+            .charge_message(&self.clock, data.len() as u64);
         let mbox = &self.world.mailboxes[dest];
         let mut queues = mbox.queues.lock();
         queues
@@ -127,10 +170,24 @@ impl Comm {
 
     /// Blocking receive of the next message from `src` with `tag`.
     pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        let t0 = self.machine().trace_start(&self.clock);
+        let data = self.recv_inner(src, tag);
+        self.machine().trace_finish(
+            &self.clock,
+            t0,
+            "mpi",
+            "recv.wait",
+            Some(("bytes", data.len() as u64)),
+        );
+        data
+    }
+
+    fn recv_inner(&self, src: usize, tag: u64) -> Vec<u8> {
         assert!(src < self.size(), "recv from rank {src} of {}", self.size());
         let mbox = &self.world.mailboxes[self.rank];
         let mut queues = mbox.queues.lock();
         loop {
+            self.world.check_poison();
             if let Some(q) = queues.get_mut(&(src, tag)) {
                 if let Some((data, delivery)) = q.pop_front() {
                     // Virtual time: the message cannot be consumed before it
@@ -148,6 +205,13 @@ impl Comm {
     /// Dissemination barrier: ⌈log₂ P⌉ rounds of zero-byte messages. After
     /// the barrier every participant's clock reflects the slowest rank.
     pub fn barrier(&self) {
+        let t0 = self.machine().trace_start(&self.clock);
+        self.barrier_inner();
+        self.machine()
+            .trace_finish(&self.clock, t0, "mpi", "barrier", None);
+    }
+
+    fn barrier_inner(&self) {
         let p = self.size();
         if p == 1 {
             return;
@@ -166,11 +230,27 @@ impl Comm {
 
     /// Binomial-tree broadcast from `root`. Returns the payload on all ranks.
     pub fn bcast(&self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+        let t0 = self.machine().trace_start(&self.clock);
+        let out = self.bcast_inner(root, data);
+        self.machine().trace_finish(
+            &self.clock,
+            t0,
+            "mpi",
+            "bcast",
+            Some(("bytes", out.len() as u64)),
+        );
+        out
+    }
+
+    fn bcast_inner(&self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
         let p = self.size();
         // Rotate so the root is virtual rank 0.
         let vrank = (self.rank + p - root) % p;
         let mut payload: Option<Vec<u8>> = if self.rank == root {
-            Some(data.expect("root must supply the broadcast payload").to_vec())
+            Some(
+                data.expect("root must supply the broadcast payload")
+                    .to_vec(),
+            )
         } else {
             None
         };
@@ -210,6 +290,19 @@ impl Comm {
     /// Gather variable-length buffers to `root`. Returns `Some(rank-ordered
     /// payloads)` on the root, `None` elsewhere.
     pub fn gatherv(&self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let t0 = self.machine().trace_start(&self.clock);
+        let out = self.gatherv_inner(root, data);
+        self.machine().trace_finish(
+            &self.clock,
+            t0,
+            "mpi",
+            "gatherv",
+            Some(("bytes", data.len() as u64)),
+        );
+        out
+    }
+
+    fn gatherv_inner(&self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size()];
             out[root] = data.to_vec();
@@ -243,6 +336,15 @@ impl Comm {
     /// receives from `rank-s`, which is balanced for any rank count (sends
     /// are buffered, so the blocking receive cannot deadlock).
     pub fn alltoallv(&self, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let t0 = self.machine().trace_start(&self.clock);
+        let sent: u64 = sends.iter().map(|b| b.len() as u64).sum();
+        let out = self.alltoallv_inner(sends);
+        self.machine()
+            .trace_finish(&self.clock, t0, "mpi", "alltoallv", Some(("bytes", sent)));
+        out
+    }
+
+    fn alltoallv_inner(&self, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
         assert_eq!(sends.len(), self.size(), "one send buffer per rank");
         let p = self.size();
         let mut out = vec![Vec::new(); p];
@@ -259,6 +361,19 @@ impl Comm {
     /// Scatter per-rank buffers from `root`: rank `i` receives `bufs[i]`.
     /// Non-roots pass `None`.
     pub fn scatterv(&self, root: usize, bufs: Option<&[Vec<u8>]>) -> Vec<u8> {
+        let t0 = self.machine().trace_start(&self.clock);
+        let out = self.scatterv_inner(root, bufs);
+        self.machine().trace_finish(
+            &self.clock,
+            t0,
+            "mpi",
+            "scatterv",
+            Some(("bytes", out.len() as u64)),
+        );
+        out
+    }
+
+    fn scatterv_inner(&self, root: usize, bufs: Option<&[Vec<u8>]>) -> Vec<u8> {
         if self.rank == root {
             let bufs = bufs.expect("root must supply scatter buffers");
             assert_eq!(bufs.len(), self.size(), "one buffer per rank");
@@ -276,7 +391,9 @@ impl Comm {
     /// Reduce `value` across ranks with `op`; `Some(result)` on root.
     pub fn reduce_u64(&self, root: usize, value: u64, op: ReduceOp) -> Option<u64> {
         let gathered = self.gatherv(root, &value.to_le_bytes())?;
-        let vals = gathered.iter().map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()));
+        let vals = gathered
+            .iter()
+            .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()));
         Some(match op {
             ReduceOp::Sum => vals.sum(),
             ReduceOp::Max => vals.max().unwrap_or(0),
@@ -286,7 +403,9 @@ impl Comm {
 
     /// Allreduce: reduce + broadcast.
     pub fn allreduce_u64(&self, value: u64, op: ReduceOp) -> u64 {
-        let reduced = self.reduce_u64(0, value, op).map(|v| v.to_le_bytes().to_vec());
+        let reduced = self
+            .reduce_u64(0, value, op)
+            .map(|v| v.to_le_bytes().to_vec());
         let bytes = self.bcast(0, reduced.as_deref());
         u64::from_le_bytes(bytes[..8].try_into().unwrap())
     }
@@ -294,7 +413,9 @@ impl Comm {
     /// Reduce a float across ranks (sum/max/min); `Some(result)` on root.
     pub fn reduce_f64(&self, root: usize, value: f64, op: ReduceOp) -> Option<f64> {
         let gathered = self.gatherv(root, &value.to_le_bytes())?;
-        let vals = gathered.iter().map(|b| f64::from_le_bytes(b[..8].try_into().unwrap()));
+        let vals = gathered
+            .iter()
+            .map(|b| f64::from_le_bytes(b[..8].try_into().unwrap()));
         Some(match op {
             ReduceOp::Sum => vals.sum(),
             ReduceOp::Max => vals.fold(f64::NEG_INFINITY, f64::max),
@@ -304,7 +425,9 @@ impl Comm {
 
     /// Float allreduce: reduce + broadcast.
     pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
-        let reduced = self.reduce_f64(0, value, op).map(|v| v.to_le_bytes().to_vec());
+        let reduced = self
+            .reduce_f64(0, value, op)
+            .map(|v| v.to_le_bytes().to_vec());
         let bytes = self.bcast(0, reduced.as_deref());
         f64::from_le_bytes(bytes[..8].try_into().unwrap())
     }
@@ -379,7 +502,10 @@ mod tests {
                 comm.clock().advance(SimTime::from_millis(5));
             }
             comm.barrier();
-            assert!(comm.now() >= SimTime::from_millis(5), "barrier must wait for the slowest rank");
+            assert!(
+                comm.now() >= SimTime::from_millis(5),
+                "barrier must wait for the slowest rank"
+            );
         });
     }
 
@@ -388,7 +514,11 @@ mod tests {
         for p in [1, 2, 3, 5, 8] {
             let machine = Machine::chameleon();
             run_world(machine, p, move |comm| {
-                let data = if comm.rank() == 0 { Some(&b"model-config"[..]) } else { None };
+                let data = if comm.rank() == 0 {
+                    Some(&b"model-config"[..])
+                } else {
+                    None
+                };
                 let got = comm.bcast(0, data);
                 assert_eq!(got, b"model-config");
             });
@@ -399,7 +529,11 @@ mod tests {
     fn bcast_from_nonzero_root() {
         let machine = Machine::chameleon();
         run_world(machine, 5, |comm| {
-            let data = if comm.rank() == 3 { Some(&b"hello"[..]) } else { None };
+            let data = if comm.rank() == 3 {
+                Some(&b"hello"[..])
+            } else {
+                None
+            };
             assert_eq!(comm.bcast(3, data), b"hello");
         });
     }
@@ -452,7 +586,9 @@ mod tests {
         let machine = Machine::chameleon();
         run_world(machine, 5, |comm| {
             let bufs: Option<Vec<Vec<u8>>> = (comm.rank() == 1).then(|| {
-                (0..comm.size()).map(|r| format!("for-{r}").into_bytes()).collect()
+                (0..comm.size())
+                    .map(|r| format!("for-{r}").into_bytes())
+                    .collect()
             });
             let mine = comm.scatterv(1, bufs.as_deref());
             assert_eq!(mine, format!("for-{}", comm.rank()).as_bytes());

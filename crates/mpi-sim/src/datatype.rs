@@ -124,7 +124,14 @@ mod tests {
     #[test]
     fn one_dim_is_a_single_run() {
         let s = Subarray::new(&[100], &[25], &[50]);
-        assert_eq!(s.runs(), vec![Run { global_offset: 50, local_offset: 0, len: 25 }]);
+        assert_eq!(
+            s.runs(),
+            vec![Run {
+                global_offset: 50,
+                local_offset: 0,
+                len: 25
+            }]
+        );
     }
 
     #[test]
@@ -134,8 +141,16 @@ mod tests {
         assert_eq!(
             s.runs(),
             vec![
-                Run { global_offset: 5, local_offset: 0, len: 2 },
-                Run { global_offset: 9, local_offset: 2, len: 2 },
+                Run {
+                    global_offset: 5,
+                    local_offset: 0,
+                    len: 2
+                },
+                Run {
+                    global_offset: 9,
+                    local_offset: 2,
+                    len: 2
+                },
             ]
         );
     }
@@ -156,7 +171,9 @@ mod tests {
     fn scatter_then_gather_is_identity() {
         let s = Subarray::new(&[3, 5], &[2, 3], &[1, 2]);
         let esize = 8;
-        let local: Vec<u8> = (0..s.elements() as usize * esize).map(|i| i as u8).collect();
+        let local: Vec<u8> = (0..s.elements() as usize * esize)
+            .map(|i| i as u8)
+            .collect();
         let mut global = vec![0u8; s.global_elements() as usize * esize];
         s.scatter(esize, &local, &mut global);
         let mut back = vec![0u8; local.len()];

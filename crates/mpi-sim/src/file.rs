@@ -48,14 +48,24 @@ impl MpiFile {
             comm.barrier();
             fs.open(comm.clock(), path)?
         };
-        Ok(MpiFile { fs: Arc::clone(fs), comm: comm.clone(), fd, path: path.to_string() })
+        Ok(MpiFile {
+            fs: Arc::clone(fs),
+            comm: comm.clone(),
+            fd,
+            path: path.to_string(),
+        })
     }
 
     /// Collectively open an existing file.
     pub fn open(comm: &Comm, fs: &Arc<SimFs>, path: &str) -> Result<MpiFile> {
         comm.barrier();
         let fd = fs.open(comm.clock(), path)?;
-        Ok(MpiFile { fs: Arc::clone(fs), comm: comm.clone(), fd, path: path.to_string() })
+        Ok(MpiFile {
+            fs: Arc::clone(fs),
+            comm: comm.clone(),
+            fd,
+            path: path.to_string(),
+        })
     }
 
     pub fn path(&self) -> &str {
@@ -91,9 +101,8 @@ impl MpiFile {
             }
             return Ok(());
         }
-        let (lo, hi) = self.collective_extent(
-            segments.iter().map(|s| (s.offset, s.data.len() as u64)),
-        );
+        let (lo, hi) =
+            self.collective_extent(segments.iter().map(|s| (s.offset, s.data.len() as u64)));
         if hi == lo {
             return Ok(());
         }
@@ -127,7 +136,9 @@ impl MpiFile {
         // Assembling into the aggregator's staging buffer is a DRAM copy.
         let staged: u64 = pieces.iter().map(|(_, d)| d.len() as u64).sum();
         if staged > 0 {
-            self.comm.machine().charge_dram_copy(self.comm.clock(), staged);
+            self.comm
+                .machine()
+                .charge_dram_copy(self.comm.clock(), staged);
         }
         for (off, data) in coalesce(pieces) {
             self.write_at(off, &data)?;
@@ -148,9 +159,9 @@ impl MpiFile {
             }
             return Ok(out);
         }
-        let (lo, hi) =
-            self.collective_extent(requests.iter().map(|r| (r.offset, r.len)));
-        let mut results: Vec<Vec<u8>> = requests.iter().map(|r| vec![0u8; r.len as usize]).collect();
+        let (lo, hi) = self.collective_extent(requests.iter().map(|r| (r.offset, r.len)));
+        let mut results: Vec<Vec<u8>> =
+            requests.iter().map(|r| vec![0u8; r.len as usize]).collect();
         if hi == lo {
             self.comm.barrier();
             return Ok(results);
@@ -217,7 +228,9 @@ impl MpiFile {
         }
         let placed: u64 = requests.iter().map(|r| r.len).sum();
         if placed > 0 {
-            self.comm.machine().charge_dram_copy(self.comm.clock(), placed);
+            self.comm
+                .machine()
+                .charge_dram_copy(self.comm.clock(), placed);
         }
         self.comm.barrier();
         Ok(results)
@@ -257,12 +270,7 @@ impl MpiFile {
 
 /// Split `[offset, offset+data.len)` by aggregator file domains of width
 /// `domain` starting at `lo`; yields (aggregator, file offset, chunk).
-fn split_by_domain(
-    lo: u64,
-    domain: u64,
-    offset: u64,
-    data: &[u8],
-) -> Vec<(usize, u64, &[u8])> {
+fn split_by_domain(lo: u64, domain: u64, offset: u64, data: &[u8]) -> Vec<(usize, u64, &[u8])> {
     let mut out = vec![];
     let mut pos = 0u64;
     let len = data.len() as u64;
@@ -363,8 +371,14 @@ mod tests {
             }
             comm.barrier();
             let reqs = [
-                ReadSegment { offset: comm.rank() as u64 * 512, len: 256 },
-                ReadSegment { offset: 2048 + comm.rank() as u64 * 128, len: 128 },
+                ReadSegment {
+                    offset: comm.rank() as u64 * 512,
+                    len: 256,
+                },
+                ReadSegment {
+                    offset: 2048 + comm.rank() as u64 * 128,
+                    len: 128,
+                },
             ];
             let bufs = f.read_at_all(&reqs).unwrap();
             for (r, buf) in reqs.iter().zip(&bufs) {
@@ -398,7 +412,11 @@ mod tests {
         // The shuffle must have moved a significant share of the 4 KiB
         // through the fabric (everything not landing on its own aggregator).
         let s = machine.stats.snapshot();
-        assert!(s.net_bytes >= 2 * 1024, "two-phase shuffle traffic missing: {}", s.net_bytes);
+        assert!(
+            s.net_bytes >= 2 * 1024,
+            "two-phase shuffle traffic missing: {}",
+            s.net_bytes
+        );
     }
 
     #[test]
@@ -409,7 +427,10 @@ mod tests {
             let f = MpiFile::create(&comm, &fs2, "/sparse.bin").unwrap();
             // Only rank 1 writes; everyone participates.
             let segs = if comm.rank() == 1 {
-                vec![WriteSegment { offset: 0, data: vec![9u8; 128] }]
+                vec![WriteSegment {
+                    offset: 0,
+                    data: vec![9u8; 128],
+                }]
             } else {
                 vec![]
             };

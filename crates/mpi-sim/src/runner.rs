@@ -2,10 +2,14 @@
 
 use crate::comm::{Comm, World};
 use pmem_sim::{Machine, SimTime};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Run `body` on `size` ranks (threads) and collect per-rank results in rank
-/// order. Panics in any rank propagate.
+/// order. A panic in any rank poisons the world — peers blocked in `recv`
+/// wake up instead of deadlocking — and propagates from this call with the
+/// original rank's message.
 pub fn run_world<T, F>(machine: Arc<Machine>, size: usize, body: F) -> Vec<T>
 where
     T: Send + 'static,
@@ -21,14 +25,41 @@ where
             std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(4 << 20)
-                .spawn(move || body(Comm::new(world, rank)))
+                .spawn(move || {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        body(Comm::new(Arc::clone(&world), rank))
+                    })) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            world.poison(format!("rank {rank} panicked: {}", payload_str(&*e)));
+                            std::panic::resume_unwind(e);
+                        }
+                    }
+                })
                 .expect("spawn rank thread"),
         );
     }
-    handles
+    let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+    if results.iter().any(|r| r.is_err()) {
+        match world.poison_message() {
+            Some(msg) => panic!("{msg}"),
+            None => panic!("rank thread panicked"),
+        }
+    }
+    results
         .into_iter()
-        .map(|h| h.join().expect("rank thread panicked"))
+        .map(|r| r.expect("checked above"))
         .collect()
+}
+
+fn payload_str(e: &(dyn Any + Send)) -> &str {
+    if let Some(s) = e.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Run a job and return each rank's final virtual time plus the job time
@@ -63,6 +94,28 @@ mod tests {
         let m = Arc::clone(&machine);
         run_world(machine, 5, |_| {});
         assert_eq!(m.active_ranks(), 5);
+    }
+
+    #[test]
+    fn rank_panic_poisons_world_instead_of_deadlocking_peers() {
+        let machine = Machine::chameleon();
+        // Rank 0 dies before sending; ranks 1..3 block in recv on it. Without
+        // poisoning this deadlocks forever; with it, run_world panics with
+        // the original message.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_world(machine, 4, |comm| {
+                if comm.rank() == 0 {
+                    panic!("rank zero exploded");
+                }
+                comm.recv(0, 1)
+            })
+        }));
+        let err = result.expect_err("run_world must propagate the rank panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("rank 0 panicked") && msg.contains("rank zero exploded"),
+            "unexpected panic message: {msg}"
+        );
     }
 
     #[test]

@@ -1,40 +1,42 @@
-//! Property-based tests for subarray datatypes and decomposition coverage.
+//! Property-style tests for subarray datatypes and decomposition coverage,
+//! driven by a seeded deterministic generator (offline replacement for the
+//! former proptest dependency; same invariants, reproducible cases).
 
 use mpi_sim::Subarray;
-use proptest::prelude::*;
+use pmem_sim::DetRng;
 use workloads::BlockDecomp;
 
-fn arb_subarray() -> impl Strategy<Value = Subarray> {
-    prop::collection::vec((1u64..12, 1u64..12), 1..4).prop_flat_map(|pairs| {
+fn arb_subarray(rng: &mut DetRng) -> Subarray {
+    let ndims = rng.gen_range(1, 4) as usize;
+    let mut global = Vec::with_capacity(ndims);
+    let mut sub = Vec::with_capacity(ndims);
+    let mut offsets = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let g = rng.gen_range(1, 12);
+        let s = rng.gen_range(1, 12);
         // global dim = sub + room for an offset
-        let global: Vec<u64> = pairs.iter().map(|(g, s)| g + s).collect();
-        let sub: Vec<u64> = pairs.iter().map(|(_, s)| *s).collect();
-        let offsets: Vec<Strategy2> = pairs
-            .iter()
-            .map(|(g, _)| (0..=*g).boxed())
-            .collect();
-        (Just(global), Just(sub), offsets)
-            .prop_map(|(g, s, o)| Subarray::new(&g, &s, &o))
-    })
+        global.push(g + s);
+        sub.push(s);
+        offsets.push(rng.gen_range(0, g + 1));
+    }
+    Subarray::new(&global, &sub, &offsets)
 }
 
-type Strategy2 = proptest::strategy::BoxedStrategy<u64>;
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// Runs cover exactly the subarray: element counts match, local offsets
-    /// tile the dense buffer, global offsets stay in range and are disjoint.
-    #[test]
-    fn runs_partition_the_subarray(sub in arb_subarray()) {
+/// Runs cover exactly the subarray: element counts match, local offsets
+/// tile the dense buffer, global offsets stay in range and are disjoint.
+#[test]
+fn runs_partition_the_subarray() {
+    let mut rng = DetRng::new(0x5B0A11);
+    for case in 0..256 {
+        let sub = arb_subarray(&mut rng);
         let runs = sub.runs();
         let total: u64 = runs.iter().map(|r| r.len).sum();
-        prop_assert_eq!(total, sub.elements());
+        assert_eq!(total, sub.elements(), "case {case}");
         let mut locals: Vec<(u64, u64)> = runs.iter().map(|r| (r.local_offset, r.len)).collect();
         locals.sort();
         let mut expect = 0;
         for (off, len) in locals {
-            prop_assert_eq!(off, expect, "local tiling has gaps");
+            assert_eq!(off, expect, "case {case}: local tiling has gaps");
             expect = off + len;
         }
         // Global runs within bounds and pairwise disjoint.
@@ -43,30 +45,39 @@ proptest! {
         globals.sort();
         let mut prev_end = 0;
         for (off, len) in globals {
-            prop_assert!(off >= prev_end, "global runs overlap");
-            prop_assert!(off + len <= ge, "run past the global array");
+            assert!(off >= prev_end, "case {case}: global runs overlap");
+            assert!(off + len <= ge, "case {case}: run past the global array");
             prev_end = off + len;
         }
     }
+}
 
-    /// scatter then gather is the identity for any payload.
-    #[test]
-    fn scatter_gather_identity(sub in arb_subarray(), esize in prop_oneof![Just(1usize), Just(4), Just(8)]) {
-        let local: Vec<u8> = (0..sub.elements() as usize * esize).map(|i| (i % 253) as u8).collect();
+/// scatter then gather is the identity for any payload.
+#[test]
+fn scatter_gather_identity() {
+    let mut rng = DetRng::new(0xD15C);
+    for case in 0..256 {
+        let sub = arb_subarray(&mut rng);
+        let esize = [1usize, 4, 8][rng.index(3)];
+        let local: Vec<u8> = (0..sub.elements() as usize * esize)
+            .map(|i| (i % 253) as u8)
+            .collect();
         let mut global = vec![0u8; sub.global_elements() as usize * esize];
         sub.scatter(esize, &local, &mut global);
         let mut back = vec![0u8; local.len()];
         sub.gather(esize, &global, &mut back);
-        prop_assert_eq!(back, local);
+        assert_eq!(back, local, "case {case} (esize {esize})");
     }
+}
 
-    /// A block decomposition's blocks tile the global array exactly, for any
-    /// grid the factorizer produces.
-    #[test]
-    fn decomposition_blocks_tile_exactly(
-        dims in prop::collection::vec(8u64..20, 3..=3),
-        nprocs in 1u64..=8,
-    ) {
+/// A block decomposition's blocks tile the global array exactly, for any
+/// grid the factorizer produces.
+#[test]
+fn decomposition_blocks_tile_exactly() {
+    let mut rng = DetRng::new(0x7117);
+    for case in 0..128 {
+        let dims: Vec<u64> = (0..3).map(|_| rng.gen_range(8, 20)).collect();
+        let nprocs = rng.gen_range(1, 9);
         let d = BlockDecomp::new(&dims, nprocs);
         let mut seen = vec![0u32; dims.iter().product::<u64>() as usize];
         for r in 0..nprocs {
@@ -78,6 +89,9 @@ proptest! {
                 }
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "tiling broken");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "case {case}: tiling broken for dims {dims:?} nprocs {nprocs}"
+        );
     }
 }

@@ -45,7 +45,11 @@ impl Heap {
             clock,
             device,
             heap_start,
-            BlockHeader { state: BLOCK_FREE, size: payload, prev_size: 0 },
+            BlockHeader {
+                state: BLOCK_FREE,
+                size: payload,
+                prev_size: 0,
+            },
         );
     }
 
@@ -84,7 +88,13 @@ impl Heap {
                 "heap walk ended early at {cursor:#x} (heap end {heap_end:#x})"
             )));
         }
-        Ok(Heap { device, heap_start, heap_end, free, allocated })
+        Ok(Heap {
+            device,
+            heap_start,
+            heap_end,
+            free,
+            allocated,
+        })
     }
 
     pub fn heap_bounds(&self) -> (u64, u64) {
@@ -135,7 +145,11 @@ impl Heap {
                 clock,
                 &self.device,
                 new_hdr,
-                BlockHeader { state: BLOCK_FREE, size: new_payload, prev_size: want },
+                BlockHeader {
+                    state: BLOCK_FREE,
+                    size: new_payload,
+                    prev_size: want,
+                },
             );
             // Fix the physical successor's prev_size.
             self.fix_next_prev_size(clock, new_hdr, new_payload);
@@ -145,7 +159,11 @@ impl Heap {
                 clock,
                 &self.device,
                 hdr_off,
-                BlockHeader { state: BLOCK_ALLOC, size: want, prev_size: read_prev(&self.device, hdr_off) },
+                BlockHeader {
+                    state: BLOCK_ALLOC,
+                    size: want,
+                    prev_size: read_prev(&self.device, hdr_off),
+                },
             );
             self.allocated += want;
             Ok(hdr_off + BLOCK_HEADER_SIZE)
@@ -155,7 +173,11 @@ impl Heap {
                 clock,
                 &self.device,
                 hdr_off,
-                BlockHeader { state: BLOCK_ALLOC, size: bsize, prev_size: read_prev(&self.device, hdr_off) },
+                BlockHeader {
+                    state: BLOCK_ALLOC,
+                    size: bsize,
+                    prev_size: read_prev(&self.device, hdr_off),
+                },
             );
             self.allocated += bsize;
             Ok(hdr_off + BLOCK_HEADER_SIZE)
@@ -207,7 +229,11 @@ impl Heap {
             clock,
             &self.device,
             start,
-            BlockHeader { state: BLOCK_FREE, size: payload, prev_size },
+            BlockHeader {
+                state: BLOCK_FREE,
+                size: payload,
+                prev_size,
+            },
         );
         if start != hdr_off {
             // Our header was absorbed into the predecessor's block; mark the
@@ -217,7 +243,11 @@ impl Heap {
                 clock,
                 &self.device,
                 hdr_off,
-                BlockHeader { state: BLOCK_FREE, size: h.size, prev_size: h.prev_size },
+                BlockHeader {
+                    state: BLOCK_FREE,
+                    size: h.size,
+                    prev_size: h.prev_size,
+                },
             );
         }
         self.fix_next_prev_size(clock, start, payload);
@@ -245,13 +275,18 @@ impl Heap {
             return Err(PmdkError::BadPool("volatile free list out of sync".into()));
         }
         if rebuilt.allocated != self.allocated {
-            return Err(PmdkError::BadPool("allocated-bytes counter out of sync".into()));
+            return Err(PmdkError::BadPool(
+                "allocated-bytes counter out of sync".into(),
+            ));
         }
         Ok(())
     }
 
     fn remove_free(&mut self, size: u64, hdr: u64) {
-        let set = self.free.get_mut(&size).expect("coalesce target not in free map");
+        let set = self
+            .free
+            .get_mut(&size)
+            .expect("coalesce target not in free map");
         set.remove(&hdr);
         if set.is_empty() {
             self.free.remove(&size);
@@ -265,8 +300,10 @@ impl Heap {
         if next + BLOCK_HEADER_SIZE + HEAP_ALIGN <= self.heap_end {
             let mut buf = [0u8; 8];
             buf.copy_from_slice(&payload.to_le_bytes());
-            self.device.write_meta(clock, (next + blk::PREV_SIZE) as usize, &buf);
-            self.device.persist(clock, (next + blk::PREV_SIZE) as usize, 8);
+            self.device
+                .write_meta(clock, (next + blk::PREV_SIZE) as usize, &buf);
+            self.device
+                .persist(clock, (next + blk::PREV_SIZE) as usize, 8);
         }
     }
 }
@@ -294,7 +331,9 @@ pub(crate) fn read_header_untimed(device: &Arc<PmemDevice>, hdr_off: u64) -> Res
     device.read_untimed(hdr_off as usize, &mut buf);
     let magic = u32::from_le_bytes(buf[blk::MAGIC as usize..][..4].try_into().unwrap());
     if magic != BLOCK_MAGIC {
-        return Err(PmdkError::BadPool(format!("bad block magic at {hdr_off:#x}")));
+        return Err(PmdkError::BadPool(format!(
+            "bad block magic at {hdr_off:#x}"
+        )));
     }
     Ok(BlockHeader {
         state: u32::from_le_bytes(buf[blk::STATE as usize..][..4].try_into().unwrap()),
@@ -346,7 +385,11 @@ mod tests {
             let p = heap.alloc(&clock, sz).unwrap();
             let span = (p, p + align_up(sz));
             for &(s, e) in &spans {
-                assert!(span.1 <= s || span.0 >= e, "overlap {span:?} vs {:?}", (s, e));
+                assert!(
+                    span.1 <= s || span.0 >= e,
+                    "overlap {span:?} vs {:?}",
+                    (s, e)
+                );
             }
             spans.push(span);
         }

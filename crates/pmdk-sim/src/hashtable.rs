@@ -52,6 +52,10 @@ pub struct PersistentHashtable {
     header: u64,
     bucket_count: u64,
     stripes: Vec<Mutex<()>>,
+    /// The entry count is shared across all stripes; its read-modify-write
+    /// must be serialized separately or concurrent inserts on different
+    /// buckets lose increments.
+    count_lock: Mutex<()>,
 }
 
 impl std::fmt::Debug for PersistentHashtable {
@@ -77,7 +81,8 @@ impl PersistentHashtable {
         assert!(bucket_count > 0, "hashtable needs at least one bucket");
         let size = HDR_HEADS + bucket_count * 8;
         let header = pool.alloc(clock, size)?;
-        pool.device().zero_meta(clock, header as usize, size as usize);
+        pool.device()
+            .zero_meta(clock, header as usize, size as usize);
         pool.device().persist(clock, header as usize, size as usize);
         pool.write_u64(clock, header + HDR_BUCKETS, bucket_count);
         Ok(PersistentHashtable {
@@ -85,6 +90,7 @@ impl PersistentHashtable {
             header,
             bucket_count,
             stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            count_lock: Mutex::new(()),
         })
     }
 
@@ -101,6 +107,7 @@ impl PersistentHashtable {
             header,
             bucket_count,
             stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            count_lock: Mutex::new(()),
         })
     }
 
@@ -136,6 +143,14 @@ impl PersistentHashtable {
 
     /// Walk a chain looking for `key`. Returns (predecessor_next_slot, entry).
     fn find(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64)> {
+        let machine = self.pool.device().machine();
+        let t0 = machine.trace_start(clock);
+        let out = self.find_inner(clock, key, hash);
+        machine.trace_finish(clock, t0, "pmdk", "ht.probe", None);
+        out
+    }
+
+    fn find_inner(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64)> {
         let mut slot = self.head_slot(self.bucket_of(hash));
         let mut entry = self.pool.read_u64(clock, slot);
         while entry != 0 {
@@ -204,17 +219,25 @@ impl PersistentHashtable {
                 // Unlink + free the replaced entry in the same transaction.
                 // The predecessor slot may be the old head we just rewrote;
                 // re-read through the new chain.
-                let pred_slot = if pred_slot == head_slot { entry + ENT_NEXT } else { pred_slot };
+                let pred_slot = if pred_slot == head_slot {
+                    entry + ENT_NEXT
+                } else {
+                    pred_slot
+                };
                 let old_next = self.pool.read_u64(clock, old_entry + ENT_NEXT);
                 tx.set(pred_slot, &old_next.to_le_bytes())?;
                 tx.free(old_entry)?;
             } else {
+                let _count_guard = self.count_lock.lock();
                 let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
                 tx.set(self.header + HDR_COUNT, &(count + 1).to_le_bytes())?;
             }
             Ok(entry + ENT_KEY + key.len() as u64)
         })?;
-        Ok(ValueRef { offset: value_off, len: val_len })
+        Ok(ValueRef {
+            offset: value_off,
+            len: val_len,
+        })
     }
 
     /// Insert (or replace) `key → value` atomically: on a crash at any point
@@ -232,7 +255,10 @@ impl PersistentHashtable {
         self.find(clock, key, hash).map(|(_, entry)| {
             let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as u64;
             let vlen = self.pool.read_u32(clock, entry + ENT_VLEN) as u64;
-            ValueRef { offset: entry + ENT_KEY + klen, len: vlen }
+            ValueRef {
+                offset: entry + ENT_KEY + klen,
+                len: vlen,
+            }
         })
     }
 
@@ -260,6 +286,7 @@ impl PersistentHashtable {
             let next = self.pool.read_u64(clock, entry + ENT_NEXT);
             tx.set(pred_slot, &next.to_le_bytes())?;
             tx.free(entry)?;
+            let _count_guard = self.count_lock.lock();
             let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
             tx.set(self.header + HDR_COUNT, &(count - 1).to_le_bytes())?;
             Ok(())
@@ -336,7 +363,8 @@ mod tests {
         let (ht, pool, clock) = table(1 << 22, 4);
         // Force collisions with few buckets.
         for i in 0..20u32 {
-            ht.put(&clock, format!("key{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+            ht.put(&clock, format!("key{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         assert_eq!(ht.len(&clock), 20);
         assert!(ht.remove(&clock, b"key7").unwrap());
@@ -351,10 +379,14 @@ mod tests {
     fn chains_handle_collisions() {
         let (ht, _pool, clock) = table(1 << 22, 1); // everything collides
         for i in 0..50u32 {
-            ht.put(&clock, format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+            ht.put(&clock, format!("k{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         for i in 0..50u32 {
-            assert_eq!(ht.get(&clock, format!("k{i}").as_bytes()).unwrap(), i.to_le_bytes());
+            assert_eq!(
+                ht.get(&clock, format!("k{i}").as_bytes()).unwrap(),
+                i.to_le_bytes()
+            );
         }
         assert_eq!(ht.max_chain_len(&clock), 50);
     }

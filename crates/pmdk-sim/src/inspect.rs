@@ -75,11 +75,26 @@ pub fn pool_report(clock: &Clock, pool: &Arc<PmemPool>) -> String {
     let _ = writeln!(out, "generation        {}", pool.generation());
     let _ = writeln!(out, "heap start        {:#x}", heap_start());
     let root = pool.read_u64(clock, sb::ROOT_OFF);
-    let _ = writeln!(out, "root object       {}", if root == 0 { "none".into() } else { format!("{root:#x}") });
+    let _ = writeln!(
+        out,
+        "root object       {}",
+        if root == 0 {
+            "none".into()
+        } else {
+            format!("{root:#x}")
+        }
+    );
     let (idle, active, committing) = lane_states(clock, pool);
-    let _ = writeln!(out, "lanes             {idle} idle / {active} active / {committing} committing");
+    let _ = writeln!(
+        out,
+        "lanes             {idle} idle / {active} active / {committing} committing"
+    );
     let h = heap_stats(pool);
-    let _ = writeln!(out, "allocated         {} bytes in {} objects", h.allocated_bytes, h.live_allocations);
+    let _ = writeln!(
+        out,
+        "allocated         {} bytes in {} objects",
+        h.allocated_bytes, h.live_allocations
+    );
     let _ = writeln!(
         out,
         "free              {} bytes in {} blocks (largest {})",
@@ -170,7 +185,13 @@ mod tests {
         let (pool, clock) = fixture();
         pool.alloc(&clock, 500).unwrap();
         let report = pool_report(&clock, &pool);
-        for needle in ["pool layout", "generation", "lanes", "allocated", "fragmentation"] {
+        for needle in [
+            "pool layout",
+            "generation",
+            "lanes",
+            "allocated",
+            "fragmentation",
+        ] {
             assert!(report.contains(needle), "missing {needle}:\n{report}");
         }
     }

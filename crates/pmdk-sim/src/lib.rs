@@ -29,8 +29,8 @@ pub mod hashtable;
 pub mod inspect;
 pub mod layout;
 pub mod list;
-pub mod log;
 pub mod locks;
+pub mod log;
 pub mod pool;
 pub mod ptr;
 pub mod tx;
@@ -38,8 +38,8 @@ pub mod tx;
 pub use error::{PmdkError, Result};
 pub use hashtable::PersistentHashtable;
 pub use list::PersistentList;
-pub use log::PersistentLog;
 pub use locks::PersistentMutex;
+pub use log::PersistentLog;
 pub use pool::{FailPoints, PmemPool};
 pub use ptr::{PPtr, PersistentValue};
 pub use tx::Tx;

@@ -35,12 +35,18 @@ impl PersistentList {
         let head = pool.alloc(clock, 16)?;
         pool.write_u64(clock, head + HEAD_FIRST, 0);
         pool.write_u64(clock, head + HEAD_COUNT, 0);
-        Ok(PersistentList { pool: Arc::clone(pool), head })
+        Ok(PersistentList {
+            pool: Arc::clone(pool),
+            head,
+        })
     }
 
     /// Attach to an existing list head.
     pub fn open(pool: &Arc<PmemPool>, head: u64) -> Self {
-        PersistentList { pool: Arc::clone(pool), head }
+        PersistentList {
+            pool: Arc::clone(pool),
+            head,
+        }
     }
 
     pub fn head_offset(&self) -> u64 {
@@ -78,7 +84,8 @@ impl PersistentList {
         }
         let len = self.pool.read_u32(clock, first + NODE_LEN) as usize;
         let mut payload = vec![0u8; len];
-        self.pool.read_bytes(clock, first + NODE_PAYLOAD, &mut payload);
+        self.pool
+            .read_bytes(clock, first + NODE_PAYLOAD, &mut payload);
         self.pool.tx(clock, |tx| {
             let next = self.pool.read_u64(clock, first + NODE_NEXT);
             tx.set(self.head + HEAD_FIRST, &next.to_le_bytes())?;
@@ -97,7 +104,8 @@ impl PersistentList {
         while node != 0 {
             let len = self.pool.read_u32(clock, node + NODE_LEN) as usize;
             let mut payload = vec![0u8; len];
-            self.pool.read_bytes(clock, node + NODE_PAYLOAD, &mut payload);
+            self.pool
+                .read_bytes(clock, node + NODE_PAYLOAD, &mut payload);
             out.push(payload);
             node = self.pool.read_u64(clock, node + NODE_NEXT);
         }

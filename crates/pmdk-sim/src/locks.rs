@@ -131,7 +131,8 @@ mod tests {
         let clock = Clock::new();
         let pool = PmemPool::create(&clock, dev, "locks").unwrap();
         let off = pool.alloc(&clock, PERSISTENT_MUTEX_SIZE).unwrap();
-        pool.device().zero(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
+        pool.device()
+            .zero(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
         (pool, Arc::new(LockRegistry::default()), off, clock)
     }
 

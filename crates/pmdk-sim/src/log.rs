@@ -79,7 +79,9 @@ impl PersistentLog {
     pub fn open(clock: &Clock, pool: &Arc<PmemPool>, header: u64, ring: u64) -> Result<Self> {
         let capacity = pool.read_u64(clock, header + HDR_CAPACITY);
         if capacity == 0 || capacity > pool.device().size() as u64 {
-            return Err(PmdkError::BadPool(format!("implausible log capacity {capacity}")));
+            return Err(PmdkError::BadPool(format!(
+                "implausible log capacity {capacity}"
+            )));
         }
         Ok(PersistentLog {
             pool: Arc::clone(pool),
@@ -116,7 +118,10 @@ impl PersistentLog {
     pub fn append(&self, clock: &Clock, record: &[u8]) -> Result<()> {
         assert!(!record.is_empty(), "empty records are not representable");
         let need = REC_HDR + record.len() as u64;
-        assert!(need <= self.capacity / 2, "record larger than half the ring");
+        assert!(
+            need <= self.capacity / 2,
+            "record larger than half the ring"
+        );
         let _g = self.append_lock.lock();
         let head = self.pool.read_u64(clock, self.header + HDR_HEAD);
         let mut tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
@@ -143,7 +148,11 @@ impl PersistentLog {
         } else {
             // Non-wrapping free-space check (tail==head means empty, so the
             // new tail must never land exactly on head).
-            let used = if tail >= head { tail - head } else { self.capacity - head + tail };
+            let used = if tail >= head {
+                tail - head
+            } else {
+                self.capacity - head + tail
+            };
             if used + need >= self.capacity {
                 return Err(PmdkError::OutOfMemory { requested: need });
             }
@@ -210,7 +219,9 @@ impl PersistentLog {
     /// Reject lengths that would walk past the ring (torn/corrupt headers).
     fn check_len(&self, head: u64, len: u32) -> Result<()> {
         if len == 0 || head + REC_HDR + len as u64 > self.capacity {
-            return Err(PmdkError::BadPool(format!("corrupt log record length {len}")));
+            return Err(PmdkError::BadPool(format!(
+                "corrupt log record length {len}"
+            )));
         }
         Ok(())
     }
@@ -256,7 +267,10 @@ mod tests {
         log.append(&clock, b"first").unwrap();
         log.append(&clock, b"second").unwrap();
         log.append(&clock, b"third").unwrap();
-        assert_eq!(log.replay(&clock).unwrap(), vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+        assert_eq!(
+            log.replay(&clock).unwrap(),
+            vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]
+        );
         assert_eq!(log.pop(&clock).unwrap().unwrap(), b"first");
         assert_eq!(log.pop(&clock).unwrap().unwrap(), b"second");
         assert_eq!(log.replay(&clock).unwrap(), vec![b"third".to_vec()]);

@@ -73,8 +73,7 @@ impl PmemPool {
         sblk[sb::HEAP_START as usize..][..8].copy_from_slice(&heap_start().to_le_bytes());
         sblk[sb::ROOT_OFF as usize..][..8].copy_from_slice(&0u64.to_le_bytes());
         sblk[sb::ROOT_SIZE as usize..][..8].copy_from_slice(&0u64.to_le_bytes());
-        sblk[sb::LAYOUT_LEN as usize..][..8]
-            .copy_from_slice(&(layout.len() as u64).to_le_bytes());
+        sblk[sb::LAYOUT_LEN as usize..][..8].copy_from_slice(&(layout.len() as u64).to_le_bytes());
         sblk[sb::LAYOUT_NAME as usize..][..layout.len()].copy_from_slice(layout.as_bytes());
         sblk[sb::GENERATION as usize..][..8].copy_from_slice(&1u64.to_le_bytes());
         device.write_meta(clock, 0, &sblk);
@@ -117,7 +116,10 @@ impl PmemPool {
             u64::from_le_bytes(sblk[sb::LAYOUT_LEN as usize..][..8].try_into().unwrap()) as usize;
         let found = String::from_utf8_lossy(&sblk[sb::LAYOUT_NAME as usize..][..llen]).into_owned();
         if found != layout {
-            return Err(PmdkError::LayoutMismatch { expected: layout.into(), found });
+            return Err(PmdkError::LayoutMismatch {
+                expected: layout.into(),
+                found,
+            });
         }
 
         let generation =
@@ -163,12 +165,20 @@ impl PmemPool {
     /// Allocate `size` persistent bytes (non-transactional; the allocation
     /// is durable once this returns).
     pub fn alloc(&self, clock: &Clock, size: u64) -> Result<u64> {
-        self.heap.lock().alloc(clock, size)
+        let machine = self.device.machine();
+        let t0 = machine.trace_start(clock);
+        let out = self.heap.lock().alloc(clock, size);
+        machine.trace_finish(clock, t0, "pmdk", "pool.alloc", Some(("bytes", size)));
+        out
     }
 
     /// Free a persistent allocation.
     pub fn free(&self, clock: &Clock, off: u64) -> Result<()> {
-        self.heap.lock().free(clock, off)
+        let machine = self.device.machine();
+        let t0 = machine.trace_start(clock);
+        let out = self.heap.lock().free(clock, off);
+        machine.trace_finish(clock, t0, "pmdk", "pool.free", None);
+        out
     }
 
     /// Usable size of a live allocation.
@@ -224,7 +234,8 @@ impl PmemPool {
     }
 
     pub fn write_u64(&self, clock: &Clock, off: u64, v: u64) {
-        self.device.write_meta(clock, off as usize, &v.to_le_bytes());
+        self.device
+            .write_meta(clock, off as usize, &v.to_le_bytes());
         self.device.persist(clock, off as usize, 8);
     }
 
@@ -235,7 +246,8 @@ impl PmemPool {
     }
 
     pub fn write_u32(&self, clock: &Clock, off: u64, v: u32) {
-        self.device.write_meta(clock, off as usize, &v.to_le_bytes());
+        self.device
+            .write_meta(clock, off as usize, &v.to_le_bytes());
         self.device.persist(clock, off as usize, 4);
     }
 

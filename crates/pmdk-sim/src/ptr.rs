@@ -34,7 +34,10 @@ macro_rules! impl_persistent_value {
     ($ty:ty, $size:expr) => {
         const _: () = assert!(
             std::mem::size_of::<$ty>() == $size,
-            concat!("padding or size mismatch in PersistentValue for ", stringify!($ty))
+            concat!(
+                "padding or size mismatch in PersistentValue for ",
+                stringify!($ty)
+            )
         );
         // SAFETY: caller asserts repr(C), Copy, no padding per macro contract.
         unsafe impl $crate::ptr::PersistentValue for $ty {}
@@ -57,7 +60,12 @@ impl<T: PersistentValue> Copy for PPtr<T> {}
 
 impl<T: PersistentValue> std::fmt::Debug for PPtr<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PPtr<{}>({:#x})", std::any::type_name::<T>(), self.offset)
+        write!(
+            f,
+            "PPtr<{}>({:#x})",
+            std::any::type_name::<T>(),
+            self.offset
+        )
     }
 }
 
@@ -71,7 +79,10 @@ impl<T: PersistentValue> Eq for PPtr<T> {}
 impl<T: PersistentValue> PPtr<T> {
     /// The null pointer (offset 0 is the superblock, never a payload).
     pub const fn null() -> Self {
-        PPtr { offset: 0, _marker: PhantomData }
+        PPtr {
+            offset: 0,
+            _marker: PhantomData,
+        }
     }
 
     pub fn is_null(&self) -> bool {
@@ -80,7 +91,10 @@ impl<T: PersistentValue> PPtr<T> {
 
     /// Rehydrate from a stored offset (e.g. read out of another object).
     pub fn from_offset(offset: u64) -> Self {
-        PPtr { offset, _marker: PhantomData }
+        PPtr {
+            offset,
+            _marker: PhantomData,
+        }
     }
 
     pub fn offset(&self) -> u64 {
@@ -171,16 +185,31 @@ mod tests {
     #[test]
     fn struct_values_and_linked_objects() {
         let (pool, clock) = pool();
-        let tail = PPtr::alloc(&clock, &pool, Header { version: 2, count: 0, next: 0 }).unwrap();
+        let tail = PPtr::alloc(
+            &clock,
+            &pool,
+            Header {
+                version: 2,
+                count: 0,
+                next: 0,
+            },
+        )
+        .unwrap();
         let head = PPtr::alloc(
             &clock,
             &pool,
-            Header { version: 1, count: 7, next: tail.offset() },
+            Header {
+                version: 1,
+                count: 7,
+                next: tail.offset(),
+            },
         )
         .unwrap();
         // Follow the persistent link.
         let h = head.read(&clock, &pool).unwrap();
-        let t = PPtr::<Header>::from_offset(h.next).read(&clock, &pool).unwrap();
+        let t = PPtr::<Header>::from_offset(h.next)
+            .read(&clock, &pool)
+            .unwrap();
         assert_eq!(t.version, 2);
     }
 

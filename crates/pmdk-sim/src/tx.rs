@@ -33,7 +33,9 @@ pub struct LaneTable {
 
 impl LaneTable {
     pub fn new() -> Self {
-        LaneTable { free: Mutex::new((0..LANES).rev().collect()) }
+        LaneTable {
+            free: Mutex::new((0..LANES).rev().collect()),
+        }
     }
 
     /// Persist pristine lane headers (pool create).
@@ -72,7 +74,9 @@ impl LaneTable {
                     repaired += 1;
                 }
                 s => {
-                    return Err(PmdkError::BadPool(format!("lane {i} has invalid state {s}")))
+                    return Err(PmdkError::BadPool(format!(
+                        "lane {i} has invalid state {s}"
+                    )))
                 }
             }
         }
@@ -160,25 +164,50 @@ impl<'a> Tx<'a> {
         clock: &'a Clock,
         body: impl FnOnce(&mut Tx<'_>) -> Result<T>,
     ) -> Result<T> {
+        let machine = Arc::clone(pool.device().machine());
+        let t0 = machine.trace_start(clock);
+        let out = Self::run_inner(pool, clock, body);
+        machine.trace_finish(clock, t0, "pmdk", "tx", None);
+        out
+    }
+
+    fn run_inner<T>(
+        pool: &'a Arc<PmemPool>,
+        clock: &'a Clock,
+        body: impl FnOnce(&mut Tx<'_>) -> Result<T>,
+    ) -> Result<T> {
+        let machine = Arc::clone(pool.device().machine());
         let lane = pool.lanes.claim()?;
         let lane_base = lane_offset(lane);
         pool.write_u32(clock, lane_base + lane::STATE, LANE_ACTIVE);
-        let mut tx = Tx { pool, clock, lane, lane_base, undo_used: 0, intents_used: 0 };
+        let mut tx = Tx {
+            pool,
+            clock,
+            lane,
+            lane_base,
+            undo_used: 0,
+            intents_used: 0,
+        };
         match body(&mut tx) {
-            Ok(v) => match tx.commit() {
-                Ok(()) => {
-                    pool.lanes.release(lane);
-                    Ok(v)
-                }
-                Err(e) => {
-                    // Injected commit failures leave the lane untouched so a
-                    // test can crash the device and exercise recovery.
-                    if !matches!(e, PmdkError::Injected(_)) {
+            Ok(v) => {
+                let tc = machine.trace_start(clock);
+                let committed = tx.commit();
+                machine.trace_finish(clock, tc, "pmdk", "tx.commit", None);
+                match committed {
+                    Ok(()) => {
                         pool.lanes.release(lane);
+                        Ok(v)
                     }
-                    Err(e)
+                    Err(e) => {
+                        // Injected commit failures leave the lane untouched so a
+                        // test can crash the device and exercise recovery.
+                        if !matches!(e, PmdkError::Injected(_)) {
+                            pool.lanes.release(lane);
+                        }
+                        Err(e)
+                    }
                 }
-            },
+            }
             Err(e) => {
                 if matches!(e, PmdkError::Injected(_)) {
                     // Simulated power-failure point: leave everything as-is.
@@ -217,8 +246,11 @@ impl<'a> Tx<'a> {
         self.pool.write_bytes(self.clock, entry + 12, &pre);
         self.undo_used += 12 + len;
         // The length update is the commit point of the log append.
-        self.pool
-            .write_u32(self.clock, self.lane_base + lane::UNDO_LEN, self.undo_used as u32);
+        self.pool.write_u32(
+            self.clock,
+            self.lane_base + lane::UNDO_LEN,
+            self.undo_used as u32,
+        );
         Ok(())
     }
 
@@ -245,7 +277,8 @@ impl<'a> Tx<'a> {
         // bump the count first, then fill the slot, so recovery never reads
         // an unfilled slot as garbage — a zero entry is ignored.
         let slot_off = self.lane_base + LANE_HEADER_SIZE + self.intents_used * 8;
-        self.pool.write_bytes(self.clock, slot_off, &0u64.to_le_bytes());
+        self.pool
+            .write_bytes(self.clock, slot_off, &0u64.to_le_bytes());
         self.intents_used += 1;
         self.pool.write_u32(
             self.clock,
@@ -254,7 +287,8 @@ impl<'a> Tx<'a> {
         );
         let off = self.pool.alloc(self.clock, size)?;
         debug_assert_eq!(off & 1, 0, "heap payloads are aligned");
-        self.pool.write_bytes(self.clock, slot_off, &off.to_le_bytes());
+        self.pool
+            .write_bytes(self.clock, slot_off, &off.to_le_bytes());
         self.pool.fail_points.check("tx::alloc-after")?;
         Ok(off)
     }
@@ -267,7 +301,8 @@ impl<'a> Tx<'a> {
         // Validate now so the error surfaces in the tx, not at commit.
         self.pool.usable_size(off)?;
         let slot_off = self.lane_base + LANE_HEADER_SIZE + self.intents_used * 8;
-        self.pool.write_bytes(self.clock, slot_off, &(off | 1).to_le_bytes());
+        self.pool
+            .write_bytes(self.clock, slot_off, &(off | 1).to_le_bytes());
         self.intents_used += 1;
         self.pool.write_u32(
             self.clock,
@@ -285,9 +320,9 @@ impl<'a> Tx<'a> {
         self.pool.fail_points.check("tx::commit-during")?;
         // Execute deferred frees.
         for slot in 0..self.intents_used {
-            let entry =
-                self.pool
-                    .read_u64(self.clock, self.lane_base + LANE_HEADER_SIZE + slot * 8);
+            let entry = self
+                .pool
+                .read_u64(self.clock, self.lane_base + LANE_HEADER_SIZE + slot * 8);
             if entry & 1 == 1 {
                 self.pool.free(self.clock, entry & !1)?;
             }

@@ -1,8 +1,9 @@
-//! Property-based tests: the persistent allocator against a reference model.
+//! Property-style tests: the persistent allocator against a reference model,
+//! driven by a seeded deterministic generator (offline replacement for the
+//! former proptest dependency; same invariants, reproducible cases).
 
 use pmdk_sim::PmemPool;
-use pmem_sim::{Clock, Machine, PersistenceMode, PmemDevice};
-use proptest::prelude::*;
+use pmem_sim::{Clock, DetRng, Machine, PersistenceMode, PmemDevice};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -17,20 +18,22 @@ enum Op {
     Reopen,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (1u64..5000).prop_map(Op::Alloc),
-        2 => any::<usize>().prop_map(Op::Free),
-        2 => any::<usize>().prop_map(Op::Touch),
-        1 => Just(Op::Reopen),
-    ]
+fn arb_op(rng: &mut DetRng) -> Op {
+    match rng.pick_weighted(&[4, 2, 2, 1]) {
+        0 => Op::Alloc(rng.gen_range(1, 5000)),
+        1 => Op::Free(rng.next_u64() as usize),
+        2 => Op::Touch(rng.next_u64() as usize),
+        _ => Op::Reopen,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn allocator_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn allocator_matches_reference_model() {
+    let mut rng = DetRng::new(0xA110C);
+    for case in 0..64 {
+        let ops: Vec<Op> = (0..rng.gen_range(1, 60))
+            .map(|_| arb_op(&mut rng))
+            .collect();
         let dev = PmemDevice::new(Machine::chameleon(), 4 << 20, PersistenceMode::Fast);
         let clock = Clock::new();
         let mut pool = PmemPool::create(&clock, Arc::clone(&dev), "prop").unwrap();
@@ -42,33 +45,33 @@ proptest! {
 
         for op in ops {
             match op {
-                Op::Alloc(size) => {
-                    match pool.alloc(&clock, size) {
-                        Ok(off) => {
-                            // No overlap with any live allocation.
-                            for &(o, s, _) in &live {
-                                prop_assert!(
-                                    off + size <= o || off >= o + s,
-                                    "overlap: [{off},{}) vs [{o},{})", off + size, o + s
-                                );
-                            }
-                            let pat = next_pattern;
-                            next_pattern = next_pattern.wrapping_add(1).max(1);
-                            pool.write_bytes(&clock, off, &vec![pat; size as usize]);
-                            live.push((off, size, pat));
-                            expected_bytes.insert(off, (size, pat));
+                Op::Alloc(size) => match pool.alloc(&clock, size) {
+                    Ok(off) => {
+                        // No overlap with any live allocation.
+                        for &(o, s, _) in &live {
+                            assert!(
+                                off + size <= o || off >= o + s,
+                                "case {case}: overlap: [{off},{}) vs [{o},{})",
+                                off + size,
+                                o + s
+                            );
                         }
-                        Err(pmdk_sim::PmdkError::OutOfMemory { .. }) => {}
-                        Err(e) => return Err(TestCaseError::fail(format!("alloc: {e}"))),
+                        let pat = next_pattern;
+                        next_pattern = next_pattern.wrapping_add(1).max(1);
+                        pool.write_bytes(&clock, off, &vec![pat; size as usize]);
+                        live.push((off, size, pat));
+                        expected_bytes.insert(off, (size, pat));
                     }
-                }
+                    Err(pmdk_sim::PmdkError::OutOfMemory { .. }) => {}
+                    Err(e) => panic!("case {case}: alloc: {e}"),
+                },
                 Op::Free(n) => {
                     if !live.is_empty() {
                         let (off, _, _) = live.remove(n % live.len());
                         expected_bytes.remove(&off);
                         pool.free(&clock, off).unwrap();
                         // Double free must fail.
-                        prop_assert!(pool.free(&clock, off).is_err());
+                        assert!(pool.free(&clock, off).is_err(), "case {case}");
                     }
                 }
                 Op::Touch(n) => {
@@ -76,7 +79,10 @@ proptest! {
                         let (off, size, pat) = live[n % live.len()];
                         let mut buf = vec![0u8; size as usize];
                         pool.read_bytes(&clock, off, &mut buf);
-                        prop_assert!(buf.iter().all(|&b| b == pat), "pattern torn at {off}");
+                        assert!(
+                            buf.iter().all(|&b| b == pat),
+                            "case {case}: pattern torn at {off}"
+                        );
                     }
                 }
                 Op::Reopen => {
@@ -87,20 +93,29 @@ proptest! {
                     for (&off, &(size, pat)) in &expected_bytes {
                         let mut buf = vec![0u8; size as usize];
                         pool.read_bytes(&clock, off, &mut buf);
-                        prop_assert!(buf.iter().all(|&b| b == pat), "lost data at {off}");
+                        assert!(
+                            buf.iter().all(|&b| b == pat),
+                            "case {case}: lost data at {off}"
+                        );
                     }
                 }
             }
-            pool.check_heap().map_err(|e| TestCaseError::fail(format!("invariant: {e}")))?;
+            if let Err(e) = pool.check_heap() {
+                panic!("case {case}: invariant: {e}");
+            }
         }
     }
+}
 
-    #[test]
-    fn usable_size_is_at_least_requested(size in 1u64..100_000) {
+#[test]
+fn usable_size_is_at_least_requested() {
+    let mut rng = DetRng::new(0x517E);
+    for _case in 0..64 {
+        let size = rng.gen_range(1, 100_000);
         let dev = PmemDevice::new(Machine::chameleon(), 8 << 20, PersistenceMode::Fast);
         let clock = Clock::new();
         let pool = PmemPool::create(&clock, dev, "sz").unwrap();
         let off = pool.alloc(&clock, size).unwrap();
-        prop_assert!(pool.usable_size(off).unwrap() >= size);
+        assert!(pool.usable_size(off).unwrap() >= size);
     }
 }

@@ -1,22 +1,29 @@
-//! Property-based tests: transactions (crash atomicity at arbitrary fail
-//! points) and the persistent hashtable against a HashMap model.
+//! Property-style tests: transactions (crash atomicity at arbitrary fail
+//! points) and the persistent hashtable against a HashMap model, driven by a
+//! seeded deterministic generator (offline replacement for the former
+//! proptest dependency; same invariants, reproducible cases).
 
 use pmdk_sim::{PersistentHashtable, PmdkError, PmemPool};
-use pmem_sim::{Clock, Machine, PersistenceMode, PmemDevice};
-use proptest::prelude::*;
+use pmem_sim::{Clock, DetRng, Machine, PersistenceMode, PmemDevice};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// A transaction that crashes at its n-th snapshot leaves the pre-tx
+/// state bit-for-bit intact after recovery.
+#[test]
+fn tx_crash_at_any_snapshot_rolls_back() {
+    let mut rng = DetRng::new(0xC4A5);
+    for case in 0..48 {
+        let writes: Vec<(u64, Vec<u8>)> = (0..rng.gen_range(1, 8))
+            .map(|_| {
+                let slot = rng.gen_range(0, 8);
+                let len = rng.gen_range(1, 64) as usize;
+                let data = rng.bytes(len);
+                (slot, data)
+            })
+            .collect();
+        let crash_at = rng.gen_range(1, 9) as u32;
 
-    /// A transaction that crashes at its n-th snapshot leaves the pre-tx
-    /// state bit-for-bit intact after recovery.
-    #[test]
-    fn tx_crash_at_any_snapshot_rolls_back(
-        writes in prop::collection::vec((0u64..8, prop::collection::vec(any::<u8>(), 1..64)), 1..8),
-        crash_at in 1u32..9,
-    ) {
         let dev = PmemDevice::new(Machine::chameleon(), 2 << 20, PersistenceMode::Tracked);
         let clock = Clock::new();
         let pool = PmemPool::create(&clock, Arc::clone(&dev), "txp").unwrap();
@@ -47,23 +54,33 @@ proptest! {
                 let pool = PmemPool::open(&clock, dev2, "txp").unwrap();
                 let mut buf = vec![0u8; 8 * 64];
                 pool.read_bytes(&clock, base, &mut buf);
-                prop_assert_eq!(buf, initial, "rollback not atomic");
-                pool.check_heap().map_err(|e| TestCaseError::fail(e.to_string()))?;
+                assert_eq!(buf, initial, "case {case}: rollback not atomic");
+                if let Err(e) = pool.check_heap() {
+                    panic!("case {case}: {e}");
+                }
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            Err(e) => panic!("case {case}: unexpected: {e}"),
         }
     }
+}
 
-    /// The persistent hashtable behaves exactly like a HashMap under an
-    /// arbitrary interleaving of puts, gets, and removes, across reopens.
-    #[test]
-    fn hashtable_matches_hashmap_model(
-        ops in prop::collection::vec(
-            (0u8..3, 0u16..24, prop::collection::vec(any::<u8>(), 0..40)),
-            1..80,
-        ),
-        buckets in 1u64..32,
-    ) {
+/// The persistent hashtable behaves exactly like a HashMap under an
+/// arbitrary interleaving of puts, gets, and removes, across reopens.
+#[test]
+fn hashtable_matches_hashmap_model() {
+    let mut rng = DetRng::new(0x4A54);
+    for case in 0..48 {
+        let ops: Vec<(u8, u16, Vec<u8>)> = (0..rng.gen_range(1, 80))
+            .map(|_| {
+                let kind = rng.gen_range(0, 3) as u8;
+                let key_id = rng.gen_range(0, 24) as u16;
+                let len = rng.gen_range(0, 40) as usize;
+                let value = rng.bytes(len);
+                (kind, key_id, value)
+            })
+            .collect();
+        let buckets = rng.gen_range(1, 32);
+
         let dev = PmemDevice::new(Machine::chameleon(), 8 << 20, PersistenceMode::Fast);
         let clock = Clock::new();
         let pool = PmemPool::create(&clock, Arc::clone(&dev), "htp").unwrap();
@@ -78,25 +95,31 @@ proptest! {
                     model.insert(key, value);
                 }
                 1 => {
-                    prop_assert_eq!(ht.get(&clock, &key), model.get(&key).cloned());
+                    assert_eq!(
+                        ht.get(&clock, &key),
+                        model.get(&key).cloned(),
+                        "case {case}"
+                    );
                 }
                 _ => {
                     let removed = ht.remove(&clock, &key).unwrap();
-                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                    assert_eq!(removed, model.remove(&key).is_some(), "case {case}");
                 }
             }
-            prop_assert_eq!(ht.len(&clock), model.len() as u64);
+            assert_eq!(ht.len(&clock), model.len() as u64, "case {case}");
         }
         // Final full comparison, including key enumeration.
         let mut keys = ht.keys(&clock);
         keys.sort();
         let mut expected: Vec<Vec<u8>> = model.keys().cloned().collect();
         expected.sort();
-        prop_assert_eq!(keys, expected);
+        assert_eq!(keys, expected, "case {case}");
         for (k, v) in &model {
             let got = ht.get(&clock, k);
-            prop_assert_eq!(got.as_ref(), Some(v));
+            assert_eq!(got.as_ref(), Some(v), "case {case}");
         }
-        pool.check_heap().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        if let Err(e) = pool.check_heap() {
+            panic!("case {case}: {e}");
+        }
     }
 }

@@ -30,7 +30,9 @@ impl SharedBuffer {
     pub fn new(len: usize) -> Self {
         // A Vec of zeroed u8 transmutes layout-compatibly to UnsafeCell<u8>.
         let v: Vec<UnsafeCell<u8>> = (0..len).map(|_| UnsafeCell::new(0)).collect();
-        SharedBuffer { data: v.into_boxed_slice() }
+        SharedBuffer {
+            data: v.into_boxed_slice(),
+        }
     }
 
     #[inline]
@@ -55,7 +57,8 @@ impl SharedBuffer {
     #[inline]
     pub fn write(&self, off: usize, src: &[u8]) {
         assert!(
-            off.checked_add(src.len()).is_some_and(|end| end <= self.len()),
+            off.checked_add(src.len())
+                .is_some_and(|end| end <= self.len()),
             "SharedBuffer write out of bounds: off={off} len={} cap={}",
             src.len(),
             self.len()
@@ -70,7 +73,8 @@ impl SharedBuffer {
     #[inline]
     pub fn read(&self, off: usize, dst: &mut [u8]) {
         assert!(
-            off.checked_add(dst.len()).is_some_and(|end| end <= self.len()),
+            off.checked_add(dst.len())
+                .is_some_and(|end| end <= self.len()),
             "SharedBuffer read out of bounds: off={off} len={} cap={}",
             dst.len(),
             self.len()
@@ -118,7 +122,9 @@ impl SharedBuffer {
 
 impl std::fmt::Debug for SharedBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedBuffer").field("len", &self.len()).finish()
+        f.debug_struct("SharedBuffer")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

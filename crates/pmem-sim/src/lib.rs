@@ -36,14 +36,20 @@ pub mod device;
 pub mod machine;
 pub mod mmap;
 pub mod persistence;
+pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use buffer::SharedBuffer;
 pub use device::{PersistenceMode, PmemDevice};
 pub use machine::{Machine, MachineConfig};
 pub use mmap::DaxMapping;
+pub use rng::DetRng;
 pub use server::{BandwidthServer, Server};
 pub use stats::{Stats, StatsSnapshot};
 pub use time::{Clock, SimTime};
+pub use trace::{
+    chrome_trace_json, CollectingSink, TraceSink, TraceSpan, TraceSummary, DRAIN_LANE,
+};

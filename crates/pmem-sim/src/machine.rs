@@ -16,8 +16,10 @@
 
 use crate::stats::Stats;
 use crate::time::{Clock, SimTime};
+use crate::trace::{TraceSink, TraceSpan};
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Tunable hardware constants.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,6 +149,10 @@ pub struct Machine {
     config: MachineConfig,
     active_ranks: AtomicUsize,
     pub stats: Stats,
+    /// Optional trace sink. Disabled (unset) by default; checking it costs
+    /// one atomic load, so the instrumented paths are free when tracing is
+    /// off. Spans only read clocks — they can never change virtual time.
+    trace: OnceLock<Arc<dyn TraceSink>>,
 }
 
 impl Machine {
@@ -155,6 +161,7 @@ impl Machine {
             active_ranks: AtomicUsize::new(1),
             stats: Stats::default(),
             config,
+            trace: OnceLock::new(),
         })
     }
 
@@ -174,6 +181,68 @@ impl Machine {
 
     pub fn active_ranks(&self) -> usize {
         self.active_ranks.load(Ordering::Relaxed)
+    }
+
+    // ---- tracing ----
+
+    /// Install a trace sink. Returns `false` if one was already installed
+    /// (the sink can only be set once per machine).
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.trace.set(sink).is_ok()
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.get().is_some()
+    }
+
+    /// Begin a span on `clock`: returns the current virtual instant, or
+    /// `None` when tracing is disabled so callers skip all bookkeeping.
+    #[inline]
+    pub fn trace_start(&self, clock: &Clock) -> Option<SimTime> {
+        if self.trace.get().is_some() {
+            Some(clock.now())
+        } else {
+            None
+        }
+    }
+
+    /// Complete a span opened with [`Machine::trace_start`]. No-op when
+    /// tracing is disabled or `start` is `None`.
+    #[inline]
+    pub fn trace_finish(
+        &self,
+        clock: &Clock,
+        start: Option<SimTime>,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        arg: Option<(&'static str, u64)>,
+    ) {
+        let (Some(start), Some(sink)) = (start, self.trace.get()) else {
+            return;
+        };
+        let now = clock.now();
+        sink.record(TraceSpan {
+            cat,
+            name: name.into(),
+            lane: clock.lane(),
+            start,
+            dur: now.saturating_sub(start),
+            arg,
+        });
+    }
+
+    /// Record a fully-formed span (for callers that compute intervals
+    /// themselves). No-op when tracing is disabled.
+    pub fn trace_record(&self, span: TraceSpan) {
+        if let Some(sink) = self.trace.get() {
+            sink.record(span);
+        }
+    }
+
+    /// Close a primitive-level span (category "prim") with a byte argument.
+    #[inline]
+    fn prim_finish(&self, clock: &Clock, t0: Option<SimTime>, name: &'static str, bytes: u64) {
+        self.trace_finish(clock, t0, "prim", name, Some(("bytes", bytes)));
     }
 
     /// Multiplier applied to CPU-bound work when more ranks than cores run.
@@ -212,36 +281,50 @@ impl Machine {
     /// CPU cost of serializing `bytes` through a format with the given
     /// relative cost factor (1.0 = the machine's base rate).
     pub fn charge_serialize(&self, clock: &Clock, bytes: u64, format_factor: f64) {
+        let t0 = self.trace_start(clock);
         let bytes = self.scaled_bytes(bytes);
         let ns = self.config.serialize_ns_per_byte * format_factor * bytes as f64;
         self.charge_compute(clock, SimTime::from_secs_f64(ns / 1e9));
+        self.prim_finish(clock, t0, "serialize", bytes);
     }
 
     /// A DRAM→DRAM copy of `bytes`: bound by the copying core and by a fair
     /// share of the memory bus.
     pub fn charge_dram_copy(&self, clock: &Clock, bytes: u64) {
+        let t0 = self.trace_start(clock);
         let bytes = self.scaled_bytes(bytes);
-        self.stats.dram_bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+        self.stats
+            .dram_bytes_copied
+            .fetch_add(bytes, Ordering::Relaxed);
         let bw = self.effective_bw(self.config.core_copy_bw, self.config.dram_bw);
         clock.advance(self.config.dram_latency + SimTime::for_transfer(bytes, bw));
+        self.prim_finish(clock, t0, "dram.copy", bytes);
     }
 
     /// A store stream into PMEM media (the actual persist traffic): the rank
     /// streams at its attended per-core throughput, capped by its fair share
     /// of the device's aggregate write bandwidth.
     pub fn charge_pmem_write(&self, clock: &Clock, bytes: u64) {
+        let t0 = self.trace_start(clock);
         let bytes = self.scaled_bytes(bytes);
-        self.stats.pmem_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.stats
+            .pmem_bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
         let bw = self.effective_bw(self.config.pmem_write_core_bw, self.config.pmem_write_bw);
         clock.advance(self.config.pmem_write_latency + SimTime::for_transfer(bytes, bw));
+        self.prim_finish(clock, t0, "pmem.write", bytes);
     }
 
     /// A load stream out of PMEM media (same two bounds as writes).
     pub fn charge_pmem_read(&self, clock: &Clock, bytes: u64) {
+        let t0 = self.trace_start(clock);
         let bytes = self.scaled_bytes(bytes);
-        self.stats.pmem_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.stats
+            .pmem_bytes_read
+            .fetch_add(bytes, Ordering::Relaxed);
         let bw = self.effective_bw(self.config.pmem_read_core_bw, self.config.pmem_read_bw);
         clock.advance(self.config.pmem_read_latency + SimTime::for_transfer(bytes, bw));
+        self.prim_finish(clock, t0, "pmem.read", bytes);
     }
 
     /// Metadata store: like [`Machine::charge_pmem_write`] but *not*
@@ -249,22 +332,32 @@ impl Machine {
     /// headers, undo logs, hashtable entries) have fixed real sizes
     /// regardless of how large the modelled payload volume is.
     pub fn charge_pmem_write_meta(&self, clock: &Clock, bytes: u64) {
-        self.stats.pmem_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        let t0 = self.trace_start(clock);
+        self.stats
+            .pmem_bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
         let bw = self.effective_bw(self.config.pmem_write_core_bw, self.config.pmem_write_bw);
         clock.advance(self.config.pmem_write_latency + SimTime::for_transfer(bytes, bw));
+        self.prim_finish(clock, t0, "pmem.meta_write", bytes);
     }
 
     /// Metadata load: unscaled counterpart of [`Machine::charge_pmem_read`].
     pub fn charge_pmem_read_meta(&self, clock: &Clock, bytes: u64) {
-        self.stats.pmem_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        let t0 = self.trace_start(clock);
+        self.stats
+            .pmem_bytes_read
+            .fetch_add(bytes, Ordering::Relaxed);
         let bw = self.effective_bw(self.config.pmem_read_core_bw, self.config.pmem_read_bw);
         clock.advance(self.config.pmem_read_latency + SimTime::for_transfer(bytes, bw));
+        self.prim_finish(clock, t0, "pmem.meta_read", bytes);
     }
 
     /// One kernel crossing.
     pub fn charge_syscall(&self, clock: &Clock) {
+        let t0 = self.trace_start(clock);
         self.stats.syscalls.fetch_add(1, Ordering::Relaxed);
         clock.advance(self.cpu_scaled(self.config.syscall));
+        self.trace_finish(clock, t0, "prim", "syscall", None);
     }
 
     /// `n` minor faults on a DAX mapping; with `map_sync` each dirty page
@@ -273,13 +366,17 @@ impl Machine {
         if n == 0 {
             return;
         }
+        let t0 = self.trace_start(clock);
         self.stats.page_faults.fetch_add(n, Ordering::Relaxed);
         let mut per_page = self.config.page_fault;
         if map_sync {
-            self.stats.map_sync_page_syncs.fetch_add(n, Ordering::Relaxed);
+            self.stats
+                .map_sync_page_syncs
+                .fetch_add(n, Ordering::Relaxed);
             per_page += self.config.map_sync_page;
         }
         clock.advance(self.cpu_scaled(per_page * n));
+        self.trace_finish(clock, t0, "prim", "page_fault", Some(("pages", n)));
     }
 
     /// Fault accounting for a freshly-touched byte range of a DAX mapping:
@@ -288,40 +385,53 @@ impl Machine {
         if real_bytes == 0 {
             return;
         }
-        let pages = self.scaled_bytes(real_bytes).div_ceil(self.config.page_size);
+        let pages = self
+            .scaled_bytes(real_bytes)
+            .div_ceil(self.config.page_size);
         self.charge_page_faults(clock, pages, map_sync);
     }
 
     /// Flush a byte range of cachelines toward the persistence domain.
     pub fn charge_flush(&self, clock: &Clock, bytes: u64) {
+        let t0 = self.trace_start(clock);
         self.stats.flush_calls.fetch_add(1, Ordering::Relaxed);
         let lines = self.scaled_bytes(bytes).div_ceil(self.config.cacheline);
         let t = self.config.flush_base + self.config.flush_per_line * lines;
         clock.advance(self.cpu_scaled(t));
+        self.prim_finish(clock, t0, "flush", bytes);
     }
 
     /// A store fence.
     pub fn charge_fence(&self, clock: &Clock) {
+        let t0 = self.trace_start(clock);
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
         clock.advance(self.cpu_scaled(self.config.fence));
+        self.trace_finish(clock, t0, "prim", "fence", None);
     }
 
     /// One message over the node fabric; returns the delivery instant so the
     /// receiver's clock can be synchronized by the caller.
     pub fn charge_message(&self, sender: &Clock, bytes: u64) -> SimTime {
+        let t0 = self.trace_start(sender);
         let bytes = self.scaled_bytes(bytes);
         self.stats.net_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.net_messages.fetch_add(1, Ordering::Relaxed);
         let bw = self.effective_bw(self.config.net_bw, self.config.net_bw);
-        sender.advance(self.config.net_latency + SimTime::for_transfer(bytes, bw))
+        let delivery = sender.advance(self.config.net_latency + SimTime::for_transfer(bytes, bw));
+        self.prim_finish(sender, t0, "net.send", bytes);
+        delivery
     }
 
     /// A write toward the burst-buffer / mass-storage tier.
     pub fn charge_storage_write(&self, clock: &Clock, bytes: u64) {
+        let t0 = self.trace_start(clock);
         let bytes = self.scaled_bytes(bytes);
-        self.stats.storage_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.stats
+            .storage_bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
         let bw = self.effective_bw(self.config.storage_bw, self.config.storage_bw);
         clock.advance(self.config.storage_latency + SimTime::for_transfer(bytes, bw));
+        self.prim_finish(clock, t0, "storage.write", bytes);
     }
 
     /// Ideal busy time per shared resource (modelled bytes over aggregate
@@ -344,7 +454,11 @@ impl Machine {
                 SimTime::for_transfer(s.dram_bytes_copied, self.config.dram_bw),
                 s.dram_bytes_copied,
             ),
-            ("fabric", SimTime::for_transfer(s.net_bytes, self.config.net_bw), s.net_bytes),
+            (
+                "fabric",
+                SimTime::for_transfer(s.net_bytes, self.config.net_bw),
+                s.net_bytes,
+            ),
             (
                 "storage",
                 SimTime::for_transfer(s.storage_bytes_written, self.config.storage_bw),
@@ -443,13 +557,55 @@ mod tests {
         m.charge_syscall(&c);
         m.reset();
         assert_eq!(m.stats.snapshot().pmem_bytes_written, 0);
-        assert!(m.utilization().iter().all(|(_, busy, n)| *busy == SimTime::ZERO && *n == 0));
+        assert!(m
+            .utilization()
+            .iter()
+            .all(|(_, busy, n)| *busy == SimTime::ZERO && *n == 0));
+    }
+
+    #[test]
+    fn tracing_records_spans_without_changing_time() {
+        use crate::trace::CollectingSink;
+        let run = |traced: bool| {
+            let m = Machine::chameleon();
+            let sink = CollectingSink::new();
+            if traced {
+                assert!(m.set_trace_sink(sink.clone()));
+                assert!(!m.set_trace_sink(sink.clone()), "sink must be install-once");
+            }
+            let c = Clock::with_lane(7);
+            m.charge_serialize(&c, 4096, 1.0);
+            m.charge_pmem_write(&c, 4096);
+            m.charge_flush(&c, 4096);
+            m.charge_fence(&c);
+            m.charge_syscall(&c);
+            (c.now(), sink.spans())
+        };
+        let (t_off, _) = run(false);
+        let (t_on, spans) = run(true);
+        assert_eq!(t_on, t_off, "tracing must not perturb virtual time");
+        let names: Vec<_> = spans.iter().map(|s| s.name.as_ref()).collect();
+        assert_eq!(
+            names,
+            ["serialize", "pmem.write", "flush", "fence", "syscall"]
+        );
+        assert!(spans.iter().all(|s| s.lane == 7 && s.cat == "prim"));
+        // Spans tile the timeline: each starts where the previous ended.
+        let mut cursor = SimTime::ZERO;
+        for s in &spans {
+            assert_eq!(s.start, cursor);
+            cursor = s.start + s.dur;
+        }
+        assert_eq!(cursor, t_on);
     }
 
     #[test]
     fn utilization_reports_all_servers() {
         let m = Machine::chameleon();
         let names: Vec<_> = m.utilization().iter().map(|(n, _, _)| *n).collect();
-        assert_eq!(names, ["pmem-read", "pmem-write", "dram-bus", "fabric", "storage"]);
+        assert_eq!(
+            names,
+            ["pmem-read", "pmem-write", "dram-bus", "fabric", "storage"]
+        );
     }
 }

@@ -220,7 +220,15 @@ mod tests {
         plain.store(&c1, 0, &[1; 4096 * 4]);
         synced.store(&c2, 0, &[1; 4096 * 4]);
         assert!(c2.now() - t2 > c1.now() - t1);
-        assert_eq!(synced.device().machine().stats.snapshot().map_sync_page_syncs, 4);
+        assert_eq!(
+            synced
+                .device()
+                .machine()
+                .stats
+                .snapshot()
+                .map_sync_page_syncs,
+            4
+        );
     }
 
     #[test]
@@ -260,7 +268,10 @@ mod tests {
     #[test]
     fn byte_scale_multiplies_fault_counts() {
         use crate::machine::MachineConfig;
-        let cfg = MachineConfig { byte_scale: 16, ..MachineConfig::chameleon_skylake() };
+        let cfg = MachineConfig {
+            byte_scale: 16,
+            ..MachineConfig::chameleon_skylake()
+        };
         let machine = Machine::new(cfg);
         let dev = PmemDevice::new(machine, 1 << 20, PersistenceMode::Fast);
         let c = Clock::new();

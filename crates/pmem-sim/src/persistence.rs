@@ -73,7 +73,10 @@ impl DirtyBitmap {
     }
 
     pub fn count_dirty(&self) -> usize {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
     }
 
     pub fn clear_all(&self) {

@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn zero_service_is_free_and_unrecorded() {
         let s = Server::new("dev");
-        assert_eq!(s.acquire(SimTime::from_nanos(7), SimTime::ZERO), SimTime::from_nanos(7));
+        assert_eq!(
+            s.acquire(SimTime::from_nanos(7), SimTime::ZERO),
+            SimTime::from_nanos(7)
+        );
         assert_eq!(s.grant_count(), 0);
     }
 

@@ -165,15 +165,39 @@ impl fmt::Display for SimTime {
 #[derive(Debug, Default)]
 pub struct Clock {
     now: AtomicU64,
+    /// Trace lane this clock's activity is attributed to (rank id for rank
+    /// clocks, reserved ids for background clocks). Purely diagnostic: the
+    /// cost model never reads it.
+    lane: u64,
 }
 
 impl Clock {
     pub fn new() -> Self {
-        Clock { now: AtomicU64::new(0) }
+        Clock {
+            now: AtomicU64::new(0),
+            lane: 0,
+        }
+    }
+
+    /// A clock whose trace spans land on the given lane.
+    pub fn with_lane(lane: u64) -> Self {
+        Clock {
+            now: AtomicU64::new(0),
+            lane,
+        }
     }
 
     pub fn starting_at(t: SimTime) -> Self {
-        Clock { now: AtomicU64::new(t.0) }
+        Clock {
+            now: AtomicU64::new(t.0),
+            lane: 0,
+        }
+    }
+
+    /// Trace lane this clock reports spans on.
+    #[inline]
+    pub fn lane(&self) -> u64 {
+        self.lane
     }
 
     /// Current virtual time of this rank.

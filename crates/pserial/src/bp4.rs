@@ -79,7 +79,9 @@ impl Serializer for Bp4 {
         }
         let version = get_u8(src)?;
         if version != VERSION {
-            return Err(SerialError::Corrupt(format!("unsupported BP version {version}")));
+            return Err(SerialError::Corrupt(format!(
+                "unsupported BP version {version}"
+            )));
         }
         let name = get_str(src)?;
         let dtype = Datatype::from_code(get_u8(src)?)?;
@@ -95,13 +97,21 @@ impl Serializer for Bp4 {
         }
         let nchar = get_u8(src)?;
         if nchar != 2 {
-            return Err(SerialError::Corrupt(format!("expected 2 characteristics, got {nchar}")));
+            return Err(SerialError::Corrupt(format!(
+                "expected 2 characteristics, got {nchar}"
+            )));
         }
         let min = get_f64(src)?;
         let max = get_f64(src)?;
         let payload_len = get_u64(src)?;
         Ok(VarHeader {
-            meta: VarMeta { name, dtype, dims, offsets: offs, global_dims: gdims },
+            meta: VarMeta {
+                name,
+                dtype,
+                dims,
+                offsets: offs,
+                global_dims: gdims,
+            },
             payload_len,
             min: Some(min),
             max: Some(max),
@@ -144,7 +154,10 @@ mod tests {
         let (meta, payload) = sample();
         let mut buf = Vec::new();
         Bp4.write_var(&meta, &payload, &mut buf).unwrap();
-        assert_eq!(buf.len() as u64, Bp4.serialized_len(&meta, payload.len() as u64));
+        assert_eq!(
+            buf.len() as u64,
+            Bp4.serialized_len(&meta, payload.len() as u64)
+        );
     }
 
     #[test]

@@ -105,11 +105,19 @@ impl Serializer for CapnpLite {
         let consumed = src.position() - start;
         let header_len = header_words * 8;
         if consumed > header_len {
-            return Err(SerialError::Corrupt("header overruns its declared size".into()));
+            return Err(SerialError::Corrupt(
+                "header overruns its declared size".into(),
+            ));
         }
         src.skip(header_len - consumed)?;
         Ok(VarHeader {
-            meta: VarMeta { name, dtype, dims, offsets: offs, global_dims: gdims },
+            meta: VarMeta {
+                name,
+                dtype,
+                dims,
+                offsets: offs,
+                global_dims: gdims,
+            },
             payload_len,
             min: None,
             max: None,
@@ -160,7 +168,9 @@ mod tests {
         let m1 = VarMeta::scalar("a", Datatype::U64);
         let m2 = VarMeta::local_array("bb", Datatype::U8, &[3]);
         let mut buf = Vec::new();
-        CapnpLite.write_var(&m1, &7u64.to_le_bytes(), &mut buf).unwrap();
+        CapnpLite
+            .write_var(&m1, &7u64.to_le_bytes(), &mut buf)
+            .unwrap();
         CapnpLite.write_var(&m2, &[1, 2, 3], &mut buf).unwrap();
         let mut src = SliceSource::new(&buf);
         let (h1, p1) = CapnpLite.read_var(&mut src).unwrap();

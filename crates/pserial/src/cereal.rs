@@ -74,7 +74,13 @@ impl Serializer for Cereal {
         }
         let payload_len = get_u64(src)?;
         Ok(VarHeader {
-            meta: VarMeta { name, dtype, dims, offsets: offs, global_dims: gdims },
+            meta: VarMeta {
+                name,
+                dtype,
+                dims,
+                offsets: offs,
+                global_dims: gdims,
+            },
             payload_len,
             min: None,
             max: None,
@@ -93,7 +99,10 @@ mod tests {
         let payload = vec![7u8; meta.payload_len() as usize];
         let mut buf = Vec::new();
         Cereal.write_var(&meta, &payload, &mut buf).unwrap();
-        assert_eq!(buf.len() as u64, Cereal.serialized_len(&meta, payload.len() as u64));
+        assert_eq!(
+            buf.len() as u64,
+            Cereal.serialized_len(&meta, payload.len() as u64)
+        );
         let mut src = SliceSource::new(&buf);
         let (hdr, got) = Cereal.read_var(&mut src).unwrap();
         assert_eq!(hdr.meta, meta);

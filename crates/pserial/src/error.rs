@@ -5,7 +5,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SerialError {
     /// Magic/version mismatch: the bytes are not this format.
-    BadMagic { expected: &'static str, found: Vec<u8> },
+    BadMagic {
+        expected: &'static str,
+        found: Vec<u8>,
+    },
     /// Structurally invalid or truncated input.
     Corrupt(String),
     /// The caller-supplied destination buffer is too small.

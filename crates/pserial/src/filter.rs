@@ -130,9 +130,7 @@ impl Filter for Rle {
                     out.extend_from_slice(&input[i + 2..i + 2 + len]);
                     i += 2 + len;
                 }
-                other => {
-                    return Err(SerialError::Corrupt(format!("bad RLE marker {other:#x}")))
-                }
+                other => return Err(SerialError::Corrupt(format!("bad RLE marker {other:#x}"))),
             }
         }
         if out.len() != raw_len {
@@ -245,7 +243,9 @@ impl Filter for Gorilla {
                     out.extend_from_slice(&prev.to_le_bytes());
                 }
                 if out.len() != raw_len || pos != body.len() {
-                    return Err(SerialError::Corrupt("gorilla stream length mismatch".into()));
+                    return Err(SerialError::Corrupt(
+                        "gorilla stream length mismatch".into(),
+                    ));
                 }
                 Ok(out)
             }
@@ -271,7 +271,9 @@ mod tests {
         round_trip(&f, b"abc");
         round_trip(&f, &[0u8; 1000]);
         round_trip(&f, &[1, 2, 3, 3, 3, 3, 3, 3, 4, 5]);
-        let mixed: Vec<u8> = (0..2000).map(|i| if i % 7 == 0 { 0 } else { (i % 251) as u8 }).collect();
+        let mixed: Vec<u8> = (0..2000)
+            .map(|i| if i % 7 == 0 { 0 } else { (i % 251) as u8 })
+            .collect();
         round_trip(&f, &mixed);
     }
 
@@ -287,7 +289,9 @@ mod tests {
         let f = Gorilla;
         round_trip(&f, b"");
         round_trip(&f, b"odd-length"); // raw fallback path (10 bytes, not 8-aligned)
-        let smooth: Vec<u8> = (0..4096u64).flat_map(|i| (i as f64 * 0.5).to_le_bytes()).collect();
+        let smooth: Vec<u8> = (0..4096u64)
+            .flat_map(|i| (i as f64 * 0.5).to_le_bytes())
+            .collect();
         round_trip(&f, &smooth);
         let random: Vec<u8> = (0..4096u64)
             .flat_map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)).to_le_bytes())
@@ -298,7 +302,9 @@ mod tests {
     #[test]
     fn gorilla_compresses_stencil_like_data() {
         // The evaluation's generator: consecutive half-integers.
-        let data: Vec<u8> = (0..8192u64).flat_map(|i| (i as f64 * 0.5).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..8192u64)
+            .flat_map(|i| (i as f64 * 0.5).to_le_bytes())
+            .collect();
         let enc = Gorilla.encode(&data);
         assert!(
             enc.len() < data.len() / 2,
@@ -324,7 +330,11 @@ mod tests {
             .flat_map(|i| i.wrapping_mul(0x2545F4914F6CDD1D).to_le_bytes())
             .collect();
         let enc = Gorilla.encode(&data);
-        assert!(enc.len() <= data.len() + 10, "expansion not capped: {}", enc.len());
+        assert!(
+            enc.len() <= data.len() + 10,
+            "expansion not capped: {}",
+            enc.len()
+        );
     }
 
     #[test]
@@ -332,7 +342,11 @@ mod tests {
         for f in all_filters() {
             assert!(f.decode(b"garbage-frame").is_err(), "{}", f.name());
             let enc = f.encode(&[1, 2, 3, 4, 5, 6, 7, 8]);
-            assert!(f.decode(&enc[..enc.len() - 1]).is_err() || enc.len() == 10, "{}", f.name());
+            assert!(
+                f.decode(&enc[..enc.len() - 1]).is_err() || enc.len() == 10,
+                "{}",
+                f.name()
+            );
         }
     }
 
@@ -346,7 +360,15 @@ mod tests {
 
     #[test]
     fn gorilla_word_edge_values() {
-        let words = [0u64, 1, 0xFF, 0x100, u64::MAX, 1 << 63, 0x00FF_0000_0000_0000];
+        let words = [
+            0u64,
+            1,
+            0xFF,
+            0x100,
+            u64::MAX,
+            1 << 63,
+            0x00FF_0000_0000_0000,
+        ];
         let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let enc = Gorilla.encode(&data);
         assert_eq!(Gorilla.decode(&enc).unwrap(), data);

@@ -163,7 +163,9 @@ pub fn get_f64(src: &mut dyn ReadSource) -> Result<f64> {
 pub fn get_str(src: &mut dyn ReadSource) -> Result<String> {
     let len = get_u32(src)? as usize;
     if len > 1 << 20 {
-        return Err(SerialError::Corrupt(format!("implausible string length {len}")));
+        return Err(SerialError::Corrupt(format!(
+            "implausible string length {len}"
+        )));
     }
     let mut buf = vec![0u8; len];
     src.get(&mut buf)?;

@@ -77,7 +77,9 @@ mod registry_tests {
     #[test]
     fn every_format_honours_its_length_contract() {
         let meta = VarMeta::block("var/with/path", Datatype::F64, &[6, 6], &[0, 3], &[6, 3]);
-        let payload: Vec<u8> = (0..18u64).flat_map(|i| (i as f64 * 0.5).to_le_bytes()).collect();
+        let payload: Vec<u8> = (0..18u64)
+            .flat_map(|i| (i as f64 * 0.5).to_le_bytes())
+            .collect();
         for s in all_formats() {
             let mut buf = Vec::new();
             s.write_var(&meta, &payload, &mut buf).unwrap();

@@ -155,7 +155,13 @@ mod tests {
 
     #[test]
     fn block_meta_computes_payload() {
-        let m = VarMeta::block("rho", Datatype::F64, &[100, 100, 100], &[0, 50, 0], &[100, 50, 100]);
+        let m = VarMeta::block(
+            "rho",
+            Datatype::F64,
+            &[100, 100, 100],
+            &[0, 50, 0],
+            &[100, 50, 100],
+        );
         assert_eq!(m.elements(), 500_000);
         assert_eq!(m.payload_len(), 4_000_000);
     }

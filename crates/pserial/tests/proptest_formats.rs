@@ -1,67 +1,92 @@
-//! Property-based conformance tests for every serialization format.
+//! Property-style conformance tests for every serialization format, driven
+//! by a seeded deterministic generator (offline replacement for the former
+//! proptest dependency; same invariants, reproducible cases).
 
-use proptest::prelude::*;
+use pmem_sim::DetRng;
 use pserial::{all_formats, Datatype, SliceSource, VarMeta};
 
-fn arb_dtype() -> impl Strategy<Value = Datatype> {
-    prop_oneof![
-        Just(Datatype::U8),
-        Just(Datatype::I32),
-        Just(Datatype::U32),
-        Just(Datatype::I64),
-        Just(Datatype::U64),
-        Just(Datatype::F32),
-        Just(Datatype::F64),
-    ]
+const DTYPES: [Datatype; 7] = [
+    Datatype::U8,
+    Datatype::I32,
+    Datatype::U32,
+    Datatype::I64,
+    Datatype::U64,
+    Datatype::F32,
+    Datatype::F64,
+];
+
+const NAME_ALPHABET: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_/#@.-";
+
+fn arb_meta_and_payload(rng: &mut DetRng) -> (VarMeta, Vec<u8>) {
+    let name: String = (0..rng.gen_range(1, 41))
+        .map(|_| NAME_ALPHABET[rng.index(NAME_ALPHABET.len())] as char)
+        .collect();
+    let dtype = DTYPES[rng.index(DTYPES.len())];
+    let dims: Vec<u64> = (0..rng.gen_range(0, 4))
+        .map(|_| rng.gen_range(1, 8))
+        .collect();
+    let elems: u64 = dims.iter().product::<u64>().max(1);
+    let len = (elems * dtype.size()) as usize;
+    let gdims: Vec<u64> = dims.iter().map(|d| d * 3).collect();
+    let offsets: Vec<u64> = dims.clone();
+    let meta = VarMeta {
+        name,
+        dtype,
+        dims,
+        offsets,
+        global_dims: gdims,
+    };
+    let payload = rng.bytes(len);
+    (meta, payload)
 }
 
-fn arb_meta_and_payload() -> impl Strategy<Value = (VarMeta, Vec<u8>)> {
-    (
-        "[a-zA-Z0-9_/#@.-]{1,40}",
-        arb_dtype(),
-        prop::collection::vec(1u64..8, 0..4),
-    )
-        .prop_flat_map(|(name, dtype, dims)| {
-            let elems: u64 = dims.iter().product::<u64>().max(1);
-            let len = (elems * dtype.size()) as usize;
-            let gdims: Vec<u64> = dims.iter().map(|d| d * 3).collect();
-            let offsets: Vec<u64> = dims.clone();
-            let meta = VarMeta { name, dtype, dims, offsets, global_dims: gdims };
-            (Just(meta), prop::collection::vec(any::<u8>(), len..=len))
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// write_var emits exactly serialized_len bytes and round-trips the
-    /// payload; self-describing formats also round-trip the metadata.
-    #[test]
-    fn every_format_round_trips((meta, payload) in arb_meta_and_payload()) {
+/// write_var emits exactly serialized_len bytes and round-trips the
+/// payload; self-describing formats also round-trip the metadata.
+#[test]
+fn every_format_round_trips() {
+    let mut rng = DetRng::new(0xF0F0);
+    for case in 0..128 {
+        let (meta, payload) = arb_meta_and_payload(&mut rng);
         for s in all_formats() {
             let mut buf = Vec::new();
             s.write_var(&meta, &payload, &mut buf).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 buf.len() as u64,
                 s.serialized_len(&meta, payload.len() as u64),
-                "length contract broken by {}", s.name()
+                "case {case}: length contract broken by {}",
+                s.name()
             );
             let mut src = SliceSource::new(&buf);
             let (hdr, got) = s.read_var(&mut src).unwrap();
-            prop_assert_eq!(&got, &payload, "payload torn by {}", s.name());
-            prop_assert_eq!(hdr.payload_len, payload.len() as u64);
+            assert_eq!(&got, &payload, "case {case}: payload torn by {}", s.name());
+            assert_eq!(hdr.payload_len, payload.len() as u64);
             if s.name() != "raw" {
-                prop_assert_eq!(&hdr.meta, &meta, "metadata torn by {}", s.name());
+                assert_eq!(
+                    &hdr.meta,
+                    &meta,
+                    "case {case}: metadata torn by {}",
+                    s.name()
+                );
             }
-            prop_assert_eq!(src.remaining(), 0, "{} left trailing bytes", s.name());
+            assert_eq!(
+                src.remaining(),
+                0,
+                "case {case}: {} left trailing bytes",
+                s.name()
+            );
         }
     }
+}
 
-    /// Concatenated records decode back in order (the BP-style stream case).
-    #[test]
-    fn streams_of_records_decode_in_order(
-        records in prop::collection::vec(arb_meta_and_payload(), 1..6)
-    ) {
+/// Concatenated records decode back in order (the BP-style stream case).
+#[test]
+fn streams_of_records_decode_in_order() {
+    let mut rng = DetRng::new(0x57E4);
+    for _case in 0..64 {
+        let records: Vec<(VarMeta, Vec<u8>)> = (0..rng.gen_range(1, 6))
+            .map(|_| arb_meta_and_payload(&mut rng))
+            .collect();
         for s in all_formats() {
             let mut buf = Vec::new();
             for (meta, payload) in &records {
@@ -70,17 +95,22 @@ proptest! {
             let mut src = SliceSource::new(&buf);
             for (meta, payload) in &records {
                 let (hdr, got) = s.read_var(&mut src).unwrap();
-                prop_assert_eq!(&got, payload);
+                assert_eq!(&got, payload);
                 if s.name() != "raw" {
-                    prop_assert_eq!(&hdr.meta.name, &meta.name);
+                    assert_eq!(&hdr.meta.name, &meta.name);
                 }
             }
         }
     }
+}
 
-    /// Truncated streams produce errors, never panics or garbage successes.
-    #[test]
-    fn truncation_is_detected((meta, payload) in arb_meta_and_payload(), cut in 0.0f64..1.0) {
+/// Truncated streams produce errors, never panics or garbage successes.
+#[test]
+fn truncation_is_detected() {
+    let mut rng = DetRng::new(0x7A6C);
+    for case in 0..128 {
+        let (meta, payload) = arb_meta_and_payload(&mut rng);
+        let cut = rng.next_f64();
         for s in all_formats() {
             let mut buf = Vec::new();
             s.write_var(&meta, &payload, &mut buf).unwrap();
@@ -93,24 +123,31 @@ proptest! {
             // Either the header fails, or the payload read fails.
             if let Ok(hdr) = s.read_header(&mut src) {
                 let mut dst = vec![0u8; hdr.payload_len as usize];
-                prop_assert!(
+                assert!(
                     s.read_payload(&mut src, &mut dst).is_err(),
-                    "{} accepted a truncated stream", s.name()
+                    "case {case}: {} accepted a truncated stream",
+                    s.name()
                 );
             }
         }
     }
+}
 
-    /// Corrupting the first byte is always rejected (magic check).
-    #[test]
-    fn corrupt_magic_is_rejected((meta, payload) in arb_meta_and_payload(), noise in 1u8..255) {
+/// Corrupting the first byte is always rejected (magic check).
+#[test]
+fn corrupt_magic_is_rejected() {
+    let mut rng = DetRng::new(0xBAD1);
+    for case in 0..128 {
+        let (meta, payload) = arb_meta_and_payload(&mut rng);
+        let noise = rng.gen_range(1, 255) as u8;
         for s in all_formats() {
             let mut buf = Vec::new();
             s.write_var(&meta, &payload, &mut buf).unwrap();
             buf[0] ^= noise;
-            prop_assert!(
+            assert!(
                 s.read_header(&mut SliceSource::new(&buf)).is_err(),
-                "{} accepted corrupt magic", s.name()
+                "case {case}: {} accepted corrupt magic",
+                s.name()
             );
         }
     }

@@ -24,7 +24,9 @@ pub fn components(path: &str) -> Result<Vec<String>> {
 /// Split into (parent components, file name).
 pub fn split_parent(path: &str) -> Result<(Vec<String>, String)> {
     let mut comps = components(path)?;
-    let name = comps.pop().ok_or_else(|| FsError::InvalidPath(path.into()))?;
+    let name = comps
+        .pop()
+        .ok_or_else(|| FsError::InvalidPath(path.into()))?;
     Ok((comps, name))
 }
 

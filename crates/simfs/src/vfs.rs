@@ -80,7 +80,12 @@ const ROOT: u64 = 0;
 
 impl SimFs {
     /// Mount a filesystem over `[data_start, data_end)` of the device.
-    pub fn mount(device: Arc<PmemDevice>, mode: MountMode, data_start: u64, data_end: u64) -> Arc<Self> {
+    pub fn mount(
+        device: Arc<PmemDevice>,
+        mode: MountMode,
+        data_start: u64,
+        data_end: u64,
+    ) -> Arc<Self> {
         Self::mount_with_cache(device, mode, data_start, data_end, None)
     }
 
@@ -127,17 +132,25 @@ impl SimFs {
     /// Record a page becoming resident; evict beyond the budget. Dirty
     /// victims are written back (media write charged to `clock`) first.
     fn cache_insert(&self, clock: &Clock, state: &mut FsState, id: u64, page: u64) {
-        let Some(Node::File(f)) = state.nodes.get_mut(&id) else { return };
+        let Some(Node::File(f)) = state.nodes.get_mut(&id) else {
+            return;
+        };
         if !f.cached.insert(page) {
             return; // already resident
         }
         state.cache_fifo.push_back((id, page));
         state.cache_resident += 1;
-        let Some(cap) = state.cache_capacity else { return };
+        let Some(cap) = state.cache_capacity else {
+            return;
+        };
         let page_bytes = self.page_size();
         while state.cache_resident > cap {
-            let Some((vid, vpage)) = state.cache_fifo.pop_front() else { break };
-            let Some(Node::File(vf)) = state.nodes.get_mut(&vid) else { continue };
+            let Some((vid, vpage)) = state.cache_fifo.pop_front() else {
+                break;
+            };
+            let Some(Node::File(vf)) = state.nodes.get_mut(&vid) else {
+                continue;
+            };
             if !vf.cached.remove(&vpage) {
                 continue; // stale FIFO entry
             }
@@ -259,7 +272,9 @@ impl SimFs {
         let Some(Node::Dir(children)) = state.nodes.get(&pid) else {
             return Err(FsError::NotADirectory(path::join(&parent)));
         };
-        let id = *children.get(&name).ok_or_else(|| FsError::NotFound(p.into()))?;
+        let id = *children
+            .get(&name)
+            .ok_or_else(|| FsError::NotFound(p.into()))?;
         match state.nodes.get(&id) {
             Some(Node::File(_)) => {}
             Some(Node::Dir(_)) => return Err(FsError::IsADirectory(p.into())),
@@ -283,7 +298,9 @@ impl SimFs {
         let Some(Node::Dir(children)) = state.nodes.get(&pid) else {
             return Err(FsError::NotADirectory(path::join(&parent)));
         };
-        let id = *children.get(&name).ok_or_else(|| FsError::NotFound(p.into()))?;
+        let id = *children
+            .get(&name)
+            .ok_or_else(|| FsError::NotFound(p.into()))?;
         match state.nodes.get(&id) {
             Some(Node::Dir(c)) if c.is_empty() => {}
             Some(Node::Dir(_)) => return Err(FsError::AlreadyExists(format!("{p} not empty"))),
@@ -371,7 +388,11 @@ impl SimFs {
     }
 
     fn node_of(state: &FsState, fd: u64) -> Result<u64> {
-        state.fds.get(&fd).copied().ok_or(FsError::BadDescriptor(fd))
+        state
+            .fds
+            .get(&fd)
+            .copied()
+            .ok_or(FsError::BadDescriptor(fd))
     }
 
     /// Logical file size.
@@ -591,7 +612,13 @@ impl SimFs {
         }
         let (start, len) = (f.extent.start, f.size);
         drop(state);
-        Ok(DaxMapping::new(clock, Arc::clone(&self.device), start as usize, len as usize, map_sync))
+        Ok(DaxMapping::new(
+            clock,
+            Arc::clone(&self.device),
+            start as usize,
+            len as usize,
+            map_sync,
+        ))
     }
 }
 
@@ -704,7 +731,10 @@ mod tests {
         assert_eq!(s.pmem_bytes_written, 8192);
         // Second fsync with nothing dirty is free of media traffic.
         fs.fsync(&c, fd).unwrap();
-        assert_eq!(fs.device().machine().stats.snapshot().pmem_bytes_written, 8192);
+        assert_eq!(
+            fs.device().machine().stats.snapshot().pmem_bytes_written,
+            8192
+        );
     }
 
     #[test]
@@ -715,7 +745,10 @@ mod tests {
         let mut buf = [0u8; 4096];
         let before = fs.device().machine().stats.snapshot().pmem_bytes_read;
         fs.read_at(&c, fd, 0, &mut buf).unwrap(); // cached by the write
-        assert_eq!(fs.device().machine().stats.snapshot().pmem_bytes_read, before);
+        assert_eq!(
+            fs.device().machine().stats.snapshot().pmem_bytes_read,
+            before
+        );
         assert_eq!(buf[0], 7);
     }
 
@@ -739,7 +772,10 @@ mod tests {
         let (fs, c) = fs(MountMode::PageCache);
         let fd = fs.create(&c, "/f").unwrap();
         fs.set_len(&c, fd, 4096).unwrap();
-        assert!(matches!(fs.mmap_file(&c, "/f", false), Err(FsError::NotMappable(_))));
+        assert!(matches!(
+            fs.mmap_file(&c, "/f", false),
+            Err(FsError::NotMappable(_))
+        ));
     }
 
     #[test]
@@ -771,7 +807,11 @@ mod tests {
         assert_eq!(fs.cached_pages(), 8);
         // Evicted dirty pages were written back to the media.
         let s = fs.device().machine().stats.snapshot();
-        assert!(s.pmem_bytes_written >= 8 * 4096, "writeback missing: {}", s.pmem_bytes_written);
+        assert!(
+            s.pmem_bytes_written >= 8 * 4096,
+            "writeback missing: {}",
+            s.pmem_bytes_written
+        );
         // Data is still correct after eviction.
         let mut buf = vec![0u8; 16 * 4096];
         fs.read_at(&c, fd, 0, &mut buf).unwrap();

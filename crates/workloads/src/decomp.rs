@@ -46,7 +46,10 @@ impl BlockDecomp {
         for (d, (&g, &p)) in global_dims.iter().zip(&grid).enumerate() {
             assert!(g >= p, "dim {d}: extent {g} smaller than grid {p}");
         }
-        BlockDecomp { global_dims: global_dims.to_vec(), grid }
+        BlockDecomp {
+            global_dims: global_dims.to_vec(),
+            grid,
+        }
     }
 
     pub fn nprocs(&self) -> u64 {
@@ -154,6 +157,9 @@ mod tests {
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
         // Equal share within a few percent (the paper divides 40 GB equally).
-        assert!((max - min) as f64 / (max as f64) < 0.1, "min={min} max={max}");
+        assert!(
+            (max - min) as f64 / (max as f64) < 0.1,
+            "min={min} max={max}"
+        );
     }
 }

@@ -25,7 +25,11 @@ impl Domain3dSpec {
     /// *real* data volume; the benchmark harness sets the machine's
     /// `byte_scale` so the modelled volume is 40 GB regardless.
     pub fn paper(nprocs: u64, total_bytes: u64) -> Self {
-        Domain3dSpec { total_bytes, nvars: 10, nprocs }
+        Domain3dSpec {
+            total_bytes,
+            nvars: 10,
+            nprocs,
+        }
     }
 
     /// Derive near-cubic global dimensions so that `nvars` f64 arrays total
@@ -55,8 +59,7 @@ impl Domain3dSpec {
 
     /// Variable names, S3D-flavoured.
     pub fn var_names(&self) -> Vec<String> {
-        const BASE: [&str; 10] =
-            ["rho", "u", "v", "w", "E", "T", "P", "Y_H2", "Y_O2", "Y_H2O"];
+        const BASE: [&str; 10] = ["rho", "u", "v", "w", "E", "T", "P", "Y_H2", "Y_O2", "Y_H2O"];
         (0..self.nvars)
             .map(|i| {
                 if i < BASE.len() {
@@ -164,7 +167,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_and_verifiable() {
-        let spec = Domain3dSpec { total_bytes: 1 << 20, nvars: 2, nprocs: 4 };
+        let spec = Domain3dSpec {
+            total_bytes: 1 << 20,
+            nvars: 2,
+            nprocs: 4,
+        };
         let d = spec.decompose();
         for var in 0..2 {
             for rank in 0..4 {
@@ -177,7 +184,11 @@ mod tests {
 
     #[test]
     fn different_vars_and_ranks_have_different_data() {
-        let spec = Domain3dSpec { total_bytes: 1 << 20, nvars: 2, nprocs: 2 };
+        let spec = Domain3dSpec {
+            total_bytes: 1 << 20,
+            nvars: 2,
+            nprocs: 2,
+        };
         let d = spec.decompose();
         let a = generate_block(&d, 0, 0);
         let b = generate_block(&d, 1, 0);
@@ -188,7 +199,11 @@ mod tests {
 
     #[test]
     fn verify_detects_corruption() {
-        let spec = Domain3dSpec { total_bytes: 1 << 18, nvars: 1, nprocs: 1 };
+        let spec = Domain3dSpec {
+            total_bytes: 1 << 18,
+            nvars: 1,
+            nprocs: 1,
+        };
         let d = spec.decompose();
         let mut block = generate_block(&d, 0, 0);
         block[7] += 1.0;

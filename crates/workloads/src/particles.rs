@@ -80,7 +80,9 @@ pub fn particle_at(g: u64) -> Particle {
 /// Generate `rank`'s particles.
 pub fn generate_particles(spec: &ParticleSpec, rank: u64) -> Vec<Particle> {
     let off = spec.offset_of(rank);
-    (0..spec.count_of(rank)).map(|i| particle_at(off + i)).collect()
+    (0..spec.count_of(rank))
+        .map(|i| particle_at(off + i))
+        .collect()
 }
 
 /// Extract one float component as a dense array (struct-of-arrays view).
@@ -144,7 +146,10 @@ mod tests {
             assert_eq!(sum, 100_000, "nprocs={nprocs}");
             // Offsets are consistent with counts.
             for r in 1..nprocs {
-                assert_eq!(spec.offset_of(r), spec.offset_of(r - 1) + spec.count_of(r - 1));
+                assert_eq!(
+                    spec.offset_of(r),
+                    spec.offset_of(r - 1) + spec.count_of(r - 1)
+                );
             }
         }
     }

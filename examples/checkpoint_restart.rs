@@ -54,7 +54,12 @@ fn main() {
             }
             pmem.store_pod(
                 "state",
-                &SimState { step: 12000, time: 1.2e-3, dt: 1e-7, energy: -847.25 },
+                &SimState {
+                    step: 12000,
+                    time: 1.2e-3,
+                    dt: 1e-7,
+                    energy: -847.25,
+                },
             )
             .unwrap();
         }

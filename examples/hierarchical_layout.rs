@@ -24,13 +24,22 @@ fn main() {
         serializer: "cereal".into(),
         ..Options::default()
     });
-    pmem.mmap(MmapTarget::Fs { fs: &fs, dir: "/science" }, &comm).unwrap();
+    pmem.mmap(
+        MmapTarget::Fs {
+            fs: &fs,
+            dir: "/science",
+        },
+        &comm,
+    )
+    .unwrap();
 
     // Ids with '/' become directories — a namespace you can browse.
     pmem.alloc::<f64>("fluid/velocity/u", &[128, 128]).unwrap();
     let u: Vec<f64> = (0..128 * 128).map(|i| (i % 97) as f64).collect();
-    pmem.store_block("fluid/velocity/u", &u, &[0, 0], &[128, 128]).unwrap();
-    pmem.store_slice("fluid/pressure", &vec![101.325f64; 64]).unwrap();
+    pmem.store_block("fluid/velocity/u", &u, &[0, 0], &[128, 128])
+        .unwrap();
+    pmem.store_slice("fluid/pressure", &vec![101.325f64; 64])
+        .unwrap();
     pmem.store_scalar("meta/step", 42u64).unwrap();
     pmem.store_scalar("meta/walltime", 3.75f64).unwrap();
 
@@ -44,10 +53,14 @@ fn main() {
 
     // Read everything back.
     let mut back = vec![0f64; 128 * 128];
-    pmem.load_block("fluid/velocity/u", &mut back, &[0, 0], &[128, 128]).unwrap();
+    pmem.load_block("fluid/velocity/u", &mut back, &[0, 0], &[128, 128])
+        .unwrap();
     assert_eq!(back, u);
     assert_eq!(pmem.load_scalar::<u64>("meta/step").unwrap(), 42);
-    assert_eq!(pmem.load_slice::<f64>("fluid/pressure").unwrap(), vec![101.325f64; 64]);
+    assert_eq!(
+        pmem.load_slice::<f64>("fluid/pressure").unwrap(),
+        vec![101.325f64; 64]
+    );
 
     // Enumerate keys through the API as well.
     let mut keys = pmem.keys().unwrap();
@@ -59,7 +72,9 @@ fn main() {
 }
 
 fn print_tree(fs: &Arc<SimFs>, dir: &str, depth: usize) {
-    let Ok(entries) = fs.list_dir(dir) else { return };
+    let Ok(entries) = fs.list_dir(dir) else {
+        return;
+    };
     for (name, kind) in entries {
         let pad = "  ".repeat(depth);
         match kind {

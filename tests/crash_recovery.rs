@@ -20,7 +20,12 @@ fn reopen(dev: &Arc<PmemDevice>, clock: &Clock) -> Arc<PmemPool> {
 /// the table must still hold the old value and pass heap invariants.
 #[test]
 fn hashtable_replace_is_crash_atomic_at_every_site() {
-    for site in ["tx::snapshot", "tx::alloc", "tx::alloc-after", "tx::commit-before"] {
+    for site in [
+        "tx::snapshot",
+        "tx::alloc",
+        "tx::alloc-after",
+        "tx::commit-before",
+    ] {
         let (pool, dev, clock) = tracked_pool(8);
         let ht = pmdk_sim::PersistentHashtable::create(&clock, &pool, 16).unwrap();
         ht.put(&clock, b"key", b"stable-value").unwrap();
@@ -40,7 +45,8 @@ fn hashtable_replace_is_crash_atomic_at_every_site() {
             "site {site} lost the old value"
         );
         assert_eq!(ht.len(&clock), 1, "site {site} corrupted the count");
-        pool.check_heap().unwrap_or_else(|e| panic!("site {site}: {e}"));
+        pool.check_heap()
+            .unwrap_or_else(|e| panic!("site {site}: {e}"));
     }
 }
 
@@ -77,7 +83,8 @@ fn repeated_crash_cycles_do_not_leak() {
     for round in 0..10u32 {
         let ht = pmdk_sim::PersistentHashtable::open(&clock, &pool, header).unwrap();
         // A successful put...
-        ht.put(&clock, format!("k{round}").as_bytes(), b"v").unwrap();
+        ht.put(&clock, format!("k{round}").as_bytes(), b"v")
+            .unwrap();
         // ...then a crashed replace of the same key.
         pool.fail_points.arm("tx::commit-before", 1);
         let _ = ht.put(&clock, format!("k{round}").as_bytes(), b"doomed");
@@ -133,8 +140,10 @@ fn persistent_locks_release_on_crash() {
     use pmdk_sim::locks::{LockRegistry, PersistentMutex, PERSISTENT_MUTEX_SIZE};
     let (pool, dev, clock) = tracked_pool(8);
     let off = pool.alloc(&clock, PERSISTENT_MUTEX_SIZE).unwrap();
-    pool.device().zero(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
-    pool.device().persist(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
+    pool.device()
+        .zero(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
+    pool.device()
+        .persist(&clock, off as usize, PERSISTENT_MUTEX_SIZE as usize);
 
     let reg = Arc::new(LockRegistry::default());
     let m = PersistentMutex::attach(&pool, &reg, off);

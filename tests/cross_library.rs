@@ -30,10 +30,20 @@ fn both_layouts_store_identical_logical_content() {
         layout: DataLayout::HierarchicalFiles,
         ..Options::default()
     });
-    b.mmap(MmapTarget::Fs { fs: &fs, dir: "/vars" }, &comm).unwrap();
+    b.mmap(
+        MmapTarget::Fs {
+            fs: &fs,
+            dir: "/vars",
+        },
+        &comm,
+    )
+    .unwrap();
     b.store_slice("field", &data).unwrap();
 
-    assert_eq!(a.load_slice::<f64>("field").unwrap(), b.load_slice::<f64>("field").unwrap());
+    assert_eq!(
+        a.load_slice::<f64>("field").unwrap(),
+        b.load_slice::<f64>("field").unwrap()
+    );
     a.munmap().unwrap();
     b.munmap().unwrap();
 }
@@ -57,7 +67,8 @@ fn load_dims_round_trips_through_both_layouts() {
         layout: DataLayout::HierarchicalFiles,
         ..Options::default()
     });
-    b.mmap(MmapTarget::Fs { fs: &fs, dir: "/d" }, &comm).unwrap();
+    b.mmap(MmapTarget::Fs { fs: &fs, dir: "/d" }, &comm)
+        .unwrap();
     b.alloc::<u32>("cube", &dims).unwrap();
     let (dtype, got) = b.load_dims("cube").unwrap();
     assert_eq!(dtype, pserial::Datatype::U32);
@@ -79,11 +90,8 @@ fn map_sync_order_a_faster_than_b_everywhere() {
                     ..Options::default()
                 });
                 pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
-                pmem.store_slice(
-                    &format!("r{}", comm.rank()),
-                    &vec![1.0f64; 1 << 14],
-                )
-                .unwrap();
+                pmem.store_slice(&format!("r{}", comm.rank()), &vec![1.0f64; 1 << 14])
+                    .unwrap();
                 let t = pmem.now();
                 pmem.munmap().unwrap();
                 t
@@ -131,11 +139,25 @@ fn hierarchical_ids_create_real_directories() {
         layout: DataLayout::HierarchicalFiles,
         ..Options::default()
     });
-    pmem.mmap(MmapTarget::Fs { fs: &fs, dir: "/sim" }, &comm).unwrap();
+    pmem.mmap(
+        MmapTarget::Fs {
+            fs: &fs,
+            dir: "/sim",
+        },
+        &comm,
+    )
+    .unwrap();
     pmem.store_scalar("timestep/0042/energy", 1.5f64).unwrap();
     assert!(fs.exists("/sim/timestep/0042/energy"));
-    assert!(fs.list_dir("/sim/timestep").unwrap().iter().any(|(n, _)| n == "0042"));
-    assert_eq!(pmem.load_scalar::<f64>("timestep/0042/energy").unwrap(), 1.5);
+    assert!(fs
+        .list_dir("/sim/timestep")
+        .unwrap()
+        .iter()
+        .any(|(n, _)| n == "0042"));
+    assert_eq!(
+        pmem.load_scalar::<f64>("timestep/0042/energy").unwrap(),
+        1.5
+    );
     pmem.munmap().unwrap();
 }
 
@@ -143,7 +165,10 @@ fn hierarchical_ids_create_real_directories() {
 fn byte_scale_preserves_correctness_and_scales_time() {
     // The same real workload at two scales: identical data, proportional time.
     let run = |scale: u64| -> (Vec<f64>, SimTime) {
-        let cfg = MachineConfig { byte_scale: scale, ..MachineConfig::chameleon_skylake() };
+        let cfg = MachineConfig {
+            byte_scale: scale,
+            ..MachineConfig::chameleon_skylake()
+        };
         let machine = Machine::new(cfg);
         let dev = PmemDevice::new(Arc::clone(&machine), 32 << 20, PersistenceMode::Fast);
         let comm = single_comm(&machine);

@@ -15,7 +15,10 @@ fn drive(lib: &dyn PioLibrary, nprocs: usize, dims: [u64; 3]) {
     } else {
         let fs = SimFs::mount_all(Arc::clone(&dev), MountMode::Dax);
         fs.mkdir_p(&pmem_sim::Clock::new(), "/out").unwrap();
-        Target::Fs { fs, path: format!("/out/{}", lib.name()) }
+        Target::Fs {
+            fs,
+            path: format!("/out/{}", lib.name()),
+        }
     };
     struct Ptr(*const dyn PioLibrary);
     unsafe impl Send for Ptr {}
@@ -27,8 +30,10 @@ fn drive(lib: &dyn PioLibrary, nprocs: usize, dims: [u64; 3]) {
     run_world(machine, nprocs, move |comm| {
         let lib: &dyn PioLibrary = unsafe { &*lib_ptr.0 };
         let decomp = BlockDecomp::new(&dims, comm.size() as u64);
-        let vars: Vec<String> =
-            ["rho", "u", "v", "E"].iter().map(|s| s.to_string()).collect();
+        let vars: Vec<String> = ["rho", "u", "v", "E"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let blocks: Vec<Vec<f64>> = (0..vars.len())
             .map(|v| workloads::generate_block(&decomp, v, comm.rank() as u64))
             .collect();
@@ -102,10 +107,15 @@ fn cross_serializer_write_read_through_core_api() {
         let dev2 = Arc::clone(&dev);
         let ser = ser.to_string();
         run_world(machine, 3, move |comm| {
-            let opts = Options { serializer: ser.clone(), ..Options::default() };
+            let opts = Options {
+                serializer: ser.clone(),
+                ..Options::default()
+            };
             let mut pmem = Pmem::with_options(opts);
             pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
-            let data: Vec<f64> = (0..500).map(|i| i as f64 + comm.rank() as f64 * 0.5).collect();
+            let data: Vec<f64> = (0..500)
+                .map(|i| i as f64 + comm.rank() as f64 * 0.5)
+                .collect();
             let id = format!("v{}", comm.rank());
             pmem.store_slice(&id, &data).unwrap();
             comm.barrier();

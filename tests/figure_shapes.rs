@@ -72,7 +72,10 @@ fn rearrangement_traffic_separates_contiguous_libraries() {
     let ad = fig.get("ADIOS", 8).unwrap();
     let pm = fig.get("PMCPY-A", 8).unwrap();
     assert!(nc.stats.net_bytes > (20u64 << 30), "NetCDF shuffle missing");
-    assert!(ad.stats.net_bytes < (1 << 30), "ADIOS should not shuffle data");
+    assert!(
+        ad.stats.net_bytes < (1 << 30),
+        "ADIOS should not shuffle data"
+    );
     assert_eq!(pm.stats.net_bytes, 0, "pMEMCPY is communication-free");
 }
 

@@ -25,7 +25,8 @@ fn particle_checkpoint_round_trips_with_uneven_blocks() {
         pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
         if comm.rank() == 0 {
             for comp in COMPONENTS.iter().take(6) {
-                pmem.alloc::<f64>(&format!("particles/{comp}"), &[spec.total]).unwrap();
+                pmem.alloc::<f64>(&format!("particles/{comp}"), &[spec.total])
+                    .unwrap();
             }
             pmem.alloc::<u64>("particles/id", &[spec.total]).unwrap();
         }
@@ -34,20 +35,24 @@ fn particle_checkpoint_round_trips_with_uneven_blocks() {
         // Store each SoA component block at this rank's (uneven) offset.
         for comp in COMPONENTS.iter().take(6) {
             let data = component_f64(&parts, comp);
-            pmem.store_block(&format!("particles/{comp}"), &data, &[off], &[count]).unwrap();
+            pmem.store_block(&format!("particles/{comp}"), &data, &[off], &[count])
+                .unwrap();
         }
-        pmem.store_block("particles/id", &component_ids(&parts), &[off], &[count]).unwrap();
+        pmem.store_block("particles/id", &component_ids(&parts), &[off], &[count])
+            .unwrap();
         comm.barrier();
 
         // Read back and reassemble.
         let mut comps: [Vec<f64>; 6] = Default::default();
         for (i, comp) in COMPONENTS.iter().take(6).enumerate() {
             let mut buf = vec![0f64; count as usize];
-            pmem.load_block(&format!("particles/{comp}"), &mut buf, &[off], &[count]).unwrap();
+            pmem.load_block(&format!("particles/{comp}"), &mut buf, &[off], &[count])
+                .unwrap();
             comps[i] = buf;
         }
         let mut ids = vec![0u64; count as usize];
-        pmem.load_block("particles/id", &mut ids, &[off], &[count]).unwrap();
+        pmem.load_block("particles/id", &mut ids, &[off], &[count])
+            .unwrap();
         let back = assemble(&comps, &ids);
         assert_eq!(verify_particles(&spec, rank, &back), 0);
         pmem.munmap().unwrap();
@@ -79,7 +84,8 @@ fn region_read_extracts_particles_across_rank_boundaries() {
         let boundary = spec.count_of(0);
         let window_off = boundary - 50;
         let mut window = vec![0u64; 100];
-        pmem.load_region("ids", &mut window, &[window_off], &[100]).unwrap();
+        pmem.load_region("ids", &mut window, &[window_off], &[100])
+            .unwrap();
         for (i, &id) in window.iter().enumerate() {
             assert_eq!(id, window_off + i as u64);
         }

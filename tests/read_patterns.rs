@@ -37,7 +37,8 @@ fn written_domain() -> (Arc<PmemDevice>, BlockDecomp) {
         comm.barrier();
         for v in 0..NVARS {
             let block = workloads::generate_block(&decomp, v, comm.rank() as u64);
-            pmem.store_block(&format!("var{v}"), &block, &off, &dims).unwrap();
+            pmem.store_block(&format!("var{v}"), &block, &off, &dims)
+                .unwrap();
         }
         comm.barrier();
         pmem.munmap().unwrap();
@@ -67,8 +68,12 @@ fn pattern1_full_restart() {
         pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
         for v in 0..NVARS {
             let mut block = vec![0f64; decomp.block_elements(comm.rank() as u64) as usize];
-            pmem.load_block(&format!("var{v}"), &mut block, &off, &dims).unwrap();
-            assert_eq!(workloads::verify_block(&decomp, v, comm.rank() as u64, &block), 0);
+            pmem.load_block(&format!("var{v}"), &mut block, &off, &dims)
+                .unwrap();
+            assert_eq!(
+                workloads::verify_block(&decomp, v, comm.rank() as u64, &block),
+                0
+            );
         }
         pmem.munmap().unwrap();
     });
@@ -98,7 +103,8 @@ fn pattern3_plane() {
     let (mut pmem, _comm) = analysis(&dev);
     // An xy-plane at z=11 (one element thick) crossing every z-block column.
     let mut plane = vec![0f64; (GLOBAL[0] * GLOBAL[1]) as usize];
-    pmem.load_region("var0", &mut plane, &[0, 0, 11], &[GLOBAL[0], GLOBAL[1], 1]).unwrap();
+    pmem.load_region("var0", &mut plane, &[0, 0, 11], &[GLOBAL[0], GLOBAL[1], 1])
+        .unwrap();
     for x in 0..GLOBAL[0] {
         for y in 0..GLOBAL[1] {
             assert_eq!(plane[(x * GLOBAL[1] + y) as usize], expected(0, x, y, 11));
@@ -113,7 +119,8 @@ fn pattern4_whole_variable() {
     let (mut pmem, _comm) = analysis(&dev);
     let total = (GLOBAL[0] * GLOBAL[1] * GLOBAL[2]) as usize;
     let mut all = vec![0f64; total];
-    pmem.load_region("var2", &mut all, &[0, 0, 0], &GLOBAL).unwrap();
+    pmem.load_region("var2", &mut all, &[0, 0, 0], &GLOBAL)
+        .unwrap();
     // Spot-check corners and centre.
     assert_eq!(all[0], expected(2, 0, 0, 0));
     assert_eq!(all[total - 1], expected(2, 23, 23, 23));
@@ -132,7 +139,8 @@ fn pattern5_decimation() {
     // pattern [28] describes — I/O reads the covering region).
     let total = (GLOBAL[0] * GLOBAL[1] * GLOBAL[2]) as usize;
     let mut all = vec![0f64; total];
-    pmem.load_region("var0", &mut all, &[0, 0, 0], &GLOBAL).unwrap();
+    pmem.load_region("var0", &mut all, &[0, 0, 0], &GLOBAL)
+        .unwrap();
     let mut samples = 0;
     for x in (0..GLOBAL[0]).step_by(4) {
         for y in (0..GLOBAL[1]).step_by(4) {
@@ -153,7 +161,8 @@ fn pattern6_pencil() {
     let (mut pmem, _comm) = analysis(&dev);
     // A 1-D pencil along z through (x=13, y=2) — crosses z-block boundaries.
     let mut line = vec![0f64; GLOBAL[2] as usize];
-    pmem.load_region("var1", &mut line, &[13, 2, 0], &[1, 1, GLOBAL[2]]).unwrap();
+    pmem.load_region("var1", &mut line, &[13, 2, 0], &[1, 1, GLOBAL[2]])
+        .unwrap();
     for (z, v) in line.iter().enumerate() {
         assert_eq!(*v, expected(1, 13, 2, z as u64));
     }
