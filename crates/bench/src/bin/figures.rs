@@ -25,8 +25,6 @@ use pmemcpy_bench::{
     api_complexity, check_fig6_shape, check_fig7_shape, render_checks, render_phase_breakdown,
     run_cell, run_cell_traced, run_figure, CellConfig, Direction, PAPER_PROCS,
 };
-use std::io::Write as _;
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bytes_mb = 64u64;
@@ -57,47 +55,54 @@ fn main() {
         commands.push("all".to_string());
     }
     let real_bytes = bytes_mb << 20;
-    std::fs::create_dir_all("results").expect("create results/");
 
     for cmd in &commands {
-        match cmd.as_str() {
-            "fig6" => fig_cmd(Direction::Write, &procs, real_bytes),
-            "fig7" => fig_cmd(Direction::Read, &procs, real_bytes),
-            "api" => print!("{}", api_complexity::render_api_table()),
-            "machine" => machine_cmd(),
-            "ablate-serializer" => ablate_serializer(real_bytes),
-            "ablate-layout" => ablate_layout(real_bytes),
-            "ablate-staging" => ablate_staging(real_bytes),
-            "ablate-fill" => ablate_fill(real_bytes),
-            "ablate-chunked" => ablate_chunked(real_bytes),
-            "ablate-buckets" => ablate_buckets(real_bytes),
-            "ablate-drain" => ablate_drain(real_bytes),
-            "tune" => tune_cmd(real_bytes),
-            "volume" => volume_cmd(),
-            "all" => {
-                machine_cmd();
-                print!("{}", api_complexity::render_api_table());
-                fig_cmd(Direction::Write, &procs, real_bytes);
-                fig_cmd(Direction::Read, &procs, real_bytes);
-                ablate_serializer(real_bytes);
-                ablate_layout(real_bytes);
-                ablate_staging(real_bytes);
-                ablate_fill(real_bytes);
-                ablate_chunked(real_bytes);
-                ablate_buckets(real_bytes);
-                ablate_drain(real_bytes);
-                tune_cmd(real_bytes);
-                volume_cmd();
-            }
-            other => {
-                eprintln!("unknown command {other:?}");
-                std::process::exit(2);
-            }
+        if let Err(e) = run_command(cmd, &procs, real_bytes) {
+            eprintln!("figures: {e}");
+            std::process::exit(1);
         }
     }
 }
 
-fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) {
+fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()> {
+    match cmd {
+        "fig6" => fig_cmd(Direction::Write, procs, real_bytes)?,
+        "fig7" => fig_cmd(Direction::Read, procs, real_bytes)?,
+        "api" => print!("{}", api_complexity::render_api_table()),
+        "machine" => machine_cmd(),
+        "ablate-serializer" => ablate_serializer(real_bytes)?,
+        "ablate-layout" => ablate_layout(real_bytes)?,
+        "ablate-staging" => ablate_staging(real_bytes)?,
+        "ablate-fill" => ablate_fill(real_bytes)?,
+        "ablate-chunked" => ablate_chunked(real_bytes)?,
+        "ablate-buckets" => ablate_buckets(real_bytes)?,
+        "ablate-drain" => ablate_drain(real_bytes)?,
+        "tune" => tune_cmd(real_bytes)?,
+        "volume" => volume_cmd()?,
+        "all" => {
+            machine_cmd();
+            print!("{}", api_complexity::render_api_table());
+            fig_cmd(Direction::Write, procs, real_bytes)?;
+            fig_cmd(Direction::Read, procs, real_bytes)?;
+            ablate_serializer(real_bytes)?;
+            ablate_layout(real_bytes)?;
+            ablate_staging(real_bytes)?;
+            ablate_fill(real_bytes)?;
+            ablate_chunked(real_bytes)?;
+            ablate_buckets(real_bytes)?;
+            ablate_drain(real_bytes)?;
+            tune_cmd(real_bytes)?;
+            volume_cmd()?;
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Result<()> {
     let fig = run_figure(direction, procs, real_bytes);
     println!("{}", fig.table());
     println!("{}", fig.ascii_chart());
@@ -110,7 +115,7 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) {
         Direction::Write => "fig6_writes",
         Direction::Read => "fig7_reads",
     };
-    write_file(&format!("results/{name}.csv"), &fig.csv());
+    write_file(&format!("results/{name}.csv"), &fig.csv())?;
 
     // Traced re-run of the paper's headline cell: where the virtual time
     // goes inside PMCPY-A at 24 ranks. Tracing never changes the numbers.
@@ -131,7 +136,7 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) {
     write_file(
         &format!("results/{name}_trace.json"),
         &chrome_trace_json(&spans, &lanes),
-    );
+    )
 }
 
 fn machine_cmd() {
@@ -157,7 +162,7 @@ fn machine_cmd() {
     println!();
 }
 
-fn ablate_serializer(real_bytes: u64) {
+fn ablate_serializer(real_bytes: u64) -> std::io::Result<()> {
     println!("## Ablation: serialization backend (PMCPY-A, 24 procs)");
     let mut csv = String::from("serializer,write_s,read_s\n");
     for ser in ["bp4", "cereal", "capnp-lite", "raw"] {
@@ -183,11 +188,12 @@ fn ablate_serializer(real_bytes: u64) {
         ));
         assert_eq!(r.mismatches, 0, "corruption with serializer {ser}");
     }
-    write_file("results/ablate_serializer.csv", &csv);
+    write_file("results/ablate_serializer.csv", &csv)?;
     println!();
+    Ok(())
 }
 
-fn ablate_layout(real_bytes: u64) {
+fn ablate_layout(real_bytes: u64) -> std::io::Result<()> {
     println!("## Ablation: data layout (PMCPY-A, 24 procs)");
     let mut csv = String::from("layout,write_s,read_s\n");
     for (name, layout) in [
@@ -206,8 +212,9 @@ fn ablate_layout(real_bytes: u64) {
         println!("{name:<16} write {w:>8.3}s   read {r:>8.3}s");
         csv.push_str(&format!("{name},{w:.6},{r:.6}\n"));
     }
-    write_file("results/ablate_layout.csv", &csv);
+    write_file("results/ablate_layout.csv", &csv)?;
     println!();
+    Ok(())
 }
 
 /// The generic sweep picks DevDax for PMCPY-named libs; the hierarchical
@@ -292,7 +299,7 @@ fn run_layout_cell(lib: &PmemcpyLib, cfg: &CellConfig, layout: DataLayout) -> (f
     )
 }
 
-fn ablate_staging(real_bytes: u64) {
+fn ablate_staging(real_bytes: u64) -> std::io::Result<()> {
     println!("## Ablation: direct-to-PMEM (pMEMCPY) vs DRAM-staged (ADIOS) writes");
     let cfg = CellConfig::paper(24, real_bytes);
     let direct = run_cell(&PmemcpyLib::variant_a(), Direction::Write, &cfg);
@@ -316,11 +323,12 @@ fn ablate_staging(real_bytes: u64) {
             staged.time.as_secs_f64(),
             staged.stats.dram_bytes_copied
         ),
-    );
+    )?;
     println!();
+    Ok(())
 }
 
-fn ablate_fill(real_bytes: u64) {
+fn ablate_fill(real_bytes: u64) -> std::io::Result<()> {
     println!("## Ablation: NetCDF fill vs NC_NOFILL (the paper disables fill)");
     let cfg = CellConfig::paper(24, real_bytes);
     let nofill = run_cell(&Netcdf4Like::default(), Direction::Write, &cfg);
@@ -341,11 +349,12 @@ fn ablate_fill(real_bytes: u64) {
             nofill.time.as_secs_f64(),
             fill.time.as_secs_f64()
         ),
-    );
+    )?;
     println!();
+    Ok(())
 }
 
-fn ablate_chunked(real_bytes: u64) {
+fn ablate_chunked(real_bytes: u64) -> std::io::Result<()> {
     println!("## Ablation: HDF5 layout — contiguous vs chunked vs chunked+filter (24 procs)");
     let mut csv = String::from("layout,write_s,read_s\n");
     let configs: [(&str, Netcdf4Like); 4] = [
@@ -371,11 +380,12 @@ fn ablate_chunked(real_bytes: u64) {
             r.time.as_secs_f64()
         ));
     }
-    write_file("results/ablate_chunked.csv", &csv);
+    write_file("results/ablate_chunked.csv", &csv)?;
     println!();
+    Ok(())
 }
 
-fn ablate_buckets(real_bytes: u64) {
+fn ablate_buckets(real_bytes: u64) -> std::io::Result<()> {
     println!("## Ablation: metadata hashtable buckets (PMCPY-A, 24 procs)");
     println!("   (§3: the flat hashtable exploits PMEM's random-access parallelism)");
     let mut csv = String::from("buckets,write_s,read_s\n");
@@ -401,11 +411,12 @@ fn ablate_buckets(real_bytes: u64) {
             r.time.as_secs_f64()
         ));
     }
-    write_file("results/ablate_buckets.csv", &csv);
+    write_file("results/ablate_buckets.csv", &csv)?;
     println!();
+    Ok(())
 }
 
-fn ablate_drain(real_bytes: u64) {
+fn ablate_drain(real_bytes: u64) -> std::io::Result<()> {
     use mpi_sim::{Comm, World};
     use pmem_sim::{Machine, PersistenceMode, PmemDevice};
     use pmemcpy::{MmapTarget, Pmem};
@@ -461,12 +472,13 @@ fn ablate_drain(real_bytes: u64) {
             store_time.as_secs_f64(),
             report.drain_time.as_secs_f64()
         ),
-    );
+    )?;
     pmem.munmap().unwrap();
     println!();
+    Ok(())
 }
 
-fn tune_cmd(real_bytes: u64) {
+fn tune_cmd(real_bytes: u64) -> std::io::Result<()> {
     use pmemcpy_bench::autotune::{best_of, coordinate_descent, pmemcpy_knobs};
     println!("## Auto-tuning pMEMCPY (coordinate descent, write+read objective, 24 procs)");
     let trace = coordinate_descent(&pmemcpy_knobs(), 24, real_bytes.min(16 << 20));
@@ -488,11 +500,12 @@ fn tune_cmd(real_bytes: u64) {
         .collect();
     println!("best: {} at {:.3}s", label.join(" "), best.score);
     println!("(the spread is small: tuning cannot fix a data path — §1's argument)");
-    write_file("results/autotune.csv", &csv);
+    write_file("results/autotune.csv", &csv)?;
     println!();
+    Ok(())
 }
 
-fn volume_cmd() {
+fn volume_cmd() -> std::io::Result<()> {
     println!("## Volume scaling: PMCPY-A write/read vs modelled volume (24 procs)");
     let mut csv = String::from("modelled_gb,write_s,read_s\n");
     for gb in [5u64, 10, 20, 40, 80] {
@@ -519,12 +532,22 @@ fn volume_cmd() {
         ));
     }
     println!("(bandwidth-bound: time is linear in volume)");
-    write_file("results/volume_scaling.csv", &csv);
+    write_file("results/volume_scaling.csv", &csv)?;
     println!();
+    Ok(())
 }
 
-fn write_file(path: &str, contents: &str) {
-    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
-    f.write_all(contents.as_bytes()).expect("write results");
+/// Write `contents` to `path`, creating parent directories as needed.
+/// Errors carry the path so `main` can print an actionable message and
+/// exit nonzero instead of panicking.
+fn write_file(path: &str, contents: &str) -> std::io::Result<()> {
+    let ctx = |e: std::io::Error| std::io::Error::new(e.kind(), format!("{path}: {e}"));
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(ctx)?;
+        }
+    }
+    std::fs::write(path, contents).map_err(ctx)?;
     println!("[wrote {path}]");
+    Ok(())
 }

@@ -6,7 +6,7 @@
 //! stays small. Correctness is still verified bit-exactly on the real data.
 
 use baselines::{PioLibrary, Target};
-use mpi_sim::run_world;
+use mpi_sim::{run_world_mode, SchedMode};
 use pmem_sim::{
     Machine, MachineConfig, PersistenceMode, PmemDevice, SimTime, StatsSnapshot, TraceSink,
 };
@@ -36,6 +36,9 @@ pub struct CellConfig {
     pub repeats: u32,
     /// Machine template (byte_scale is overridden per the field above).
     pub machine: MachineConfig,
+    /// Rank scheduling discipline; [`SchedMode::Deterministic`] makes the
+    /// cell's outputs bit-identical across runs and host core counts.
+    pub sched: SchedMode,
 }
 
 impl CellConfig {
@@ -58,6 +61,7 @@ impl CellConfig {
             verify: true,
             repeats: 1,
             machine: MachineConfig::chameleon_skylake(),
+            sched: SchedMode::Deterministic,
         }
     }
 }
@@ -192,7 +196,7 @@ fn run_phase(
     verify: bool,
 ) -> (SimTime, usize) {
     // The trait object lives on the caller's stack; hand threads a raw view.
-    // SAFETY: run_world joins every rank before returning, so the borrow
+    // SAFETY: run_world_mode joins every rank before returning, so the borrow
     // outlives every use. The lifetime is erased to move it into 'static
     // closures.
     struct Ptr(*const (dyn PioLibrary + 'static));
@@ -204,7 +208,7 @@ fn run_phase(
 
     let (decomp, vars, target) = (Arc::clone(decomp), Arc::clone(vars), target.clone());
     let nprocs = cfg.nprocs as usize;
-    let results = run_world(Arc::clone(machine), nprocs, move |comm| {
+    let results = run_world_mode(Arc::clone(machine), nprocs, cfg.sched, move |comm| {
         let lib: &dyn PioLibrary = unsafe { &*lib_ptr.0 };
         let rank = comm.rank() as u64;
         match direction {

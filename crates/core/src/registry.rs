@@ -45,6 +45,10 @@ pub fn shared_pool(
     buckets: u64,
 ) -> Result<SharedPool> {
     let key = Arc::as_ptr(device) as usize;
+    // Pool open/create charges heavily while the registry lock is held;
+    // an atomic section keeps the deterministic scheduler from parking us
+    // with the global registry locked.
+    let _atomic = pmem_sim::atomic_section();
     let mut reg = registry().lock();
     if let Some(weak) = reg.get(&key) {
         if let Some(inner) = weak.upgrade() {

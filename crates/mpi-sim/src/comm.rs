@@ -9,8 +9,9 @@
 //! textbook algorithms (dissemination barrier, binomial-tree broadcast), so
 //! communication cost emerges from the message pattern rather than a formula.
 
+use crate::sched::{SchedMode, Scheduler};
 use parking_lot::{Condvar, Mutex};
-use pmem_sim::{Clock, Machine, SimTime};
+use pmem_sim::{Clock, ClockGate, Machine, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -40,19 +41,30 @@ pub struct World {
     machine: Arc<Machine>,
     size: usize,
     mailboxes: Vec<Mailbox>,
+    /// Cooperative scheduler (present in [`SchedMode::Deterministic`]).
+    sched: Option<Arc<Scheduler>>,
     /// First rank panic, if any. A poisoned world wakes every blocked
     /// receiver so a dead rank cannot deadlock its peers.
     poison: Mutex<Option<String>>,
 }
 
 impl World {
+    /// A deterministic world (see [`World::with_mode`]).
     pub fn new(machine: Arc<Machine>, size: usize) -> Arc<Self> {
+        Self::with_mode(machine, size, SchedMode::Deterministic)
+    }
+
+    pub fn with_mode(machine: Arc<Machine>, size: usize, mode: SchedMode) -> Arc<Self> {
         assert!(size > 0, "a world needs at least one rank");
         machine.set_active_ranks(size);
         Arc::new(World {
             machine,
             size,
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            sched: match mode {
+                SchedMode::Deterministic => Some(Arc::new(Scheduler::new(size))),
+                SchedMode::FreeThreaded => None,
+            },
             poison: Mutex::new(None),
         })
     }
@@ -65,10 +77,18 @@ impl World {
         &self.machine
     }
 
+    /// The cooperative scheduler, if this world is deterministic.
+    pub(crate) fn scheduler(&self) -> Option<&Arc<Scheduler>> {
+        self.sched.as_ref()
+    }
+
     /// Mark the world dead (a rank panicked) and wake every blocked
     /// receiver. The first message wins; later panics are usually the
     /// secondary "world poisoned" ones from woken peers.
     pub fn poison(&self, msg: String) {
+        if let Some(sched) = &self.sched {
+            sched.poison(&msg);
+        }
         {
             let mut p = self.poison.lock();
             if p.is_none() {
@@ -115,11 +135,12 @@ impl Comm {
     pub fn new(world: Arc<World>, rank: usize) -> Self {
         assert!(rank < world.size());
         // Each rank's clock reports trace spans on its own lane.
-        Comm {
-            world,
-            rank,
-            clock: Arc::new(Clock::with_lane(rank as u64)),
+        let clock = Arc::new(Clock::with_lane(rank as u64));
+        if let Some(sched) = world.scheduler() {
+            // Every charge on this clock becomes a scheduler yield point.
+            clock.set_gate(Arc::clone(sched) as Arc<dyn ClockGate>, rank);
         }
+        Comm { world, rank, clock }
     }
 
     pub fn rank(&self) -> usize {
@@ -160,12 +181,19 @@ impl Comm {
             .machine()
             .charge_message(&self.clock, data.len() as u64);
         let mbox = &self.world.mailboxes[dest];
-        let mut queues = mbox.queues.lock();
-        queues
-            .entry((self.rank, tag))
-            .or_default()
-            .push_back((data.to_vec(), delivery));
-        mbox.signal.notify_all();
+        {
+            let mut queues = mbox.queues.lock();
+            queues
+                .entry((self.rank, tag))
+                .or_default()
+                .push_back((data.to_vec(), delivery));
+            mbox.signal.notify_all();
+        }
+        if let Some(sched) = self.world.scheduler() {
+            // A receiver parked on an empty mailbox is runnable again; it
+            // resumes at this rank's next yield point.
+            sched.unblock(dest);
+        }
     }
 
     /// Blocking receive of the next message from `src` with `tag`.
@@ -185,19 +213,43 @@ impl Comm {
     fn recv_inner(&self, src: usize, tag: u64) -> Vec<u8> {
         assert!(src < self.size(), "recv from rank {src} of {}", self.size());
         let mbox = &self.world.mailboxes[self.rank];
-        let mut queues = mbox.queues.lock();
-        loop {
-            self.world.check_poison();
-            if let Some(q) = queues.get_mut(&(src, tag)) {
-                if let Some((data, delivery)) = q.pop_front() {
-                    // Virtual time: the message cannot be consumed before it
-                    // was delivered.
+        match self.world.scheduler() {
+            // Deterministic mode: park on the scheduler, not the mailbox.
+            // While this rank holds the token no sender can run, so the
+            // check-then-block sequence cannot lose a wakeup.
+            Some(sched) => loop {
+                if let Some((data, delivery)) = self.try_pop(src, tag) {
+                    // Virtual time: the message cannot be consumed before
+                    // it was delivered. (Charged with no locks held — the
+                    // advance is a yield point.)
                     self.clock.advance_to(delivery);
                     return data;
                 }
+                sched.block_on_recv(self.rank);
+            },
+            // Free-threaded mode: the classic condvar wait.
+            None => {
+                let mut queues = mbox.queues.lock();
+                loop {
+                    self.world.check_poison();
+                    if let Some(q) = queues.get_mut(&(src, tag)) {
+                        if let Some((data, delivery)) = q.pop_front() {
+                            drop(queues);
+                            self.clock.advance_to(delivery);
+                            return data;
+                        }
+                    }
+                    mbox.signal.wait(&mut queues);
+                }
             }
-            mbox.signal.wait(&mut queues);
         }
+    }
+
+    /// Pop the next queued message from `src` with `tag`, if any.
+    fn try_pop(&self, src: usize, tag: u64) -> Option<Delivery> {
+        let mbox = &self.world.mailboxes[self.rank];
+        let mut queues = mbox.queues.lock();
+        queues.get_mut(&(src, tag)).and_then(|q| q.pop_front())
     }
 
     // ---- collectives ----

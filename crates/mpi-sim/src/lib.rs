@@ -19,8 +19,10 @@ pub mod comm;
 pub mod datatype;
 pub mod file;
 pub mod runner;
+pub mod sched;
 
 pub use comm::{Comm, ReduceOp, World};
 pub use datatype::{Run, Subarray};
 pub use file::{MpiFile, ReadSegment, WriteSegment};
-pub use runner::{run_timed, run_world};
+pub use runner::{run_timed, run_world, run_world_mode};
+pub use sched::{SchedMode, Scheduler};

@@ -1,21 +1,32 @@
 //! Launching a simulated MPI job: one thread per rank.
 
 use crate::comm::{Comm, World};
+use crate::sched::SchedMode;
 use pmem_sim::{Machine, SimTime};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Run `body` on `size` ranks (threads) and collect per-rank results in rank
-/// order. A panic in any rank poisons the world — peers blocked in `recv`
-/// wake up instead of deadlocking — and propagates from this call with the
-/// original rank's message.
+/// order, under the default [`SchedMode::Deterministic`] scheduler. A panic
+/// in any rank poisons the world — peers blocked in `recv` wake up instead
+/// of deadlocking — and propagates from this call with the original rank's
+/// message.
 pub fn run_world<T, F>(machine: Arc<Machine>, size: usize, body: F) -> Vec<T>
 where
     T: Send + 'static,
     F: Fn(Comm) -> T + Send + Sync + 'static,
 {
-    let world = World::new(machine, size);
+    run_world_mode(machine, size, SchedMode::Deterministic, body)
+}
+
+/// [`run_world`] with an explicit scheduling mode.
+pub fn run_world_mode<T, F>(machine: Arc<Machine>, size: usize, mode: SchedMode, body: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    let world = World::with_mode(machine, size, mode);
     let body = Arc::new(body);
     let mut handles = Vec::with_capacity(size);
     for rank in 0..size {
@@ -27,11 +38,24 @@ where
                 .stack_size(4 << 20)
                 .spawn(move || {
                     match catch_unwind(AssertUnwindSafe(|| {
-                        body(Comm::new(Arc::clone(&world), rank))
+                        // Under the deterministic scheduler a rank may not
+                        // touch shared state before its first turn.
+                        if let Some(sched) = world.scheduler() {
+                            sched.start(rank);
+                        }
+                        let out = body(Comm::new(Arc::clone(&world), rank));
+                        if let Some(sched) = world.scheduler() {
+                            sched.finish(rank);
+                        }
+                        out
                     })) {
                         Ok(v) => v,
                         Err(e) => {
-                            world.poison(format!("rank {rank} panicked: {}", payload_str(&*e)));
+                            world.poison(format!(
+                                "rank {rank} panicked (thread {}): {}",
+                                std::thread::current().name().unwrap_or("<unnamed>"),
+                                payload_str(&*e)
+                            ));
                             std::panic::resume_unwind(e);
                         }
                     }
@@ -52,13 +76,16 @@ where
         .collect()
 }
 
-fn payload_str(e: &(dyn Any + Send)) -> &str {
+/// Render a panic payload for the poison message. Typed (non-string)
+/// payloads still yield a diagnostic: their `TypeId`, which can be matched
+/// against the panicking code's error type.
+fn payload_str(e: &(dyn Any + Send)) -> String {
     if let Some(s) = e.downcast_ref::<&'static str>() {
-        s
+        (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {
-        s
+        s.clone()
     } else {
-        "non-string panic payload"
+        format!("non-string panic payload of type {:?}", e.type_id())
     }
 }
 
@@ -116,6 +143,40 @@ mod tests {
             msg.contains("rank 0 panicked") && msg.contains("rank zero exploded"),
             "unexpected panic message: {msg}"
         );
+    }
+
+    #[test]
+    fn poison_message_names_rank_thread_and_payload_type() {
+        #[derive(Debug)]
+        struct TypedError;
+
+        let machine = Machine::chameleon();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_world(machine, 2, |comm| {
+                if comm.rank() == 1 {
+                    std::panic::panic_any(TypedError);
+                }
+                comm.recv(1, 1)
+            })
+        }));
+        let err = result.expect_err("run_world must propagate the rank panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("rank 1 panicked")
+                && msg.contains("thread rank-1")
+                && msg.contains("non-string panic payload of type"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn free_threaded_mode_still_runs_all_ranks() {
+        let machine = Machine::chameleon();
+        let out = run_world_mode(machine, 8, crate::SchedMode::FreeThreaded, |comm| {
+            comm.machine().charge_syscall(comm.clock());
+            comm.rank()
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

@@ -195,6 +195,9 @@ impl PersistentHashtable {
         assert!(val_len <= u32::MAX as u64, "values are capped at 4 GiB");
         let hash = fnv1a(key);
         let bucket = self.bucket_of(hash);
+        // Charges happen under the stripe lock: the deterministic scheduler
+        // must not park this thread while it holds the stripe.
+        let _atomic = pmem_sim::atomic_section();
         let _guard = self.stripe_for(bucket).lock();
         let existing = self.find(clock, key, hash);
         let head_slot = self.head_slot(bucket);
@@ -251,6 +254,7 @@ impl PersistentHashtable {
     pub fn get_ref(&self, clock: &Clock, key: &[u8]) -> Option<ValueRef> {
         let hash = fnv1a(key);
         let bucket = self.bucket_of(hash);
+        let _atomic = pmem_sim::atomic_section();
         let _guard = self.stripe_for(bucket).lock();
         self.find(clock, key, hash).map(|(_, entry)| {
             let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as u64;
@@ -278,6 +282,7 @@ impl PersistentHashtable {
     pub fn remove(&self, clock: &Clock, key: &[u8]) -> Result<bool> {
         let hash = fnv1a(key);
         let bucket = self.bucket_of(hash);
+        let _atomic = pmem_sim::atomic_section();
         let _guard = self.stripe_for(bucket).lock();
         let Some((pred_slot, entry)) = self.find(clock, key, hash) else {
             return Ok(false);

@@ -44,10 +44,17 @@ pub struct PersistentMutex {
 }
 
 /// RAII guard; releases the lock (volatile + persistent word) on drop.
+///
+/// Holds an [`pmem_sim::AtomicSection`] for its whole lifetime: under the
+/// deterministic scheduler the owner never yields while holding the flag,
+/// so the spin loop in [`PersistentMutex::lock`] can never spin against a
+/// parked holder. (This also makes the guard `!Send`, which matches its
+/// thread-affine semantics.)
 pub struct PersistentMutexGuard {
     mutex: PersistentMutex,
     flag: Arc<AtomicBool>,
     clock_now: pmem_sim::SimTime,
+    _atomic: pmem_sim::AtomicSection,
 }
 
 impl PersistentMutex {
@@ -72,6 +79,9 @@ impl PersistentMutex {
     /// and then stamping the persistent word with the current generation.
     pub fn lock(&self, clock: &Clock) -> Result<PersistentMutexGuard> {
         let flag = self.registry.flag_for(self.offset);
+        // Open the no-yield section before contending: once we win the CAS
+        // the deterministic scheduler cannot park us until the guard drops.
+        let atomic = pmem_sim::atomic_section();
         // In-process mutual exclusion.
         while flag
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -87,12 +97,14 @@ impl PersistentMutex {
             mutex: self.clone(),
             flag,
             clock_now: clock.now(),
+            _atomic: atomic,
         })
     }
 
     /// Try to acquire without blocking.
     pub fn try_lock(&self, clock: &Clock) -> Option<PersistentMutexGuard> {
         let flag = self.registry.flag_for(self.offset);
+        let atomic = pmem_sim::atomic_section();
         if flag
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
@@ -106,6 +118,7 @@ impl PersistentMutex {
             mutex: self.clone(),
             flag,
             clock_now: clock.now(),
+            _atomic: atomic,
         })
     }
 }

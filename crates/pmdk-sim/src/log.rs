@@ -122,6 +122,9 @@ impl PersistentLog {
             need <= self.capacity / 2,
             "record larger than half the ring"
         );
+        // Ring writes charge the clock under the append lock; don't let the
+        // deterministic scheduler park us while holding it.
+        let _atomic = pmem_sim::atomic_section();
         let _g = self.append_lock.lock();
         let head = self.pool.read_u64(clock, self.header + HDR_HEAD);
         let mut tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
@@ -172,6 +175,7 @@ impl PersistentLog {
 
     /// Pop the oldest record (trim), returning it; `None` when empty.
     pub fn pop(&self, clock: &Clock) -> Result<Option<Vec<u8>>> {
+        let _atomic = pmem_sim::atomic_section();
         let _g = self.append_lock.lock();
         let mut head = self.pool.read_u64(clock, self.header + HDR_HEAD);
         let tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
@@ -228,6 +232,7 @@ impl PersistentLog {
 
     /// Replay every committed record oldest-first (recovery / apply path).
     pub fn replay(&self, clock: &Clock) -> Result<Vec<Vec<u8>>> {
+        let _atomic = pmem_sim::atomic_section();
         let _g = self.append_lock.lock();
         let mut head = self.pool.read_u64(clock, self.header + HDR_HEAD);
         let tail = self.pool.read_u64(clock, self.header + HDR_TAIL);

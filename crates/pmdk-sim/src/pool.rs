@@ -167,6 +167,9 @@ impl PmemPool {
     pub fn alloc(&self, clock: &Clock, size: u64) -> Result<u64> {
         let machine = self.device.machine();
         let t0 = machine.trace_start(clock);
+        // Heap metadata writes charge the clock under the heap lock; keep
+        // the deterministic scheduler from parking us while we hold it.
+        let _atomic = pmem_sim::atomic_section();
         let out = self.heap.lock().alloc(clock, size);
         machine.trace_finish(clock, t0, "pmdk", "pool.alloc", Some(("bytes", size)));
         out
@@ -176,6 +179,7 @@ impl PmemPool {
     pub fn free(&self, clock: &Clock, off: u64) -> Result<()> {
         let machine = self.device.machine();
         let t0 = machine.trace_start(clock);
+        let _atomic = pmem_sim::atomic_section();
         let out = self.heap.lock().free(clock, off);
         machine.trace_finish(clock, t0, "pmdk", "pool.free", None);
         out

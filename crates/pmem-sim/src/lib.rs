@@ -49,7 +49,7 @@ pub use mmap::DaxMapping;
 pub use rng::DetRng;
 pub use server::{BandwidthServer, Server};
 pub use stats::{Stats, StatsSnapshot};
-pub use time::{Clock, SimTime};
+pub use time::{atomic_section, in_atomic_section, AtomicSection, Clock, ClockGate, SimTime};
 pub use trace::{
     chrome_trace_json, CollectingSink, TraceSink, TraceSpan, TraceSummary, DRAIN_LANE,
 };

@@ -169,10 +169,14 @@ impl DaxMapping {
     /// Tear down the mapping. Charges one munmap syscall. Subsequent
     /// accesses panic (the simulated SIGSEGV).
     pub fn unmap(&self, clock: &Clock) {
-        let mut st = self.state.lock();
-        assert!(*st == MapState::Mapped, "double munmap");
+        {
+            let mut st = self.state.lock();
+            assert!(*st == MapState::Mapped, "double munmap");
+            *st = MapState::Unmapped;
+        }
+        // Charge outside the state lock so a scheduler yield here cannot
+        // park us while holding it.
         self.device.machine().charge_syscall(clock);
-        *st = MapState::Unmapped;
     }
 }
 

@@ -6,10 +6,13 @@
 //! wall-clock time never enters the model, which makes every experiment
 //! deterministic and independent of the host machine.
 
+use std::cell::Cell;
 use std::fmt;
 use std::iter::Sum;
+use std::marker::PhantomData;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A point in (or span of) virtual time, in nanoseconds.
 ///
@@ -157,6 +160,56 @@ impl fmt::Display for SimTime {
     }
 }
 
+/// Observer invoked after every charge on a *gated* clock.
+///
+/// This is the hook a cooperative scheduler (see `mpi-sim`) installs to turn
+/// every virtual-time charge into a potential yield point: the implementation
+/// may park the calling thread until it is that rank's turn to run again.
+/// Clocks without a gate (background clocks, unit tests) never call it.
+pub trait ClockGate: Send + Sync + fmt::Debug {
+    /// The rank owning the clock just advanced it to `now`.
+    fn charged(&self, rank: usize, now: SimTime);
+}
+
+thread_local! {
+    /// Depth of nested [`atomic_section`]s on this thread. While non-zero,
+    /// gated clocks on this thread charge without yielding.
+    static ATOMIC_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII marker for a critical section that must not yield to the scheduler.
+///
+/// Code that charges a clock while holding a host-side lock (hashtable
+/// stripes, the pool heap, filesystem state, ...) opens an atomic section
+/// first; otherwise a cooperative scheduler could park this thread mid-lock
+/// and hand the token to a rank that then blocks on the same lock forever.
+/// Sections nest, and the handle is deliberately `!Send` — it marks a region
+/// of *this thread's* call stack.
+#[must_use = "the section ends when this guard is dropped"]
+#[derive(Debug)]
+pub struct AtomicSection {
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open an [`AtomicSection`] on the current thread.
+pub fn atomic_section() -> AtomicSection {
+    ATOMIC_DEPTH.with(|d| d.set(d.get() + 1));
+    AtomicSection {
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for AtomicSection {
+    fn drop(&mut self) {
+        ATOMIC_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Whether the current thread is inside an [`atomic_section`].
+pub fn in_atomic_section() -> bool {
+    ATOMIC_DEPTH.with(|d| d.get() > 0)
+}
+
 /// A per-rank virtual clock.
 ///
 /// The clock is shared (behind `Arc`) between the rank's call stack and the
@@ -169,6 +222,9 @@ pub struct Clock {
     /// clocks, reserved ids for background clocks). Purely diagnostic: the
     /// cost model never reads it.
     lane: u64,
+    /// Scheduler hook: `(gate, rank)` notified after every charge. Installed
+    /// at most once, by the communicator that owns this clock.
+    gate: OnceLock<(Arc<dyn ClockGate>, usize)>,
 }
 
 impl Clock {
@@ -176,6 +232,7 @@ impl Clock {
         Clock {
             now: AtomicU64::new(0),
             lane: 0,
+            gate: OnceLock::new(),
         }
     }
 
@@ -184,6 +241,7 @@ impl Clock {
         Clock {
             now: AtomicU64::new(0),
             lane,
+            gate: OnceLock::new(),
         }
     }
 
@@ -191,6 +249,23 @@ impl Clock {
         Clock {
             now: AtomicU64::new(t.0),
             lane: 0,
+            gate: OnceLock::new(),
+        }
+    }
+
+    /// Install a scheduler gate: `gate.charged(rank, now)` runs after every
+    /// subsequent charge (outside atomic sections). At most one gate per
+    /// clock; later calls are ignored.
+    pub fn set_gate(&self, gate: Arc<dyn ClockGate>, rank: usize) {
+        let _ = self.gate.set((gate, rank));
+    }
+
+    #[inline]
+    fn after_charge(&self, now: SimTime) {
+        if let Some((gate, rank)) = self.gate.get() {
+            if !in_atomic_section() {
+                gate.charged(*rank, now);
+            }
         }
     }
 
@@ -209,7 +284,9 @@ impl Clock {
     /// Advance by a span of local work (compute, latency, copies).
     #[inline]
     pub fn advance(&self, d: SimTime) -> SimTime {
-        SimTime(self.now.fetch_add(d.0, Ordering::Relaxed) + d.0)
+        let now = SimTime(self.now.fetch_add(d.0, Ordering::Relaxed) + d.0);
+        self.after_charge(now);
+        now
     }
 
     /// Jump forward to `t` if `t` is later than now (used when a shared
@@ -217,7 +294,9 @@ impl Clock {
     #[inline]
     pub fn advance_to(&self, t: SimTime) -> SimTime {
         self.now.fetch_max(t.0, Ordering::Relaxed);
-        self.now()
+        let now = self.now();
+        self.after_charge(now);
+        now
     }
 
     /// Reset to zero (start of a fresh timed region).
@@ -268,6 +347,60 @@ mod tests {
         assert_eq!(c.now(), SimTime::from_nanos(12));
         c.advance_to(SimTime::from_nanos(40));
         assert_eq!(c.now(), SimTime::from_nanos(40));
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingGate {
+        calls: std::sync::Mutex<Vec<(usize, SimTime)>>,
+    }
+
+    impl ClockGate for CountingGate {
+        fn charged(&self, rank: usize, now: SimTime) {
+            self.calls.lock().unwrap().push((rank, now));
+        }
+    }
+
+    #[test]
+    fn gated_clock_reports_every_charge() {
+        let gate = Arc::new(CountingGate::default());
+        let c = Clock::new();
+        c.set_gate(Arc::clone(&gate) as Arc<dyn ClockGate>, 3);
+        c.advance(SimTime::from_nanos(5));
+        c.advance_to(SimTime::from_nanos(9));
+        assert_eq!(
+            *gate.calls.lock().unwrap(),
+            vec![(3, SimTime::from_nanos(5)), (3, SimTime::from_nanos(9))]
+        );
+    }
+
+    #[test]
+    fn atomic_section_suppresses_the_gate() {
+        let gate = Arc::new(CountingGate::default());
+        let c = Clock::new();
+        c.set_gate(Arc::clone(&gate) as Arc<dyn ClockGate>, 0);
+        {
+            let _outer = atomic_section();
+            c.advance(SimTime::from_nanos(1));
+            {
+                let _inner = atomic_section();
+                c.advance(SimTime::from_nanos(1));
+            }
+            c.advance(SimTime::from_nanos(1));
+            assert!(in_atomic_section());
+        }
+        assert!(!in_atomic_section());
+        assert!(gate.calls.lock().unwrap().is_empty());
+        c.advance(SimTime::from_nanos(1));
+        assert_eq!(gate.calls.lock().unwrap().len(), 1);
+        // Time advanced normally throughout.
+        assert_eq!(c.now(), SimTime::from_nanos(4));
+    }
+
+    #[test]
+    fn ungated_clock_never_looks_for_a_scheduler() {
+        let c = Clock::new();
+        c.advance(SimTime::from_nanos(5));
+        assert_eq!(c.now(), SimTime::from_nanos(5));
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! rank, and an aggregated percentile table for the benchmark reports).
 
 use crate::time::SimTime;
+use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Lane id used by background burst-buffer drain activity, which runs on
 /// its own clock rather than any rank's (see `pmemcpy`'s drain module).
@@ -63,7 +64,7 @@ impl CollectingSink {
     }
 
     pub fn len(&self) -> usize {
-        self.spans.lock().unwrap().len()
+        self.spans.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -72,18 +73,18 @@ impl CollectingSink {
 
     /// Snapshot of all spans recorded so far.
     pub fn spans(&self) -> Vec<TraceSpan> {
-        self.spans.lock().unwrap().clone()
+        self.spans.lock().clone()
     }
 
     /// Drain all recorded spans, leaving the sink empty.
     pub fn take(&self) -> Vec<TraceSpan> {
-        std::mem::take(&mut *self.spans.lock().unwrap())
+        std::mem::take(&mut *self.spans.lock())
     }
 }
 
 impl TraceSink for CollectingSink {
     fn record(&self, span: TraceSpan) {
-        self.spans.lock().unwrap().push(span);
+        self.spans.lock().push(span);
     }
 }
 

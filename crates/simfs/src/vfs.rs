@@ -201,6 +201,9 @@ impl SimFs {
     /// directory (as a real `mkdir -p` would issue).
     pub fn mkdir_p(&self, clock: &Clock, p: &str) -> Result<()> {
         let comps = path::components(p)?;
+        // Charges occur while the filesystem lock is held: keep the
+        // deterministic scheduler from parking us mid-operation.
+        let _atomic = pmem_sim::atomic_section();
         let mut state = self.state.lock();
         let mut id = ROOT;
         for c in &comps {
@@ -420,6 +423,7 @@ impl SimFs {
     /// needed. Growth rounds capacity to whole pages.
     pub fn set_len(&self, clock: &Clock, fd: u64, len: u64) -> Result<()> {
         self.machine().charge_syscall(clock);
+        let _atomic = pmem_sim::atomic_section();
         let mut state = self.state.lock();
         let id = Self::node_of(&state, fd)?;
         self.ensure_capacity(clock, &mut state, id, len)?;
@@ -472,6 +476,7 @@ impl SimFs {
     /// `pwrite(2)`: write `data` at `off`, extending the file if needed.
     pub fn write_at(&self, clock: &Clock, fd: u64, off: u64, data: &[u8]) -> Result<()> {
         self.machine().charge_syscall(clock);
+        let _atomic = pmem_sim::atomic_section();
         let mut state = self.state.lock();
         let id = Self::node_of(&state, fd)?;
         let end = off + data.len() as u64;
@@ -511,6 +516,7 @@ impl SimFs {
     /// themselves (e.g. the burst-buffer drain, whose interconnect is the
     /// machine's storage tier).
     pub fn write_at_untimed(&self, clock: &Clock, fd: u64, off: u64, data: &[u8]) -> Result<()> {
+        let _atomic = pmem_sim::atomic_section();
         let mut state = self.state.lock();
         let id = Self::node_of(&state, fd)?;
         let end = off + data.len() as u64;
@@ -528,6 +534,7 @@ impl SimFs {
     /// `pread(2)`: read up to `dst.len()` bytes at `off`; returns bytes read.
     pub fn read_at(&self, clock: &Clock, fd: u64, off: u64, dst: &mut [u8]) -> Result<usize> {
         self.machine().charge_syscall(clock);
+        let _atomic = pmem_sim::atomic_section();
         let mut state = self.state.lock();
         let id = Self::node_of(&state, fd)?;
         let (fsize, fstart) = {
