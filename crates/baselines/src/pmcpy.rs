@@ -66,15 +66,42 @@ impl PioLibrary for PmemcpyLib {
         let mut pmem = self.map(comm, target)?;
         let (off, dims) = decomp.block(comm.rank() as u64);
         if comm.rank() == 0 {
-            for name in vars {
-                pmem.alloc::<f64>(name, &decomp.global_dims)
+            if self.options.batch_puts {
+                // One group commit for all the dims records.
+                let mut batch = pmem.batch();
+                for name in vars {
+                    batch
+                        .alloc::<f64>(name, &decomp.global_dims)
+                        .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+                }
+                batch
+                    .commit()
                     .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+            } else {
+                for name in vars {
+                    pmem.alloc::<f64>(name, &decomp.global_dims)
+                        .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+                }
             }
         }
         comm.barrier();
-        for (v, name) in vars.iter().enumerate() {
-            pmem.store_block(name, &blocks[v], &off, &dims)
+        if self.options.batch_puts {
+            // Group-commit the rank's whole output step: one pool
+            // transaction and one allocator pass for all variables.
+            let mut batch = pmem.batch();
+            for (v, name) in vars.iter().enumerate() {
+                batch
+                    .store_block(name, &blocks[v], &off, &dims)
+                    .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+            }
+            batch
+                .commit()
                 .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+        } else {
+            for (v, name) in vars.iter().enumerate() {
+                pmem.store_block(name, &blocks[v], &off, &dims)
+                    .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+            }
         }
         comm.barrier();
         pmem.munmap()

@@ -12,6 +12,7 @@
 //!   ablate-layout      hashtable vs hierarchical layout
 //!   ablate-staging     direct-to-PMEM vs DRAM-staged serialization
 //!   ablate-fill        NetCDF fill vs NC_NOFILL
+//!   ablate-batching    group-commit write batches vs per-key commits
 //!   all                everything above; CSVs land in results/
 //! ```
 //!
@@ -77,6 +78,7 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
         "ablate-chunked" => ablate_chunked(real_bytes)?,
         "ablate-buckets" => ablate_buckets(real_bytes)?,
         "ablate-drain" => ablate_drain(real_bytes)?,
+        "ablate-batching" => ablate_batching(real_bytes)?,
         "tune" => tune_cmd(real_bytes)?,
         "volume" => volume_cmd()?,
         "all" => {
@@ -91,6 +93,7 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
             ablate_chunked(real_bytes)?;
             ablate_buckets(real_bytes)?;
             ablate_drain(real_bytes)?;
+            ablate_batching(real_bytes)?;
             tune_cmd(real_bytes)?;
             volume_cmd()?;
         }
@@ -474,6 +477,47 @@ fn ablate_drain(real_bytes: u64) -> std::io::Result<()> {
         ),
     )?;
     pmem.munmap().unwrap();
+    println!();
+    Ok(())
+}
+
+/// CI smoke gate: group-commit batching must never be slower than per-key
+/// commits on the paper's headline write cell. Exits nonzero on regression.
+fn ablate_batching(real_bytes: u64) -> std::io::Result<()> {
+    println!("## Ablation: group-commit write batches vs per-key commits (PMCPY-A, 24 procs)");
+    let mut csv = String::from("mode,write_s,pool_txs,alloc_passes\n");
+    let mut times = [0f64; 2];
+    for (i, (name, batch_puts)) in [("batched", true), ("per-key", false)].iter().enumerate() {
+        let lib = PmemcpyLib::custom(
+            "PMCPY-A",
+            Options {
+                batch_puts: *batch_puts,
+                ..Options::default()
+            },
+        );
+        let cfg = CellConfig::paper(24, real_bytes);
+        let w = run_cell(&lib, Direction::Write, &cfg);
+        times[i] = w.time.as_secs_f64();
+        println!(
+            "{name:<8} write {:>8.3}s   pool_txs={:<6} alloc_passes={}",
+            w.time.as_secs_f64(),
+            w.stats.pool_txs,
+            w.stats.alloc_passes
+        );
+        csv.push_str(&format!(
+            "{name},{:.6},{},{}\n",
+            w.time.as_secs_f64(),
+            w.stats.pool_txs,
+            w.stats.alloc_passes
+        ));
+    }
+    write_file("results/ablate_batching.csv", &csv)?;
+    if times[0] > times[1] {
+        return Err(std::io::Error::other(format!(
+            "batching regression: batched write {:.6}s > per-key {:.6}s",
+            times[0], times[1]
+        )));
+    }
     println!();
     Ok(())
 }

@@ -167,7 +167,7 @@ impl Pmem {
 
     /// Check a decoded dtype against the requested element type. The raw
     /// serializer erases type metadata, so the check is skipped for it.
-    fn check_dtype<T: Element>(&self, id: &str, found: Datatype) -> Result<()> {
+    pub(crate) fn check_dtype<T: Element>(&self, id: &str, found: Datatype) -> Result<()> {
         if self.opts.serializer == "raw" {
             return Ok(());
         }
@@ -264,12 +264,7 @@ impl Pmem {
     pub fn alloc<T: Element>(&self, id: &str, global_dims: &[u64]) -> Result<()> {
         let m = self.m()?;
         let key = dims_key(id);
-        let mut payload = Vec::with_capacity(2 + global_dims.len() * 8);
-        payload.push(T::DTYPE.code());
-        payload.push(global_dims.len() as u8);
-        for &d in global_dims {
-            payload.extend_from_slice(&d.to_le_bytes());
-        }
+        let payload = encode_dims_payload(T::DTYPE, global_dims);
         let meta = VarMeta::local_array(&key, Datatype::U8, &[payload.len() as u64]);
         m.layout.store(&m.clock, &key, &meta, &payload)
     }
@@ -282,24 +277,7 @@ impl Pmem {
         let hdr = m.layout.stat(&m.clock, &key)?;
         let mut payload = vec![0u8; hdr.payload_len as usize];
         m.layout.load_into(&m.clock, &key, &mut payload)?;
-        if payload.len() < 2 {
-            return Err(PmemCpyError::ShapeMismatch {
-                id: id.to_string(),
-                detail: "truncated #dims record".into(),
-            });
-        }
-        let dtype = Datatype::from_code(payload[0])?;
-        let nd = payload[1] as usize;
-        if payload.len() != 2 + nd * 8 {
-            return Err(PmemCpyError::ShapeMismatch {
-                id: id.to_string(),
-                detail: "malformed #dims record".into(),
-            });
-        }
-        let dims = (0..nd)
-            .map(|i| u64::from_le_bytes(payload[2 + i * 8..10 + i * 8].try_into().unwrap()))
-            .collect();
-        Ok((dtype, dims))
+        decode_dims_payload(id, &payload)
     }
 
     /// Store this rank's block of the decomposed array `id` (Fig. 2's
@@ -411,22 +389,75 @@ impl Pmem {
         let m = self.m()?;
         Ok(m.layout.keys(&m.clock))
     }
+
+    /// Copy out `id`'s raw serialized record exactly as stored (header +
+    /// payload). Diagnostics/test support for byte-level comparisons.
+    pub fn raw_record(&self, id: &str) -> Result<Vec<u8>> {
+        let m = self.m()?;
+        m.layout.raw_value(&m.clock, id)
+    }
+
+    /// Open a [`WriteBatch`](crate::batch::WriteBatch): stage any number of
+    /// `store_*` calls, then [`commit`](crate::batch::WriteBatch::commit)
+    /// them as group-committed bulk reservations — one pool transaction and
+    /// one allocator pass per group instead of one per key.
+    pub fn batch(&self) -> crate::batch::WriteBatch<'_> {
+        crate::batch::WriteBatch::new(self)
+    }
 }
 
-fn dims_key(id: &str) -> String {
+pub(crate) fn dims_key(id: &str) -> String {
     format!("{id}#dims")
 }
 
-fn attr_key(id: &str, name: &str) -> String {
+pub(crate) fn attr_key(id: &str, name: &str) -> String {
     format!("{id}#attr:{name}")
 }
 
-fn block_key(id: &str, offsets: &[u64]) -> String {
+pub(crate) fn block_key(id: &str, offsets: &[u64]) -> String {
     let coords: Vec<String> = offsets.iter().map(|o| o.to_string()).collect();
     format!("{id}#block@{}", coords.join(","))
 }
 
-fn validate_block(id: &str, global: &[u64], offsets: &[u64], dims: &[u64]) -> Result<()> {
+/// Encode the `"<id>#dims"` companion payload: dtype code, ndims, dims.
+pub(crate) fn encode_dims_payload(dtype: Datatype, global_dims: &[u64]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(2 + global_dims.len() * 8);
+    payload.push(dtype.code());
+    payload.push(global_dims.len() as u8);
+    for &d in global_dims {
+        payload.extend_from_slice(&d.to_le_bytes());
+    }
+    payload
+}
+
+/// Decode a `"<id>#dims"` companion payload back into (dtype, dims).
+pub(crate) fn decode_dims_payload(id: &str, payload: &[u8]) -> Result<(Datatype, Vec<u64>)> {
+    if payload.len() < 2 {
+        return Err(PmemCpyError::ShapeMismatch {
+            id: id.to_string(),
+            detail: "truncated #dims record".into(),
+        });
+    }
+    let dtype = Datatype::from_code(payload[0])?;
+    let nd = payload[1] as usize;
+    if payload.len() != 2 + nd * 8 {
+        return Err(PmemCpyError::ShapeMismatch {
+            id: id.to_string(),
+            detail: "malformed #dims record".into(),
+        });
+    }
+    let dims = (0..nd)
+        .map(|i| u64::from_le_bytes(payload[2 + i * 8..10 + i * 8].try_into().unwrap()))
+        .collect();
+    Ok((dtype, dims))
+}
+
+pub(crate) fn validate_block(
+    id: &str,
+    global: &[u64],
+    offsets: &[u64],
+    dims: &[u64],
+) -> Result<()> {
     if global.len() != offsets.len() || global.len() != dims.len() {
         return Err(PmemCpyError::ShapeMismatch {
             id: id.to_string(),

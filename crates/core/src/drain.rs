@@ -17,6 +17,10 @@ use pmem_sim::{Clock, SimTime, DRAIN_LANE};
 use simfs::SimFs;
 use std::sync::Arc;
 
+/// Records are streamed to mass storage in chunks of this size, so the
+/// drain's DRAM footprint stays bounded no matter how large a variable is.
+pub const DRAIN_CHUNK: usize = 256 * 1024;
+
 /// Outcome of a drain pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DrainReport {
@@ -42,23 +46,28 @@ impl Pmem {
         let mut bytes = 0u64;
         for key in layout.keys(&drain_clock) {
             let tk = machine.trace_start(&drain_clock);
-            let record = layout.raw_value(&drain_clock, &key)?;
-            // Push over the burst-buffer interconnect.
-            machine.charge_storage_write(&drain_clock, record.len() as u64);
-            // Land the bytes (data plane; transfer already charged above).
+            // Stream the record out in bounded chunks — no whole-record DRAM
+            // staging; each chunk is pushed over the burst-buffer
+            // interconnect and landed before the next is read.
             let path = format!("{dir}/{}", sanitize(&key));
             let fd = target.create(&drain_clock, &path)?;
-            target.write_at_untimed(&drain_clock, fd, 0, &record)?;
+            let mut off = 0u64;
+            let record_len = layout.stream_raw(&drain_clock, &key, DRAIN_CHUNK, &mut |chunk| {
+                machine.charge_storage_write(&drain_clock, chunk.len() as u64);
+                target.write_at_untimed(&drain_clock, fd, off, chunk)?;
+                off += chunk.len() as u64;
+                Ok(())
+            })?;
             target.fsync(&drain_clock, fd)?;
             target.close(&drain_clock, fd)?;
             keys += 1;
-            bytes += record.len() as u64;
+            bytes += record_len;
             machine.trace_finish(
                 &drain_clock,
                 tk,
                 "drain",
                 "drain.key",
-                Some(("bytes", record.len() as u64)),
+                Some(("bytes", record_len)),
             );
         }
         machine.trace_finish(&drain_clock, t0, "drain", "drain", Some(("bytes", bytes)));

@@ -4,11 +4,11 @@
 //! access characteristics of PMEM."*).
 
 use crate::error::{PmemCpyError, Result};
-use crate::layout::Layout;
+use crate::layout::{Layout, Reservation, ReserveRequest};
 use crate::registry::SharedPool;
-use crate::sink::{MappingSink, MappingSource};
+use crate::sink::MappingSource;
 use pmem_sim::{Clock, DaxMapping, Machine, PmemDevice};
-use pserial::{Serializer, VarHeader, VarMeta};
+use pserial::{Serializer, VarHeader};
 use std::sync::Arc;
 
 pub struct HashtableLayout {
@@ -47,42 +47,29 @@ impl HashtableLayout {
 }
 
 impl Layout for HashtableLayout {
-    fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()> {
-        let slen = self.serializer.serialized_len(meta, payload.len() as u64);
-        // Reserve the record space in the pool (metadata transaction), then
-        // serialize straight into the mapped region — no DRAM staging.
-        let t0 = self.machine.trace_start(clock);
-        let vref = self
-            .shared
-            .hashtable
-            .put_reserve(clock, key.as_bytes(), slen)?;
-        self.machine
-            .trace_finish(clock, t0, "put", "put.reserve", None);
-        let t1 = self.machine.trace_start(clock);
-        self.machine.charge_serialize(
-            clock,
-            payload.len() as u64,
-            self.serializer.cpu_cost_factor(),
-        );
-        self.machine.trace_finish(
-            clock,
-            t1,
-            "put",
-            "put.serialize",
-            Some(("bytes", payload.len() as u64)),
-        );
-        let t2 = self.machine.trace_start(clock);
-        let mut sink = MappingSink::new(&self.mapping, clock, vref.offset as usize, slen as usize);
-        self.serializer.write_var(meta, payload, &mut sink)?;
-        debug_assert_eq!(sink.written() as u64, slen);
-        self.machine
-            .trace_finish(clock, t2, "put", "put.memcpy", Some(("bytes", slen)));
-        let t3 = self.machine.trace_start(clock);
-        self.mapping
-            .persist(clock, vref.offset as usize, slen as usize);
-        self.machine
-            .trace_finish(clock, t3, "put", "put.persist", Some(("bytes", slen)));
-        Ok(())
+    fn serializer(&self) -> &'static dyn Serializer {
+        self.serializer
+    }
+
+    fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    fn reserve_many(&self, clock: &Clock, reqs: &[ReserveRequest<'_>]) -> Result<Vec<Reservation>> {
+        // One pool transaction, one allocator pass for the whole group; the
+        // caller then serializes straight into the mapped region — no DRAM
+        // staging.
+        let pairs: Vec<(&[u8], u64)> = reqs.iter().map(|r| (r.key.as_bytes(), r.slen)).collect();
+        let vrefs = self.shared.hashtable.put_reserve_many(clock, &pairs)?;
+        Ok(vrefs
+            .into_iter()
+            .map(|v| Reservation {
+                mapping: Arc::clone(&self.mapping),
+                offset: v.offset as usize,
+                len: v.len as usize,
+                unmap_after_persist: false,
+            })
+            .collect())
     }
 
     fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader> {
@@ -96,7 +83,7 @@ impl Layout for HashtableLayout {
             clock,
             vref.offset as usize,
             vref.len as usize,
-        );
+        )?;
         Ok(self.serializer.read_header(&mut src)?)
     }
 
@@ -115,7 +102,7 @@ impl Layout for HashtableLayout {
             clock,
             vref.offset as usize,
             vref.len as usize,
-        );
+        )?;
         let hdr = self.serializer.read_header(&mut src)?;
         if hdr.payload_len != dst.len() as u64 {
             return Err(PmemCpyError::ShapeMismatch {
@@ -166,22 +153,30 @@ impl Layout for HashtableLayout {
             .collect()
     }
 
-    fn raw_value(&self, clock: &Clock, key: &str) -> Result<Vec<u8>> {
+    fn stream_raw(
+        &self,
+        clock: &Clock,
+        key: &str,
+        chunk: usize,
+        emit: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<u64> {
         let vref = self
             .shared
             .hashtable
             .get_ref(clock, key.as_bytes())
             .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
-        let mut buf = vec![0u8; vref.len as usize];
-        let mut src = MappingSource::new(
-            &self.mapping,
-            clock,
-            vref.offset as usize,
-            vref.len as usize,
-        );
+        let total = vref.len as usize;
+        let mut src = MappingSource::new(&self.mapping, clock, vref.offset as usize, total)?;
+        let mut buf = vec![0u8; chunk.max(1).min(total.max(1))];
+        let mut remaining = total;
         use pserial::ReadSource;
-        src.get(&mut buf)?;
-        Ok(buf)
+        while remaining > 0 {
+            let n = remaining.min(buf.len());
+            src.get(&mut buf[..n])?;
+            emit(&buf[..n])?;
+            remaining -= n;
+        }
+        Ok(total as u64)
     }
 
     fn name(&self) -> &'static str {

@@ -4,10 +4,10 @@
 //! the variable, a directory is created if it didn't already exist."*).
 
 use crate::error::{PmemCpyError, Result};
-use crate::layout::Layout;
-use crate::sink::{MappingSink, MappingSource};
+use crate::layout::{Layout, Reservation, ReserveRequest};
+use crate::sink::MappingSource;
 use pmem_sim::{Clock, Machine};
-use pserial::{Serializer, VarHeader, VarMeta};
+use pserial::{Serializer, VarHeader};
 use simfs::{EntryKind, SimFs};
 use std::sync::Arc;
 
@@ -38,54 +38,47 @@ impl HierarchicalLayout {
     fn path_of(&self, key: &str) -> String {
         format!("{}/{}", self.root, key)
     }
-
-    /// Create parent directories implied by '/' in the key.
-    fn ensure_parent(&self, clock: &Clock, key: &str) -> Result<()> {
-        if let Some(pos) = key.rfind('/') {
-            self.fs
-                .mkdir_p(clock, &format!("{}/{}", self.root, &key[..pos]))?;
-        }
-        Ok(())
-    }
 }
 
 impl Layout for HierarchicalLayout {
-    fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()> {
-        let t0 = self.machine.trace_start(clock);
-        self.ensure_parent(clock, key)?;
-        let path = self.path_of(key);
-        let slen = self.serializer.serialized_len(meta, payload.len() as u64);
-        let fd = self.fs.create(clock, &path)?;
-        self.fs.set_len(clock, fd, slen)?;
-        self.fs.close(clock, fd)?;
-        // Map the file and serialize directly into it.
-        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
-        self.machine
-            .trace_finish(clock, t0, "put", "put.reserve", None);
-        let t1 = self.machine.trace_start(clock);
-        self.machine.charge_serialize(
-            clock,
-            payload.len() as u64,
-            self.serializer.cpu_cost_factor(),
-        );
-        self.machine.trace_finish(
-            clock,
-            t1,
-            "put",
-            "put.serialize",
-            Some(("bytes", payload.len() as u64)),
-        );
-        let t2 = self.machine.trace_start(clock);
-        let mut sink = MappingSink::new(&mapping, clock, 0, slen as usize);
-        self.serializer.write_var(meta, payload, &mut sink)?;
-        self.machine
-            .trace_finish(clock, t2, "put", "put.memcpy", Some(("bytes", slen)));
-        let t3 = self.machine.trace_start(clock);
-        mapping.persist(clock, 0, slen as usize);
-        mapping.unmap(clock);
-        self.machine
-            .trace_finish(clock, t3, "put", "put.persist", Some(("bytes", slen)));
-        Ok(())
+    fn serializer(&self) -> &'static dyn Serializer {
+        self.serializer
+    }
+
+    fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    fn reserve_many(&self, clock: &Clock, reqs: &[ReserveRequest<'_>]) -> Result<Vec<Reservation>> {
+        // Batch the namespace work: one mkdir_p per distinct parent implied
+        // by '/' in the group's keys, then create + size + map each file.
+        let mut parents: Vec<&str> = reqs
+            .iter()
+            .filter_map(|r| r.key.rfind('/').map(|pos| &r.key[..pos]))
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        for parent in parents {
+            self.fs
+                .mkdir_p(clock, &format!("{}/{}", self.root, parent))?;
+        }
+        let mut out = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            let path = self.path_of(r.key);
+            let fd = self.fs.create(clock, &path)?;
+            self.fs.set_len(clock, fd, r.slen)?;
+            self.fs.close(clock, fd)?;
+            // Map the file so the serializer writes directly into it; the
+            // store pipeline unmaps it once the record is persisted.
+            let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
+            out.push(Reservation {
+                mapping,
+                offset: 0,
+                len: r.slen as usize,
+                unmap_after_persist: true,
+            });
+        }
+        Ok(out)
     }
 
     fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader> {
@@ -95,7 +88,7 @@ impl Layout for HierarchicalLayout {
         }
         let len = self.fs.file_size(&path)? as usize;
         let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
-        let mut src = MappingSource::new(&mapping, clock, 0, len);
+        let mut src = MappingSource::new(&mapping, clock, 0, len)?;
         let hdr = self.serializer.read_header(&mut src)?;
         mapping.unmap(clock);
         Ok(hdr)
@@ -112,7 +105,7 @@ impl Layout for HierarchicalLayout {
         self.machine
             .trace_finish(clock, t0, "get", "get.lookup", None);
         let t1 = self.machine.trace_start(clock);
-        let mut src = MappingSource::new(&mapping, clock, 0, len);
+        let mut src = MappingSource::new(&mapping, clock, 0, len)?;
         let hdr = self.serializer.read_header(&mut src)?;
         if hdr.payload_len != dst.len() as u64 {
             mapping.unmap(clock);
@@ -188,19 +181,34 @@ impl Layout for HierarchicalLayout {
         out
     }
 
-    fn raw_value(&self, clock: &Clock, key: &str) -> Result<Vec<u8>> {
+    fn stream_raw(
+        &self,
+        clock: &Clock,
+        key: &str,
+        chunk: usize,
+        emit: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<u64> {
         let path = self.path_of(key);
         if !self.fs.exists(&path) {
             return Err(PmemCpyError::NotFound(key.to_string()));
         }
-        let len = self.fs.file_size(&path)? as usize;
+        let total = self.fs.file_size(&path)? as usize;
         let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
-        let mut buf = vec![0u8; len];
-        let mut src = MappingSource::new(&mapping, clock, 0, len);
-        use pserial::ReadSource;
-        src.get(&mut buf)?;
+        let result = (|| {
+            let mut src = MappingSource::new(&mapping, clock, 0, total)?;
+            let mut buf = vec![0u8; chunk.max(1).min(total.max(1))];
+            let mut remaining = total;
+            use pserial::ReadSource;
+            while remaining > 0 {
+                let n = remaining.min(buf.len());
+                src.get(&mut buf[..n])?;
+                emit(&buf[..n])?;
+                remaining -= n;
+            }
+            Ok(total as u64)
+        })();
         mapping.unmap(clock);
-        Ok(buf)
+        result
     }
 
     fn name(&self) -> &'static str {

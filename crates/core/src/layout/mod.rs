@@ -4,18 +4,124 @@
 //! how its key is resolved. Both implementations stream records through
 //! [`crate::sink::MappingSink`]/[`crate::sink::MappingSource`], so the
 //! zero-staging property holds regardless of layout.
+//!
+//! The write path is batched end to end: [`Layout::reserve_many`] is the
+//! per-layout bulk seam (one pool transaction / one batched namespace pass
+//! for a whole group of keys), and the generic [`Layout::store_many`]
+//! pipeline serializes each value straight into its reserved window.
+//! Single-key [`Layout::store`] is a batch of one, so there is exactly one
+//! write-path code path.
 
 pub mod hashtable;
 pub mod hierarchical;
 
 use crate::error::Result;
-use pmem_sim::Clock;
-use pserial::{VarHeader, VarMeta};
+use crate::sink::MappingSink;
+use pmem_sim::{Clock, DaxMapping, Machine};
+use pserial::{Serializer, VarHeader, VarMeta};
+use std::sync::Arc;
+
+/// One key's worth of work for a batched store.
+#[derive(Debug, Clone, Copy)]
+pub struct PutRequest<'a> {
+    pub key: &'a str,
+    pub meta: &'a VarMeta,
+    pub payload: &'a [u8],
+}
+
+/// A reservation request: `key` needs `slen` bytes of record space.
+#[derive(Debug, Clone, Copy)]
+pub struct ReserveRequest<'a> {
+    pub key: &'a str,
+    pub slen: u64,
+}
+
+/// A reserved, mapped window the serializer can stream into directly.
+pub struct Reservation {
+    pub mapping: Arc<DaxMapping>,
+    pub offset: usize,
+    pub len: usize,
+    /// Per-key file mappings (hierarchical layout) are unmapped once the
+    /// record is persisted; the pool-wide mapping stays live.
+    pub unmap_after_persist: bool,
+}
 
 /// A storage layout for serialized variable records.
 pub trait Layout: Send + Sync {
-    /// Serialize `payload` under `key`, directly into PMEM.
-    fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()>;
+    /// The serializer records are encoded with.
+    fn serializer(&self) -> &'static dyn Serializer;
+
+    /// The simulated machine charges land on.
+    fn machine(&self) -> &Arc<Machine>;
+
+    /// Reserve record space for a whole group of keys through the layout's
+    /// bulk seam. The group is atomic where the layout can make it so: the
+    /// hashtable layout commits every reservation in one pool transaction
+    /// (a crash rolls the whole group back), the hierarchical layout batches
+    /// its directory creation.
+    fn reserve_many(&self, clock: &Clock, reqs: &[ReserveRequest<'_>]) -> Result<Vec<Reservation>>;
+
+    /// Store a group of records: bulk-reserve every key, then serialize each
+    /// payload straight into its reserved window — no DRAM staging, exactly
+    /// as the single-key path always worked.
+    fn store_many(&self, clock: &Clock, puts: &[PutRequest<'_>]) -> Result<()> {
+        if puts.is_empty() {
+            return Ok(());
+        }
+        let serializer = self.serializer();
+        let machine = Arc::clone(self.machine());
+        let reqs: Vec<ReserveRequest<'_>> = puts
+            .iter()
+            .map(|p| ReserveRequest {
+                key: p.key,
+                slen: serializer.serialized_len(p.meta, p.payload.len() as u64),
+            })
+            .collect();
+        let t0 = machine.trace_start(clock);
+        let reservations = self.reserve_many(clock, &reqs)?;
+        machine.trace_finish(
+            clock,
+            t0,
+            "put",
+            "put.reserve",
+            Some(("keys", puts.len() as u64)),
+        );
+        for (put, resv) in puts.iter().zip(&reservations) {
+            let bytes = put.payload.len() as u64;
+            let t1 = machine.trace_start(clock);
+            machine.charge_serialize(clock, bytes, serializer.cpu_cost_factor());
+            machine.trace_finish(clock, t1, "put", "put.serialize", Some(("bytes", bytes)));
+            let t2 = machine.trace_start(clock);
+            let mut sink = MappingSink::new(&resv.mapping, clock, resv.offset, resv.len)?;
+            serializer.write_var(put.meta, put.payload, &mut sink)?;
+            debug_assert_eq!(sink.written(), resv.len);
+            machine.trace_finish(
+                clock,
+                t2,
+                "put",
+                "put.memcpy",
+                Some(("bytes", resv.len as u64)),
+            );
+            let t3 = machine.trace_start(clock);
+            resv.mapping.persist(clock, resv.offset, resv.len);
+            if resv.unmap_after_persist {
+                resv.mapping.unmap(clock);
+            }
+            machine.trace_finish(
+                clock,
+                t3,
+                "put",
+                "put.persist",
+                Some(("bytes", resv.len as u64)),
+            );
+        }
+        Ok(())
+    }
+
+    /// Serialize `payload` under `key`, directly into PMEM (a batch of one).
+    fn store(&self, clock: &Clock, key: &str, meta: &VarMeta, payload: &[u8]) -> Result<()> {
+        self.store_many(clock, &[PutRequest { key, meta, payload }])
+    }
 
     /// Decode just the header of `key`'s record.
     fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader>;
@@ -34,10 +140,29 @@ pub trait Layout: Send + Sync {
     /// Enumerate all keys (unspecified order).
     fn keys(&self, clock: &Clock) -> Vec<String>;
 
-    /// Copy out `key`'s raw serialized record (header + payload, exactly as
-    /// stored). Used by the burst-buffer drain, which flushes data "in the
-    /// same format as it was produced" (§3).
-    fn raw_value(&self, clock: &Clock, key: &str) -> Result<Vec<u8>>;
+    /// Stream `key`'s raw serialized record (header + payload, exactly as
+    /// stored) to `emit` in chunks of at most `chunk` bytes, bounding DRAM
+    /// use to one chunk. Returns the record length. Used by the burst-buffer
+    /// drain, which flushes data "in the same format as it was produced"
+    /// (§3) without staging whole records.
+    fn stream_raw(
+        &self,
+        clock: &Clock,
+        key: &str,
+        chunk: usize,
+        emit: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<u64>;
+
+    /// Copy out `key`'s raw serialized record into one buffer (diagnostics
+    /// and tests; the drain streams via [`Layout::stream_raw`] instead).
+    fn raw_value(&self, clock: &Clock, key: &str) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.stream_raw(clock, key, 1 << 18, &mut |chunk| {
+            out.extend_from_slice(chunk);
+            Ok(())
+        })?;
+        Ok(out)
+    }
 
     /// Layout name for diagnostics.
     fn name(&self) -> &'static str;

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod api;
+pub mod batch;
 pub mod drain;
 pub mod element;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod registry;
 pub mod sink;
 
 pub use api::{MmapTarget, Pmem};
+pub use batch::WriteBatch;
 pub use drain::DrainReport;
 pub use element::{Element, Pod};
 pub use error::{PmemCpyError, Result};

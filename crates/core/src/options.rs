@@ -27,6 +27,10 @@ pub struct Options {
     pub layout: DataLayout,
     /// Buckets for the metadata hashtable (PmdkHashtable layout).
     pub hashtable_buckets: u64,
+    /// Group-commit multi-variable writes: collective `write()` paths stage
+    /// a rank's variables in a [`crate::WriteBatch`] and commit them through
+    /// one pool transaction / one allocator pass instead of one per key.
+    pub batch_puts: bool,
 }
 
 impl Default for Options {
@@ -36,6 +40,7 @@ impl Default for Options {
             map_sync: false,
             layout: DataLayout::PmdkHashtable,
             hashtable_buckets: 4096,
+            batch_puts: true,
         }
     }
 }

@@ -18,16 +18,28 @@ pub struct MappingSink<'a> {
 }
 
 impl<'a> MappingSink<'a> {
-    /// Write window `[base, base+limit)` of `mapping`.
-    pub fn new(mapping: &'a DaxMapping, clock: &'a Clock, base: usize, limit: usize) -> Self {
-        assert!(base + limit <= mapping.len(), "sink window exceeds mapping");
-        MappingSink {
+    /// Write window `[base, base+limit)` of `mapping`. A window that falls
+    /// outside the mapping is a reservation bug; it surfaces as
+    /// [`SerialError::ShortBuffer`], not a rank-poisoning panic.
+    pub fn new(
+        mapping: &'a DaxMapping,
+        clock: &'a Clock,
+        base: usize,
+        limit: usize,
+    ) -> SResult<Self> {
+        if base + limit > mapping.len() {
+            return Err(SerialError::ShortBuffer {
+                need: (base + limit) as u64,
+                have: mapping.len() as u64,
+            });
+        }
+        Ok(MappingSink {
             mapping,
             clock,
             base,
             pos: 0,
             limit,
-        }
+        })
     }
 
     /// Bytes written.
@@ -37,16 +49,16 @@ impl<'a> MappingSink<'a> {
 }
 
 impl WriteSink for MappingSink<'_> {
-    fn put(&mut self, bytes: &[u8]) {
-        assert!(
-            self.pos + bytes.len() <= self.limit,
-            "MappingSink overflow: {} + {} > {}",
-            self.pos,
-            bytes.len(),
-            self.limit
-        );
+    fn put(&mut self, bytes: &[u8]) -> SResult<()> {
+        if self.pos + bytes.len() > self.limit {
+            return Err(SerialError::ShortBuffer {
+                need: (self.pos + bytes.len()) as u64,
+                have: self.limit as u64,
+            });
+        }
         self.mapping.store(self.clock, self.base + self.pos, bytes);
         self.pos += bytes.len();
+        Ok(())
     }
 
     fn position(&self) -> u64 {
@@ -64,18 +76,25 @@ pub struct MappingSource<'a> {
 }
 
 impl<'a> MappingSource<'a> {
-    pub fn new(mapping: &'a DaxMapping, clock: &'a Clock, base: usize, limit: usize) -> Self {
-        assert!(
-            base + limit <= mapping.len(),
-            "source window exceeds mapping"
-        );
-        MappingSource {
+    pub fn new(
+        mapping: &'a DaxMapping,
+        clock: &'a Clock,
+        base: usize,
+        limit: usize,
+    ) -> SResult<Self> {
+        if base + limit > mapping.len() {
+            return Err(SerialError::ShortBuffer {
+                need: (base + limit) as u64,
+                have: mapping.len() as u64,
+            });
+        }
+        Ok(MappingSource {
             mapping,
             clock,
             base,
             pos: 0,
             limit,
-        }
+        })
     }
 }
 
@@ -129,11 +148,11 @@ mod tests {
         let meta = VarMeta::local_array("x", Datatype::F64, &[16]);
         let payload: Vec<u8> = (0..16).flat_map(|i| (i as f64).to_le_bytes()).collect();
         let need = Bp4.serialized_len(&meta, payload.len() as u64) as usize;
-        let mut sink = MappingSink::new(&m, &clock, 4096, need);
+        let mut sink = MappingSink::new(&m, &clock, 4096, need).unwrap();
         Bp4.write_var(&meta, &payload, &mut sink).unwrap();
         assert_eq!(sink.written(), need);
 
-        let mut src = MappingSource::new(&m, &clock, 4096, need);
+        let mut src = MappingSource::new(&m, &clock, 4096, need).unwrap();
         let (hdr, got) = Bp4.read_var(&mut src).unwrap();
         assert_eq!(hdr.meta, meta);
         assert_eq!(got, payload);
@@ -142,25 +161,39 @@ mod tests {
     #[test]
     fn sink_writes_charge_pmem_not_dram() {
         let (m, clock) = fixture();
-        let mut sink = MappingSink::new(&m, &clock, 0, 1024);
-        sink.put(&[1u8; 1024]);
+        let mut sink = MappingSink::new(&m, &clock, 0, 1024).unwrap();
+        sink.put(&[1u8; 1024]).unwrap();
         let s = m.device().machine().stats.snapshot();
         assert_eq!(s.pmem_bytes_written, 1024);
         assert_eq!(s.dram_bytes_copied, 0, "zero-staging property violated");
     }
 
     #[test]
-    #[should_panic(expected = "overflow")]
     fn sink_respects_its_window() {
         let (m, clock) = fixture();
-        let mut sink = MappingSink::new(&m, &clock, 0, 8);
-        sink.put(&[0u8; 16]);
+        let mut sink = MappingSink::new(&m, &clock, 0, 8).unwrap();
+        let err = sink.put(&[0u8; 16]).unwrap_err();
+        assert!(matches!(
+            err,
+            SerialError::ShortBuffer { need: 16, have: 8 }
+        ));
+        // Nothing was written: the overflow check precedes the store.
+        assert_eq!(sink.written(), 0);
+        assert_eq!(m.device().machine().stats.snapshot().pmem_bytes_written, 0);
+    }
+
+    #[test]
+    fn windows_outside_the_mapping_are_errors() {
+        let (m, clock) = fixture();
+        let len = m.len();
+        assert!(MappingSink::new(&m, &clock, len, 16).is_err());
+        assert!(MappingSource::new(&m, &clock, len - 8, 16).is_err());
     }
 
     #[test]
     fn source_underrun_is_an_error() {
         let (m, clock) = fixture();
-        let mut src = MappingSource::new(&m, &clock, 0, 4);
+        let mut src = MappingSource::new(&m, &clock, 0, 4).unwrap();
         let mut buf = [0u8; 8];
         assert!(src.get(&mut buf).is_err());
         assert!(src.skip(8).is_err());

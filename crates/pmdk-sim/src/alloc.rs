@@ -13,6 +13,7 @@ use crate::error::{PmdkError, Result};
 use crate::layout::*;
 use pmem_sim::{Clock, PmemDevice};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Volatile allocator state over the persistent heap region.
@@ -122,6 +123,11 @@ impl Heap {
         if size == 0 {
             return Err(PmdkError::TxFailure("zero-size allocation".into()));
         }
+        self.device
+            .machine()
+            .stats
+            .alloc_passes
+            .fetch_add(1, Ordering::Relaxed);
         let want = align_up(size);
         // Best fit: smallest free block that can hold the payload.
         let (&bsize, _) = self
@@ -182,6 +188,131 @@ impl Heap {
             self.allocated += bsize;
             Ok(hdr_off + BLOCK_HEADER_SIZE)
         }
+    }
+
+    /// Allocate one aligned payload per entry of `sizes` in a single
+    /// free-list pass, carving them all out of one free block with one
+    /// coalesced set of header persists (interior headers are flushed
+    /// together behind a single fence). Returns payload offsets in request
+    /// order.
+    ///
+    /// Crash semantics match [`Heap::alloc`]: the first block's header is the
+    /// commit point and is written last. Before it flips to `BLOCK_ALLOC`,
+    /// the rebuild walk still sees the original free block and skips straight
+    /// over the interior headers, so a crash makes the whole group vanish
+    /// together.
+    ///
+    /// When no single free block can hold the combined extent, degrades to
+    /// one [`Heap::alloc`] per request (N honest passes); on failure partway
+    /// through, the already-carved blocks are freed again before returning.
+    pub fn alloc_many(&mut self, clock: &Clock, sizes: &[u64]) -> Result<Vec<u64>> {
+        if sizes.is_empty() {
+            return Ok(Vec::new());
+        }
+        if sizes.len() == 1 {
+            return Ok(vec![self.alloc(clock, sizes[0])?]);
+        }
+        if sizes.contains(&0) {
+            return Err(PmdkError::TxFailure("zero-size allocation".into()));
+        }
+        let mut wants: Vec<u64> = sizes.iter().map(|&s| align_up(s)).collect();
+        let total: u64 = wants.iter().sum::<u64>() + (wants.len() as u64 - 1) * BLOCK_HEADER_SIZE;
+
+        // One best-fit pass over the free list for the whole group.
+        let Some((&bsize, _)) = self.free.range(total..).next() else {
+            // No single block fits the combined extent: fall back to a pass
+            // per request, unwinding on failure so nothing leaks.
+            let mut out = Vec::with_capacity(sizes.len());
+            for &s in sizes {
+                match self.alloc(clock, s) {
+                    Ok(p) => out.push(p),
+                    Err(e) => {
+                        for &p in &out {
+                            let _ = self.free(clock, p);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            return Ok(out);
+        };
+        self.device
+            .machine()
+            .stats
+            .alloc_passes
+            .fetch_add(1, Ordering::Relaxed);
+        let set = self.free.get_mut(&bsize).expect("free map entry vanished");
+        let hdr_off = *set.iter().next().expect("free set empty");
+        set.remove(&hdr_off);
+        if set.is_empty() {
+            self.free.remove(&bsize);
+        }
+
+        let remainder = bsize - total;
+        let tail_free = remainder >= BLOCK_HEADER_SIZE + HEAP_ALIGN;
+        if !tail_free {
+            // Slack too small to stand alone as a block: the last payload
+            // absorbs it, exactly like the whole-block path of `alloc`.
+            *wants.last_mut().expect("wants nonempty") += remainder;
+        }
+
+        // Header offsets: block 0 reuses the original free block's header.
+        let mut hdrs = Vec::with_capacity(wants.len());
+        let mut cursor = hdr_off;
+        for &w in &wants {
+            hdrs.push(cursor);
+            cursor += BLOCK_HEADER_SIZE + w;
+        }
+
+        if tail_free {
+            let tail_hdr = cursor;
+            let tail_payload = remainder - BLOCK_HEADER_SIZE;
+            write_header_unfenced(
+                clock,
+                &self.device,
+                tail_hdr,
+                BlockHeader {
+                    state: BLOCK_FREE,
+                    size: tail_payload,
+                    prev_size: *wants.last().expect("wants nonempty"),
+                },
+            );
+            self.fix_next_prev_size(clock, tail_hdr, tail_payload);
+            self.free.entry(tail_payload).or_default().insert(tail_hdr);
+        } else {
+            self.fix_next_prev_size(
+                clock,
+                *hdrs.last().expect("hdrs nonempty"),
+                *wants.last().expect("wants nonempty"),
+            );
+        }
+        // Interior headers, back to front, one fence for the whole set.
+        for i in (1..wants.len()).rev() {
+            write_header_unfenced(
+                clock,
+                &self.device,
+                hdrs[i],
+                BlockHeader {
+                    state: BLOCK_ALLOC,
+                    size: wants[i],
+                    prev_size: wants[i - 1],
+                },
+            );
+        }
+        self.device.drain(clock);
+        // Commit point: the first header, persisted with its own fence.
+        write_header(
+            clock,
+            &self.device,
+            hdr_off,
+            BlockHeader {
+                state: BLOCK_ALLOC,
+                size: wants[0],
+                prev_size: read_prev(&self.device, hdr_off),
+            },
+        );
+        self.allocated += wants.iter().sum::<u64>();
+        Ok(hdrs.iter().map(|&h| h + BLOCK_HEADER_SIZE).collect())
     }
 
     /// Free the payload at `payload_off`, coalescing with free neighbours.
@@ -314,15 +445,28 @@ fn read_prev(device: &Arc<PmemDevice>, hdr_off: u64) -> u64 {
     u64::from_le_bytes(b)
 }
 
-/// Persist a full block header (timed write + persist).
-pub(crate) fn write_header(clock: &Clock, device: &Arc<PmemDevice>, hdr_off: u64, h: BlockHeader) {
+fn encode_header(h: BlockHeader) -> [u8; BLOCK_HEADER_SIZE as usize] {
     let mut buf = [0u8; BLOCK_HEADER_SIZE as usize];
     buf[blk::MAGIC as usize..][..4].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
     buf[blk::STATE as usize..][..4].copy_from_slice(&h.state.to_le_bytes());
     buf[blk::SIZE as usize..][..8].copy_from_slice(&h.size.to_le_bytes());
     buf[blk::PREV_SIZE as usize..][..8].copy_from_slice(&h.prev_size.to_le_bytes());
+    buf
+}
+
+/// Persist a full block header (timed write + persist).
+pub(crate) fn write_header(clock: &Clock, device: &Arc<PmemDevice>, hdr_off: u64, h: BlockHeader) {
+    let buf = encode_header(h);
     device.write_meta(clock, hdr_off as usize, &buf);
     device.persist(clock, hdr_off as usize, BLOCK_HEADER_SIZE as usize);
+}
+
+/// Write and flush a block header without fencing; the caller batches one
+/// drain over a group of such writes.
+fn write_header_unfenced(clock: &Clock, device: &Arc<PmemDevice>, hdr_off: u64, h: BlockHeader) {
+    let buf = encode_header(h);
+    device.write_meta(clock, hdr_off as usize, &buf);
+    device.flush(clock, hdr_off as usize, BLOCK_HEADER_SIZE as usize);
 }
 
 /// Decode a block header without charging time (open-time scans).
@@ -451,5 +595,69 @@ mod tests {
     fn zero_size_alloc_is_an_error() {
         let (mut heap, clock) = fresh_heap(16 * 1024);
         assert!(heap.alloc(&clock, 0).is_err());
+    }
+
+    #[test]
+    fn alloc_many_is_one_pass_and_walkable() {
+        let (mut heap, clock) = fresh_heap(1 << 20);
+        let machine = Arc::clone(heap.device.machine());
+        let before = machine.stats.snapshot();
+        let ptrs = heap.alloc_many(&clock, &[100, 7, 4096, 64]).unwrap();
+        let delta = machine.stats.snapshot().delta_since(&before);
+        assert_eq!(delta.alloc_passes, 1);
+        assert_eq!(ptrs.len(), 4);
+        // No overlaps, all usable, heap still walks clean.
+        for (i, &p) in ptrs.iter().enumerate() {
+            assert!(heap.usable_size(p).unwrap() >= [100, 7, 4096, 64][i]);
+        }
+        heap.check_invariants().unwrap();
+        // Freeing everything coalesces back to one block.
+        for &p in &ptrs {
+            heap.free(&clock, p).unwrap();
+        }
+        assert_eq!(heap.allocated_bytes(), 0);
+        assert_eq!(heap.free_block_count(), 1);
+        heap.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_many_absorbs_tiny_tail_slack() {
+        let (mut heap, clock) = fresh_heap(16 * 1024);
+        let free_before = heap.free_bytes();
+        // Carve the whole heap so the remainder is below a block's minimum.
+        let leave = BLOCK_HEADER_SIZE + HEAP_ALIGN / 2;
+        let first = free_before - leave - BLOCK_HEADER_SIZE - HEAP_ALIGN;
+        let ptrs = heap.alloc_many(&clock, &[first, 1]).unwrap();
+        assert_eq!(heap.free_block_count(), 0);
+        assert!(heap.usable_size(ptrs[1]).unwrap() > HEAP_ALIGN);
+        heap.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_many_falls_back_when_fragmented() {
+        let (mut heap, clock) = fresh_heap(64 * 1024);
+        // Fragment the heap: alternate live/free blocks.
+        let chunk = 4 * 1024;
+        let mut live = vec![];
+        while let Ok(p) = heap.alloc(&clock, chunk) {
+            live.push(p);
+        }
+        for &p in live.iter().step_by(2) {
+            heap.free(&clock, p).unwrap();
+        }
+        // No single free block holds 2 * chunk + header, but two do singly.
+        let ptrs = heap.alloc_many(&clock, &[chunk, chunk]).unwrap();
+        assert_eq!(ptrs.len(), 2);
+        heap.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_many_of_zero_or_one_degenerates() {
+        let (mut heap, clock) = fresh_heap(16 * 1024);
+        assert!(heap.alloc_many(&clock, &[]).unwrap().is_empty());
+        let one = heap.alloc_many(&clock, &[33]).unwrap();
+        assert_eq!(heap.usable_size(one[0]).unwrap(), HEAP_ALIGN);
+        assert!(heap.alloc_many(&clock, &[16, 0]).is_err());
+        heap.check_invariants().unwrap();
     }
 }

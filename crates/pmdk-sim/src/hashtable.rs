@@ -182,7 +182,113 @@ impl PersistentHashtable {
     /// middle of a pMEMCPY `store`. Use [`PersistentHashtable::put`] for a
     /// fully atomic key+value update.
     pub fn put_reserve(&self, clock: &Clock, key: &[u8], val_len: u64) -> Result<ValueRef> {
-        self.insert_impl(clock, key, val_len, None)
+        let mut refs = self.put_reserve_many(clock, &[(key, val_len)])?;
+        Ok(refs.remove(0))
+    }
+
+    /// Group-commit variant of [`PersistentHashtable::put_reserve`]: reserve
+    /// space for every `(key, val_len)` in **one pool transaction** with
+    /// **one allocator pass** (`Tx::alloc_many`), stripe-grouped chain
+    /// splices (one snapshotted head write per touched bucket), and a single
+    /// entry-count update for the whole group.
+    ///
+    /// Crash contract: the transaction is the atomicity boundary — a crash
+    /// anywhere before the lane commit point rolls the *entire group* back
+    /// (no key from the batch visible, every replaced entry intact). Value
+    /// bytes remain the caller's responsibility, as with `put_reserve`.
+    ///
+    /// Duplicate keys within one batch are rejected: two reservations cannot
+    /// both be linked under the same key atomically.
+    pub fn put_reserve_many(&self, clock: &Clock, reqs: &[(&[u8], u64)]) -> Result<Vec<ValueRef>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &(_, val_len) in reqs {
+            assert!(val_len <= u32::MAX as u64, "values are capped at 4 GiB");
+        }
+        let mut seen = std::collections::HashSet::with_capacity(reqs.len());
+        for &(key, _) in reqs {
+            if !seen.insert(key) {
+                return Err(PmdkError::TxFailure(format!(
+                    "duplicate key in batch: {:?}",
+                    String::from_utf8_lossy(key)
+                )));
+            }
+        }
+        let hashes: Vec<u64> = reqs.iter().map(|&(k, _)| fnv1a(k)).collect();
+        let entry_sizes: Vec<u64> = reqs
+            .iter()
+            .map(|&(k, vlen)| ENT_KEY + k.len() as u64 + vlen)
+            .collect();
+        // Group requests per bucket; an ordered map keeps the splice order
+        // (and thus every persisted byte) deterministic.
+        let mut by_bucket: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for (i, &h) in hashes.iter().enumerate() {
+            by_bucket.entry(self.bucket_of(h)).or_default().push(i);
+        }
+
+        let _atomic = pmem_sim::atomic_section();
+        // Lock every involved stripe in ascending index order so concurrent
+        // batches (and single puts, which hold exactly one stripe) cannot
+        // deadlock against each other.
+        let mut stripe_ids: Vec<usize> = by_bucket
+            .keys()
+            .map(|&b| (b % STRIPES as u64) as usize)
+            .collect();
+        stripe_ids.sort_unstable();
+        stripe_ids.dedup();
+        let _guards: Vec<_> = stripe_ids.iter().map(|&i| self.stripes[i].lock()).collect();
+
+        let entries = self.pool.tx(clock, |tx| {
+            // One allocator pass for every entry in the group.
+            let entries = tx.alloc_many(&entry_sizes)?;
+            let mut net_new = 0u64;
+            for (&bucket, idxs) in &by_bucket {
+                let head_slot = self.head_slot(bucket);
+                // Unlink + free replaced entries first. Re-find before each
+                // unlink: an earlier unlink in the same chain may have moved
+                // this entry's predecessor.
+                for &i in idxs {
+                    let (key, _) = reqs[i];
+                    if let Some((pred_slot, old_entry)) = self.find(clock, key, hashes[i]) {
+                        let old_next = self.pool.read_u64(clock, old_entry + ENT_NEXT);
+                        tx.set(pred_slot, &old_next.to_le_bytes())?;
+                        tx.free(old_entry)?;
+                    } else {
+                        net_new += 1;
+                    }
+                }
+                // Chain the group's new entries together off-list, then make
+                // them all visible with one snapshotted head write.
+                let mut head = self.pool.read_u64(clock, head_slot);
+                for &i in idxs {
+                    let (key, val_len) = reqs[i];
+                    let entry = entries[i];
+                    tx.write_new(entry + ENT_HASH, &hashes[i].to_le_bytes());
+                    tx.write_new(entry + ENT_KLEN, &(key.len() as u32).to_le_bytes());
+                    tx.write_new(entry + ENT_VLEN, &(val_len as u32).to_le_bytes());
+                    tx.write_new(entry + ENT_KEY, key);
+                    tx.write_new(entry + ENT_NEXT, &head.to_le_bytes());
+                    head = entry;
+                }
+                tx.set(head_slot, &head.to_le_bytes())?;
+            }
+            if net_new > 0 {
+                // One shared-counter update for the whole group.
+                let _count_guard = self.count_lock.lock();
+                let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
+                tx.set(self.header + HDR_COUNT, &(count + net_new).to_le_bytes())?;
+            }
+            Ok(entries)
+        })?;
+        Ok(reqs
+            .iter()
+            .zip(&entries)
+            .map(|(&(key, val_len), &entry)| ValueRef {
+                offset: entry + ENT_KEY + key.len() as u64,
+                len: val_len,
+            })
+            .collect())
     }
 
     fn insert_impl(
@@ -426,6 +532,86 @@ mod tests {
         pool.write_bytes(&clock, vref.offset, &42u64.to_le_bytes());
         let got = ht.get(&clock, b"array").unwrap();
         assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn put_reserve_many_is_one_tx_one_alloc_pass() {
+        let (ht, pool, clock) = table(1 << 22, 8);
+        let machine = Arc::clone(pool.device().machine());
+        let before = machine.stats.snapshot();
+        let reqs: Vec<(&[u8], u64)> =
+            vec![(b"alpha", 8), (b"beta", 16), (b"gamma", 8), (b"delta", 32)];
+        let refs = ht.put_reserve_many(&clock, &reqs).unwrap();
+        let delta = machine.stats.snapshot().delta_since(&before);
+        assert_eq!(delta.pool_txs, 1, "group commit must claim one lane");
+        assert_eq!(delta.alloc_passes, 1, "group alloc must be one pass");
+        assert_eq!(refs.len(), 4);
+        for ((key, vlen), vref) in reqs.iter().zip(&refs) {
+            assert_eq!(vref.len, *vlen);
+            pool.write_bytes(&clock, vref.offset, &vec![key[0]; *vlen as usize]);
+            assert_eq!(ht.get(&clock, key).unwrap(), vec![key[0]; *vlen as usize]);
+        }
+        assert_eq!(ht.len(&clock), 4);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn put_reserve_many_replaces_and_inserts_mixed() {
+        let (ht, pool, clock) = table(1 << 22, 1); // everything chains
+        ht.put(&clock, b"a", b"old-a").unwrap();
+        ht.put(&clock, b"b", b"old-b").unwrap();
+        ht.put(&clock, b"keep", b"kept").unwrap();
+        // Replace two adjacent chain entries and insert two fresh keys in
+        // one group.
+        let reqs: Vec<(&[u8], u64)> = vec![(b"a", 5), (b"b", 5), (b"c", 5), (b"d", 5)];
+        let refs = ht.put_reserve_many(&clock, &reqs).unwrap();
+        for ((key, _), vref) in reqs.iter().zip(&refs) {
+            let mut val = b"new-".to_vec();
+            val.push(key[0]);
+            pool.write_bytes(&clock, vref.offset, &val);
+        }
+        assert_eq!(ht.len(&clock), 5);
+        assert_eq!(ht.get(&clock, b"a").unwrap(), b"new-a");
+        assert_eq!(ht.get(&clock, b"b").unwrap(), b"new-b");
+        assert_eq!(ht.get(&clock, b"c").unwrap(), b"new-c");
+        assert_eq!(ht.get(&clock, b"d").unwrap(), b"new-d");
+        assert_eq!(ht.get(&clock, b"keep").unwrap(), b"kept");
+        pool.check_heap().unwrap(); // replaced entries were freed
+    }
+
+    #[test]
+    fn put_reserve_many_rejects_duplicate_keys() {
+        let (ht, _pool, clock) = table(1 << 22, 8);
+        let err = ht
+            .put_reserve_many(&clock, &[(b"same", 4), (b"same", 8)])
+            .unwrap_err();
+        assert!(matches!(err, PmdkError::TxFailure(_)));
+        assert!(ht.is_empty(&clock));
+    }
+
+    #[test]
+    fn crash_mid_batch_rolls_back_the_whole_group() {
+        let (ht, pool, clock) = table(1 << 22, 4);
+        ht.put(&clock, b"pre-existing", b"survives").unwrap();
+        ht.put(&clock, b"replaced", b"original").unwrap();
+        pool.fail_points.arm("tx::commit-before", 1);
+        let err = ht
+            .put_reserve_many(&clock, &[(b"n1", 8), (b"replaced", 8), (b"n2", 8)])
+            .unwrap_err();
+        assert!(matches!(err, PmdkError::Injected(_)));
+        pool.device().crash();
+        let header = ht.header_offset();
+        let dev = Arc::clone(pool.device());
+        drop((ht, pool));
+        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        // None of the batch's keys are visible; replaced keeps its old value.
+        assert!(ht.get(&clock, b"n1").is_none());
+        assert!(ht.get(&clock, b"n2").is_none());
+        assert_eq!(ht.get(&clock, b"replaced").unwrap(), b"original");
+        assert_eq!(ht.get(&clock, b"pre-existing").unwrap(), b"survives");
+        assert_eq!(ht.len(&clock), 2);
+        pool.check_heap().unwrap();
     }
 
     #[test]

@@ -175,6 +175,18 @@ impl PmemPool {
         out
     }
 
+    /// Allocate a group of payloads in one free-list pass (see
+    /// [`Heap::alloc_many`]). Offsets come back in request order.
+    pub fn alloc_many(&self, clock: &Clock, sizes: &[u64]) -> Result<Vec<u64>> {
+        let machine = self.device.machine();
+        let t0 = machine.trace_start(clock);
+        let _atomic = pmem_sim::atomic_section();
+        let out = self.heap.lock().alloc_many(clock, sizes);
+        let total: u64 = sizes.iter().sum();
+        machine.trace_finish(clock, t0, "pmdk", "pool.alloc", Some(("bytes", total)));
+        out
+    }
+
     /// Free a persistent allocation.
     pub fn free(&self, clock: &Clock, off: u64) -> Result<()> {
         let machine = self.device.machine();

@@ -23,6 +23,7 @@ use crate::layout::*;
 use crate::pool::PmemPool;
 use parking_lot::Mutex;
 use pmem_sim::Clock;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Volatile lane bookkeeping: which lanes are free to claim.
@@ -178,6 +179,7 @@ impl<'a> Tx<'a> {
     ) -> Result<T> {
         let machine = Arc::clone(pool.device().machine());
         let lane = pool.lanes.claim()?;
+        machine.stats.pool_txs.fetch_add(1, Ordering::Relaxed);
         let lane_base = lane_offset(lane);
         pool.write_u32(clock, lane_base + lane::STATE, LANE_ACTIVE);
         let mut tx = Tx {
@@ -291,6 +293,40 @@ impl<'a> Tx<'a> {
             .write_bytes(self.clock, slot_off, &off.to_le_bytes());
         self.pool.fail_points.check("tx::alloc-after")?;
         Ok(off)
+    }
+
+    /// Transactionally allocate a group of blocks in one free-list pass; all
+    /// are rolled back together if the tx aborts. Offsets come back in
+    /// request order.
+    pub fn alloc_many(&mut self, sizes: &[u64]) -> Result<Vec<u64>> {
+        self.pool.fail_points.check("tx::alloc")?;
+        if sizes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = sizes.len() as u64;
+        if self.intents_used + n > LANE_INTENTS {
+            return Err(PmdkError::TxFailure("intent table overflow".into()));
+        }
+        // Same crash-safe ordering as `alloc`: reserve all slots (zeroed —
+        // recovery ignores zero entries), bump the count once, then allocate
+        // and fill the slots.
+        let first_slot = self.lane_base + LANE_HEADER_SIZE + self.intents_used * 8;
+        self.pool
+            .write_bytes(self.clock, first_slot, &vec![0u8; (n * 8) as usize]);
+        self.intents_used += n;
+        self.pool.write_u32(
+            self.clock,
+            self.lane_base + lane::INTENT_COUNT,
+            self.intents_used as u32,
+        );
+        let offs = self.pool.alloc_many(self.clock, sizes)?;
+        for (i, &off) in offs.iter().enumerate() {
+            debug_assert_eq!(off & 1, 0, "heap payloads are aligned");
+            self.pool
+                .write_bytes(self.clock, first_slot + i as u64 * 8, &off.to_le_bytes());
+        }
+        self.pool.fail_points.check("tx::alloc-after")?;
+        Ok(offs)
     }
 
     /// Transactionally free `off`; executed only if the tx commits.
@@ -512,6 +548,42 @@ mod tests {
         let mut buf = [0u8; 64];
         pool.read_bytes(&clock, a, &mut buf);
         assert_eq!(buf, [1; 64]);
+    }
+
+    #[test]
+    fn aborted_alloc_many_releases_the_whole_group() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let before = pool.allocated_bytes();
+        let _ = pool.tx(&clock, |tx| {
+            let offs = tx.alloc_many(&[1000, 2000, 64])?;
+            assert_eq!(offs.len(), 3);
+            Err::<(), _>(PmdkError::TxFailure("abort".into()))
+        });
+        assert_eq!(pool.allocated_bytes(), before);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn crash_mid_alloc_many_does_not_leak() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let baseline = pool.allocated_bytes();
+        pool.fail_points.arm("tx::alloc-after", 1);
+        let _ = pool.tx(&clock, |tx| {
+            tx.alloc_many(&[4096, 512, 512])?; // injected after the group alloc
+            Ok(())
+        });
+        pool.device().crash();
+        let pool = reopen(pool, &clock);
+        assert_eq!(pool.allocated_bytes(), baseline);
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn alloc_many_rejects_intent_overflow() {
+        let (pool, clock) = fresh_pool(1 << 21);
+        let sizes = vec![64u64; LANE_INTENTS as usize + 1];
+        let err = pool.tx(&clock, |tx| tx.alloc_many(&sizes)).unwrap_err();
+        assert!(matches!(err, PmdkError::TxFailure(_)));
     }
 
     #[test]

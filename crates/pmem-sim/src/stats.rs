@@ -75,6 +75,10 @@ stats_fields! {
     net_messages,
     /// Bytes written to the mass-storage / burst-buffer tier.
     storage_bytes_written,
+    /// Pool transactions started (one undo-log lane claim each).
+    pool_txs,
+    /// Allocator free-list passes (one per `Heap::alloc`, one per batched carve).
+    alloc_passes,
 }
 
 impl Stats {

@@ -44,24 +44,24 @@ impl Serializer for Bp4 {
 
     fn write_var(&self, meta: &VarMeta, payload: &[u8], sink: &mut dyn WriteSink) -> Result<()> {
         let start = sink.position();
-        put_u32(sink, MAGIC);
-        put_u8(sink, VERSION);
-        put_str(sink, &meta.name);
-        put_u8(sink, meta.dtype.code());
-        put_u8(sink, meta.dims.len() as u8);
+        put_u32(sink, MAGIC)?;
+        put_u8(sink, VERSION)?;
+        put_str(sink, &meta.name)?;
+        put_u8(sink, meta.dtype.code())?;
+        put_u8(sink, meta.dims.len() as u8)?;
         for d in 0..meta.dims.len() {
-            put_u64(sink, meta.dims[d]);
-            put_u64(sink, meta.global_dims[d]);
-            put_u64(sink, meta.offsets[d]);
+            put_u64(sink, meta.dims[d])?;
+            put_u64(sink, meta.global_dims[d])?;
+            put_u64(sink, meta.offsets[d])?;
         }
         let (min, max) = characterize(meta, payload);
-        put_u8(sink, 2); // characteristic count
-        put_f64(sink, min);
-        put_f64(sink, max);
-        put_u64(sink, payload.len() as u64);
-        sink.put(payload);
+        put_u8(sink, 2)?; // characteristic count
+        put_f64(sink, min)?;
+        put_f64(sink, max)?;
+        put_u64(sink, payload.len() as u64)?;
+        sink.put(payload)?;
         let record_len = sink.position() - start + 8;
-        put_u64(sink, record_len);
+        put_u64(sink, record_len)?;
         debug_assert_eq!(
             sink.position() - start,
             self.serialized_len(meta, payload.len() as u64)

@@ -54,23 +54,23 @@ impl Serializer for CapnpLite {
     fn write_var(&self, meta: &VarMeta, payload: &[u8], sink: &mut dyn WriteSink) -> Result<()> {
         let start = sink.position();
         let header_len = Self::header_len(meta);
-        put_u32(sink, MAGIC);
-        put_u32(sink, (header_len / 8) as u32);
-        put_u64(sink, payload.len() as u64);
-        put_u8(sink, meta.dtype.code());
-        put_u8(sink, meta.dims.len() as u8);
-        put_str(sink, &meta.name);
+        put_u32(sink, MAGIC)?;
+        put_u32(sink, (header_len / 8) as u32)?;
+        put_u64(sink, payload.len() as u64)?;
+        put_u8(sink, meta.dtype.code())?;
+        put_u8(sink, meta.dims.len() as u8)?;
+        put_str(sink, &meta.name)?;
         for d in 0..meta.dims.len() {
-            put_u64(sink, meta.dims[d]);
-            put_u64(sink, meta.global_dims[d]);
-            put_u64(sink, meta.offsets[d]);
+            put_u64(sink, meta.dims[d])?;
+            put_u64(sink, meta.global_dims[d])?;
+            put_u64(sink, meta.offsets[d])?;
         }
         // Pad header to the word boundary.
         let pad = header_len - (sink.position() - start);
-        sink.put(&vec![0u8; pad as usize]);
-        sink.put(payload);
+        sink.put(&vec![0u8; pad as usize])?;
+        sink.put(payload)?;
         let pad = word_align(payload.len() as u64) - payload.len() as u64;
-        sink.put(&vec![0u8; pad as usize]);
+        sink.put(&vec![0u8; pad as usize])?;
         debug_assert_eq!(
             sink.position() - start,
             self.serialized_len(meta, payload.len() as u64)

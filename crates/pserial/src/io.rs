@@ -11,15 +11,18 @@ use crate::error::{Result, SerialError};
 
 /// An append-only byte destination.
 pub trait WriteSink {
-    /// Append `bytes` at the current position.
-    fn put(&mut self, bytes: &[u8]);
+    /// Append `bytes` at the current position. Fixed-capacity sinks return
+    /// [`SerialError::ShortBuffer`] on overflow instead of panicking, so a
+    /// bad reservation surfaces as an error the caller can handle.
+    fn put(&mut self, bytes: &[u8]) -> Result<()>;
     /// Bytes written so far.
     fn position(&self) -> u64;
 }
 
 impl WriteSink for Vec<u8> {
-    fn put(&mut self, bytes: &[u8]) {
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
         self.extend_from_slice(bytes);
+        Ok(())
     }
 
     fn position(&self) -> u64 {
@@ -41,16 +44,16 @@ impl<'a> SliceSink<'a> {
 }
 
 impl WriteSink for SliceSink<'_> {
-    fn put(&mut self, bytes: &[u8]) {
-        assert!(
-            self.pos + bytes.len() <= self.buf.len(),
-            "SliceSink overflow: {} + {} > {}",
-            self.pos,
-            bytes.len(),
-            self.buf.len()
-        );
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.pos + bytes.len() > self.buf.len() {
+            return Err(SerialError::ShortBuffer {
+                need: (self.pos + bytes.len()) as u64,
+                have: self.buf.len() as u64,
+            });
+        }
         self.buf[self.pos..self.pos + bytes.len()].copy_from_slice(bytes);
         self.pos += bytes.len();
+        Ok(())
     }
 
     fn position(&self) -> u64 {
@@ -115,25 +118,25 @@ impl ReadSource for SliceSource<'_> {
 
 // ---- little-endian helpers shared by the formats ----
 
-pub fn put_u8(sink: &mut dyn WriteSink, v: u8) {
-    sink.put(&[v]);
+pub fn put_u8(sink: &mut dyn WriteSink, v: u8) -> Result<()> {
+    sink.put(&[v])
 }
 
-pub fn put_u32(sink: &mut dyn WriteSink, v: u32) {
-    sink.put(&v.to_le_bytes());
+pub fn put_u32(sink: &mut dyn WriteSink, v: u32) -> Result<()> {
+    sink.put(&v.to_le_bytes())
 }
 
-pub fn put_u64(sink: &mut dyn WriteSink, v: u64) {
-    sink.put(&v.to_le_bytes());
+pub fn put_u64(sink: &mut dyn WriteSink, v: u64) -> Result<()> {
+    sink.put(&v.to_le_bytes())
 }
 
-pub fn put_f64(sink: &mut dyn WriteSink, v: f64) {
-    sink.put(&v.to_le_bytes());
+pub fn put_f64(sink: &mut dyn WriteSink, v: f64) -> Result<()> {
+    sink.put(&v.to_le_bytes())
 }
 
-pub fn put_str(sink: &mut dyn WriteSink, s: &str) {
-    put_u32(sink, s.len() as u32);
-    sink.put(s.as_bytes());
+pub fn put_str(sink: &mut dyn WriteSink, s: &str) -> Result<()> {
+    put_u32(sink, s.len() as u32)?;
+    sink.put(s.as_bytes())
 }
 
 pub fn get_u8(src: &mut dyn ReadSource) -> Result<u8> {
@@ -179,8 +182,8 @@ mod tests {
     #[test]
     fn vec_sink_appends() {
         let mut v = Vec::new();
-        put_u32(&mut v, 7);
-        put_str(&mut v, "hi");
+        put_u32(&mut v, 7).unwrap();
+        put_str(&mut v, "hi").unwrap();
         assert_eq!(v.position(), 4 + 4 + 2);
     }
 
@@ -188,26 +191,28 @@ mod tests {
     fn slice_sink_bounds_checked() {
         let mut buf = [0u8; 8];
         let mut sink = SliceSink::new(&mut buf);
-        put_u64(&mut sink, 42);
+        put_u64(&mut sink, 42).unwrap();
         assert_eq!(sink.position(), 8);
     }
 
     #[test]
-    #[should_panic(expected = "overflow")]
-    fn slice_sink_overflow_panics() {
+    fn slice_sink_overflow_is_an_error() {
         let mut buf = [0u8; 4];
         let mut sink = SliceSink::new(&mut buf);
-        put_u64(&mut sink, 42);
+        let err = put_u64(&mut sink, 42).unwrap_err();
+        assert!(matches!(err, SerialError::ShortBuffer { need: 8, have: 4 }));
+        // The sink is untouched: nothing was partially written.
+        assert_eq!(sink.position(), 0);
     }
 
     #[test]
     fn source_round_trips_helpers() {
         let mut v = Vec::new();
-        put_u8(&mut v, 9);
-        put_u32(&mut v, 1234);
-        put_u64(&mut v, u64::MAX);
-        put_f64(&mut v, -1.5);
-        put_str(&mut v, "name#dims");
+        put_u8(&mut v, 9).unwrap();
+        put_u32(&mut v, 1234).unwrap();
+        put_u64(&mut v, u64::MAX).unwrap();
+        put_f64(&mut v, -1.5).unwrap();
+        put_str(&mut v, "name#dims").unwrap();
         let mut src = SliceSource::new(&v);
         assert_eq!(get_u8(&mut src).unwrap(), 9);
         assert_eq!(get_u32(&mut src).unwrap(), 1234);

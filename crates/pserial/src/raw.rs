@@ -30,10 +30,10 @@ impl Serializer for Raw {
 
     fn write_var(&self, meta: &VarMeta, payload: &[u8], sink: &mut dyn WriteSink) -> Result<()> {
         let start = sink.position();
-        put_u32(sink, MAGIC);
-        put_u32(sink, 0); // reserved/padding: keeps the payload 8-aligned
-        put_u64(sink, payload.len() as u64);
-        sink.put(payload);
+        put_u32(sink, MAGIC)?;
+        put_u32(sink, 0)?; // reserved/padding: keeps the payload 8-aligned
+        put_u64(sink, payload.len() as u64)?;
+        sink.put(payload)?;
         debug_assert_eq!(
             sink.position() - start,
             self.serialized_len(meta, payload.len() as u64)

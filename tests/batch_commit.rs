@@ -1,0 +1,130 @@
+//! Group-commit write batches: a batched store must produce byte-identical
+//! records to the per-key path, while paying for one pool transaction and
+//! one allocator pass per group instead of one per key.
+
+use mpi_sim::{Comm, World};
+use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+use pmemcpy::{MmapTarget, Pmem};
+use std::sync::Arc;
+
+fn mapped_single() -> (Pmem, Comm, Arc<PmemDevice>) {
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 32 << 20, PersistenceMode::Fast);
+    let comm = Comm::new(World::new(Arc::clone(&machine), 1), 0);
+    let mut pmem = Pmem::new();
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    (pmem, comm, dev)
+}
+
+/// Every record written through a batch is byte-identical to the one the
+/// per-key path writes, and reads back identically.
+#[test]
+fn batched_and_unbatched_stores_are_equivalent() {
+    let slice: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+    let block: Vec<f64> = (0..64).map(|i| i as f64 - 32.0).collect();
+
+    // Per-key reference run.
+    let (mut a, _comm_a, _dev_a) = mapped_single();
+    a.store_scalar("s", 42u64).unwrap();
+    a.store_slice("v", &slice).unwrap();
+    a.alloc::<f64>("g", &[64]).unwrap();
+    a.store_block("g", &block, &[0], &[64]).unwrap();
+    a.set_attr("obj", "unit", "kelvin").unwrap();
+
+    // Same stores, one group commit.
+    let (mut b, _comm_b, _dev_b) = mapped_single();
+    let mut batch = b.batch();
+    batch.store_scalar("s", 42u64).unwrap();
+    batch.store_slice("v", &slice).unwrap();
+    batch.alloc::<f64>("g", &[64]).unwrap();
+    // Dims resolve from the pending alloc in the same batch.
+    batch.store_block("g", &block, &[0], &[64]).unwrap();
+    batch.set_attr("obj", "unit", "kelvin").unwrap();
+    assert_eq!(batch.len(), 5);
+    batch.commit().unwrap();
+
+    for key in ["s", "v", "g#dims", "g#block@0", "obj#attr:unit"] {
+        assert_eq!(
+            a.raw_record(key).unwrap(),
+            b.raw_record(key).unwrap(),
+            "record for {key} differs between per-key and batched stores"
+        );
+    }
+    assert_eq!(b.load_scalar::<u64>("s").unwrap(), 42);
+    assert_eq!(b.load_slice::<f64>("v").unwrap(), slice);
+    let mut back = vec![0f64; 64];
+    b.load_block("g", &mut back, &[0], &[64]).unwrap();
+    assert_eq!(back, block);
+    assert_eq!(b.get_attr("obj", "unit").unwrap(), "kelvin");
+    a.munmap().unwrap();
+    b.munmap().unwrap();
+}
+
+/// The deterministic counters prove the group commit collapses the
+/// transaction and allocator work: one pool transaction and one allocator
+/// pass for N keys, strictly fewer than the per-key path's N of each.
+#[test]
+fn group_commit_pays_one_transaction_and_one_allocator_pass() {
+    const N: usize = 6;
+    let payloads: Vec<Vec<f64>> = (0..N).map(|v| vec![v as f64; 512]).collect();
+
+    let (mut batched, _c1, dev1) = mapped_single();
+    let before = dev1.machine().stats.snapshot();
+    let mut batch = batched.batch();
+    for (v, p) in payloads.iter().enumerate() {
+        batch.store_slice(&format!("var{v}"), p).unwrap();
+    }
+    batch.commit().unwrap();
+    let after = dev1.machine().stats.snapshot();
+    let batched_txs = after.pool_txs - before.pool_txs;
+    let batched_passes = after.alloc_passes - before.alloc_passes;
+    assert_eq!(batched_txs, 1, "batched commit must claim exactly one lane");
+    assert_eq!(
+        batched_passes, 1,
+        "batched commit must walk the free list once"
+    );
+
+    let (mut perkey, _c2, dev2) = mapped_single();
+    let before = dev2.machine().stats.snapshot();
+    for (v, p) in payloads.iter().enumerate() {
+        perkey.store_slice(&format!("var{v}"), p).unwrap();
+    }
+    let after = dev2.machine().stats.snapshot();
+    let perkey_txs = after.pool_txs - before.pool_txs;
+    let perkey_passes = after.alloc_passes - before.alloc_passes;
+    assert_eq!(perkey_txs, N as u64);
+    assert_eq!(perkey_passes, N as u64);
+    assert!(batched_txs < perkey_txs && batched_passes < perkey_passes);
+
+    // And the collapse is visible in virtual time: batching never loses.
+    assert!(
+        batched.now() <= perkey.now(),
+        "batched write time {} exceeds per-key {}",
+        batched.now(),
+        perkey.now()
+    );
+    batched.munmap().unwrap();
+    perkey.munmap().unwrap();
+}
+
+/// An empty batch is a no-op; a batch error (bad block shape) leaves nothing
+/// staged-but-committed.
+#[test]
+fn empty_and_failed_batches_commit_nothing() {
+    let (mut pmem, _comm, dev) = mapped_single();
+    let before = dev.machine().stats.snapshot();
+    pmem.batch().commit().unwrap();
+    let after = dev.machine().stats.snapshot();
+    assert_eq!(after.pool_txs - before.pool_txs, 0);
+
+    let mut batch = pmem.batch();
+    batch.store_scalar("ok", 1u64).unwrap();
+    // No dims record for "nope": rejected at stage time.
+    assert!(batch
+        .store_block("nope", &[1.0f64; 3], &[0], &[64])
+        .is_err());
+    drop(batch); // never committed
+    assert!(!pmem.exists("ok"));
+    assert!(!pmem.exists("nope#block@0"));
+    pmem.munmap().unwrap();
+}

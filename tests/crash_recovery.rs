@@ -134,6 +134,57 @@ fn core_api_data_survives_crash_after_store_returns() {
     pmem.munmap().unwrap();
 }
 
+/// A crash in the middle of a group commit rolls back the *whole* batch:
+/// none of the batch's keys become visible, a value the batch would have
+/// replaced survives, and the heap passes its invariants.
+#[test]
+fn crash_mid_write_batch_rolls_back_the_whole_group() {
+    use mpi_sim::{Comm, World};
+    use pmemcpy::{registry, MmapTarget, Pmem};
+
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 16 << 20, PersistenceMode::Tracked);
+    let comm = Comm::new(World::new(Arc::clone(&machine), 1), 0);
+
+    let mut pmem = Pmem::new();
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    let original: Vec<f64> = (0..128).map(|i| i as f64).collect();
+    pmem.store_slice("stable", &original).unwrap();
+
+    // Reach under the API for the interned pool and arm a crash right
+    // before the batch's transaction commits.
+    let clock = Clock::new();
+    let shared = registry::shared_pool(&clock, &dev, "pmemcpy", 4096).unwrap();
+    shared.pool.fail_points.arm("tx::commit-before", 1);
+
+    let doomed: Vec<f64> = vec![-1.0; 128];
+    let mut batch = pmem.batch();
+    batch.store_scalar("n1", 7u64).unwrap();
+    batch.store_slice("stable", &doomed).unwrap();
+    batch.store_scalar("n2", 9u64).unwrap();
+    assert!(batch.commit().is_err(), "armed fail point must abort");
+    dev.crash();
+    drop(pmem);
+    drop(shared);
+    registry::release_pool(&dev);
+
+    // Remap: pool recovery must roll the whole group back.
+    let comm = Comm::new(World::new(Arc::clone(&machine), 1), 0);
+    let mut pmem = Pmem::new();
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    assert!(!pmem.exists("n1"), "batch key n1 leaked through the crash");
+    assert!(!pmem.exists("n2"), "batch key n2 leaked through the crash");
+    assert_eq!(
+        pmem.load_slice::<f64>("stable").unwrap(),
+        original,
+        "replaced value must survive an aborted group commit"
+    );
+    let shared = registry::shared_pool(&Clock::new(), &dev, "pmemcpy", 4096).unwrap();
+    shared.pool.check_heap().unwrap();
+    drop(shared);
+    pmem.munmap().unwrap();
+}
+
 /// Robust locks: a crash while holding a persistent mutex releases it.
 #[test]
 fn persistent_locks_release_on_crash() {
