@@ -64,8 +64,15 @@ impl AdiosLike {
                 .expect("vec sink cannot fail");
         }
         let machine = comm.machine();
-        machine.charge_serialize(comm.clock(), staging.len() as u64, Bp4.cpu_cost_factor());
-        machine.charge_dram_copy(comm.clock(), staging.len() as u64);
+        {
+            let _p = machine.phase_scope("serialize");
+            machine.charge_serialize(comm.clock(), staging.len() as u64, Bp4.cpu_cost_factor());
+        }
+        {
+            let _p = machine.phase_scope("stage");
+            machine.metric_counter_add("stage.bytes", staging.len() as u64);
+            machine.charge_dram_copy(comm.clock(), staging.len() as u64);
+        }
         staging
     }
 }
@@ -192,8 +199,15 @@ impl PioLibrary for AdiosLike {
 
         // ...then deserialize out of the staging buffer into user arrays.
         let machine = comm.machine();
-        machine.charge_serialize(comm.clock(), staged.len() as u64, Bp4.cpu_cost_factor());
-        machine.charge_dram_copy(comm.clock(), staged.len() as u64);
+        {
+            let _p = machine.phase_scope("serialize");
+            machine.charge_serialize(comm.clock(), staged.len() as u64, Bp4.cpu_cost_factor());
+        }
+        {
+            let _p = machine.phase_scope("stage");
+            machine.metric_counter_add("stage.bytes", staged.len() as u64);
+            machine.charge_dram_copy(comm.clock(), staged.len() as u64);
+        }
         let (off, dims) = decomp.block(rank as u64);
         let mut out = vec![Vec::new(); vars.len()];
         let mut src = SliceSource::new(&staged);

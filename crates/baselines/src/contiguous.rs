@@ -30,9 +30,13 @@ pub fn write_var_contiguous(
     let sub = Subarray::new(&decomp.global_dims, &dims, &off);
     let bytes = f64_bytes(block);
     // Packing the scattered runs into send segments is a full pass over the
-    // block in DRAM.
-    comm.machine()
-        .charge_dram_copy(comm.clock(), bytes.len() as u64);
+    // block in DRAM — the start of the rearrangement pMEMCPY never does.
+    {
+        let machine = comm.machine();
+        let _p = machine.phase_scope("rearrange");
+        machine.metric_counter_add("rearrange.bytes", bytes.len() as u64);
+        machine.charge_dram_copy(comm.clock(), bytes.len() as u64);
+    }
     let segments: Vec<WriteSegment> = sub
         .runs()
         .into_iter()
@@ -73,7 +77,12 @@ pub fn read_var_contiguous(
         let dst = (run.local_offset * 8) as usize;
         out[dst..dst + piece.len()].copy_from_slice(piece);
     }
-    comm.machine().charge_dram_copy(comm.clock(), elems * 8);
+    {
+        let machine = comm.machine();
+        let _p = machine.phase_scope("rearrange");
+        machine.metric_counter_add("rearrange.bytes", elems * 8);
+        machine.charge_dram_copy(comm.clock(), elems * 8);
+    }
     Ok(block)
 }
 

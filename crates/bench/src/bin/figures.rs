@@ -24,7 +24,8 @@ use baselines::{Netcdf4Like, PioLibrary, PmemcpyLib, Target};
 use pmemcpy::{DataLayout, Options};
 use pmemcpy_bench::{
     api_complexity, check_fig6_shape, check_fig7_shape, render_checks, render_phase_breakdown,
-    run_cell, run_cell_traced, run_figure, CellConfig, Direction, PAPER_PROCS,
+    render_waterfall, run_cell, run_cell_traced, run_figure_reported, CellConfig, Direction,
+    PAPER_PROCS,
 };
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,7 +107,7 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
 }
 
 fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Result<()> {
-    let fig = run_figure(direction, procs, real_bytes);
+    let (fig, report) = run_figure_reported(direction, procs, real_bytes);
     println!("{}", fig.table());
     println!("{}", fig.ascii_chart());
     let checks = match direction {
@@ -120,9 +121,28 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Res
     };
     write_file(&format!("results/{name}.csv"), &fig.csv())?;
 
+    // Where the virtual time goes: phase waterfall at the paper's headline
+    // 24-rank point, straight from the metrics registries the sweep ran
+    // with. pMEMCPY's staging rows are zero by construction.
+    let waterfall_procs = if procs.contains(&24) {
+        24
+    } else {
+        *procs.last().expect("at least one proc count")
+    };
+    print!("{}", render_waterfall(&report, waterfall_procs));
+    println!();
+
+    // BENCH report: the machine-readable version of everything above, fed
+    // to the perfgate regression gate in CI.
+    let bench_name = match direction {
+        Direction::Write => "BENCH_fig6",
+        Direction::Read => "BENCH_fig7",
+    };
+    write_file(&format!("results/{bench_name}.json"), &report.to_json())?;
+
     // Traced re-run of the paper's headline cell: where the virtual time
     // goes inside PMCPY-A at 24 ranks. Tracing never changes the numbers.
-    use pmem_sim::{chrome_trace_json, CollectingSink, TraceSummary};
+    use pmem_sim::{chrome_trace_json, CollectingSink, TraceSummary, DRAIN_LANE};
     let sink = CollectingSink::new();
     let cfg = CellConfig::paper(24, real_bytes.min(16 << 20));
     run_cell_traced(&PmemcpyLib::variant_a(), direction, &cfg, sink.clone());
@@ -135,7 +155,10 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Res
             &summary
         )
     );
-    let lanes: Vec<(u64, String)> = (0..24).map(|r| (r, format!("rank {r}"))).collect();
+    let mut lanes: Vec<(u64, String)> = (0..24).map(|r| (r, format!("rank {r}"))).collect();
+    if spans.iter().any(|s| s.lane == DRAIN_LANE) {
+        lanes.push((DRAIN_LANE, "drain (async)".to_string()));
+    }
     write_file(
         &format!("results/{name}_trace.json"),
         &chrome_trace_json(&spans, &lanes),

@@ -2,7 +2,9 @@
 //! paper's claims.
 
 use crate::sweep::{CellResult, Direction};
+use pmem_sim::trace::json_escape;
 use pmem_sim::{SimTime, TraceSummary};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// A full figure: every (library × nprocs) cell of one direction.
@@ -224,6 +226,192 @@ pub fn render_phase_breakdown(title: &str, summary: &TraceSummary) -> String {
     out
 }
 
+/// Schema version stamped into every BENCH JSON report. Bump it whenever a
+/// field is renamed, removed, or changes meaning; `perfgate` refuses to
+/// compare reports across schema versions.
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// A machine-readable run report: one figure's cells with their virtual
+/// times, media counters, and metrics snapshots merged into a
+/// stable-schema JSON document (`results/BENCH_*.json`), consumed by the
+/// `perfgate` regression gate.
+///
+/// Everything in the JSON is virtual or modelled — wall-clock never enters
+/// the document — so under [`mpi_sim::SchedMode::Deterministic`] two runs
+/// of the same configuration produce byte-identical reports on any host.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Report name, e.g. `fig6_writes`.
+    pub name: String,
+    /// Real bytes generated per cell (the modelled volume is 40 GB).
+    pub real_bytes: u64,
+    pub cells: Vec<CellResult>,
+}
+
+impl RunReport {
+    /// Serialize to the versioned BENCH JSON schema. Key order is fixed
+    /// (literal schema + `BTreeMap` iteration), so the output is
+    /// bit-reproducible for deterministic runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n\"schema\":{REPORT_SCHEMA},\n\"name\":\"{}\",\n\"real_bytes\":{},\n\"cells\":[",
+            json_escape(&self.name),
+            self.real_bytes
+        );
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&cell_json(c));
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+}
+
+fn cell_json(c: &CellResult) -> String {
+    let s = &c.stats;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"library\":\"{}\",\"direction\":\"{}\",\"nprocs\":{},\"virtual_time_ns\":{}",
+        json_escape(&c.library),
+        c.direction.as_str(),
+        c.nprocs,
+        c.time.as_nanos()
+    );
+    out.push_str(",\"rank_time_ns\":[");
+    for (i, t) in c.rank_times.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", t.as_nanos());
+    }
+    out.push(']');
+    // Derived media accounting, formatted with a fixed precision so the
+    // text is stable. Write amplification is media bytes over logical
+    // payload bytes (both byte-scaled); flush/fence rates are per KiB of
+    // media writes.
+    let logical = c.metrics.counter("put.logical_bytes");
+    let media = c.metrics.counter("put.media_bytes");
+    let write_amp = if logical > 0 {
+        media as f64 / logical as f64
+    } else {
+        0.0
+    };
+    let per_kib = |n: u64| {
+        if s.pmem_bytes_written > 0 {
+            n as f64 * 1024.0 / s.pmem_bytes_written as f64
+        } else {
+            0.0
+        }
+    };
+    let _ = write!(
+        out,
+        ",\"derived\":{{\"write_amplification\":{write_amp:.6},\"flushes_per_kib\":{:.6},\"fences_per_kib\":{:.6}}}",
+        per_kib(s.flush_calls),
+        per_kib(s.fences)
+    );
+    let _ = write!(
+        out,
+        ",\"stats\":{{\"pmem_bytes_written\":{},\"pmem_bytes_read\":{},\"dram_bytes_copied\":{},\"syscalls\":{},\"page_faults\":{},\"map_sync_page_syncs\":{},\"flush_calls\":{},\"fences\":{},\"net_bytes\":{},\"net_messages\":{},\"storage_bytes_written\":{},\"pool_txs\":{},\"alloc_passes\":{}}}",
+        s.pmem_bytes_written,
+        s.pmem_bytes_read,
+        s.dram_bytes_copied,
+        s.syscalls,
+        s.page_faults,
+        s.map_sync_page_syncs,
+        s.flush_calls,
+        s.fences,
+        s.net_bytes,
+        s.net_messages,
+        s.storage_bytes_written,
+        s.pool_txs,
+        s.alloc_passes
+    );
+    let _ = write!(out, ",\"metrics\":{}", c.metrics.to_json());
+    let _ = write!(out, ",\"mismatches\":{}}}", c.mismatches);
+    out
+}
+
+/// Render the phase waterfall for one process count: rows are phase labels
+/// (mean attributed virtual time per rank), columns are libraries. The
+/// staging rows at the bottom contrast the DRAM bytes each library moves
+/// through staging/rearrangement passes — pMEMCPY's columns are zero there,
+/// which is the paper's core architectural claim.
+pub fn render_waterfall(report: &RunReport, nprocs: u64) -> String {
+    let cells: Vec<&CellResult> = report
+        .cells
+        .iter()
+        .filter(|c| c.nprocs == nprocs && !c.metrics.phases.is_empty())
+        .collect();
+    let mut out = String::new();
+    if cells.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "## Phase waterfall at {nprocs} procs ({}) — mean virtual ms per rank",
+        report.name
+    );
+    let labels: BTreeSet<&str> = cells
+        .iter()
+        .flat_map(|c| c.metrics.phases.keys().map(|(_, name)| name.as_str()))
+        .collect();
+    let _ = write!(out, "{:<16}", "phase");
+    for c in &cells {
+        let _ = write!(out, " {:>10}", c.library);
+    }
+    let _ = writeln!(out);
+    let per_rank_ms = |c: &CellResult, label: &str| {
+        let total: SimTime = c
+            .metrics
+            .phases
+            .iter()
+            .filter(|((_, name), _)| name == label)
+            .map(|(_, t)| *t)
+            .sum();
+        total.as_nanos() as f64 / nprocs as f64 / 1e6
+    };
+    for label in &labels {
+        let _ = write!(out, "{label:<16}");
+        for c in &cells {
+            let _ = write!(out, " {:>10.3}", per_rank_ms(c, label));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<16}", "= attributed");
+    for c in &cells {
+        let total: SimTime = c.metrics.phases.values().copied().sum();
+        let _ = write!(
+            out,
+            " {:>10.3}",
+            total.as_nanos() as f64 / nprocs as f64 / 1e6
+        );
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<16}", "job time");
+    for c in &cells {
+        let _ = write!(out, " {:>10.3}", c.time.as_nanos() as f64 / 1e6);
+    }
+    let _ = writeln!(out);
+    for (row, counter) in [
+        ("staged MiB", "stage.bytes"),
+        ("rearranged MiB", "rearrange.bytes"),
+    ] {
+        let _ = write!(out, "{row:<16}");
+        for c in &cells {
+            let mib = c.metrics.counter(counter) as f64 / (1u64 << 20) as f64;
+            let _ = write!(out, " {:>10.3}", mib);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
 /// Render shape checks.
 pub fn render_checks(checks: &[ShapeCheck]) -> String {
     let mut out = String::new();
@@ -250,7 +438,9 @@ mod tests {
             direction: Direction::Write,
             nprocs: p,
             time: SimTime::from_secs_f64(secs),
+            rank_times: vec![SimTime::from_secs_f64(secs); p as usize],
             stats: StatsSnapshot::default(),
+            metrics: pmem_sim::MetricsSnapshot::default(),
             mismatches: 0,
         }
     }

@@ -8,7 +8,8 @@
 use baselines::{PioLibrary, Target};
 use mpi_sim::{run_world_mode, SchedMode};
 use pmem_sim::{
-    Machine, MachineConfig, PersistenceMode, PmemDevice, SimTime, StatsSnapshot, TraceSink,
+    Machine, MachineConfig, MetricsRegistry, MetricsSnapshot, PersistenceMode, PmemDevice, SimTime,
+    StatsSnapshot, TraceSink,
 };
 use simfs::{MountMode, SimFs};
 use std::sync::Arc;
@@ -19,6 +20,16 @@ use workloads::{BlockDecomp, Domain3dSpec};
 pub enum Direction {
     Write,
     Read,
+}
+
+impl Direction {
+    /// Stable lowercase name used in report JSON and file names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Write => "write",
+            Direction::Read => "read",
+        }
+    }
 }
 
 /// Configuration of one sweep cell.
@@ -74,7 +85,12 @@ pub struct CellResult {
     pub nprocs: u64,
     /// Job time (slowest rank), averaged over repeats.
     pub time: SimTime,
+    /// Per-rank end times of the last repetition (index = rank).
+    pub rank_times: Vec<SimTime>,
     pub stats: StatsSnapshot,
+    /// Metrics snapshot of the last repetition, when the cell was run with
+    /// a registry (see [`run_cell_observed`]); empty otherwise.
+    pub metrics: MetricsSnapshot,
     /// Mismatched elements found during verification (must be 0).
     pub mismatches: usize,
 }
@@ -83,21 +99,20 @@ pub struct CellResult {
 /// first produced by an untimed write pass with the same library.
 pub fn run_cell(lib: &dyn PioLibrary, direction: Direction, cfg: &CellConfig) -> CellResult {
     let mut total = SimTime::ZERO;
-    let mut stats = StatsSnapshot::default();
-    let mut mismatches = 0usize;
+    let mut last = CellOnce::default();
     for _ in 0..cfg.repeats.max(1) {
-        let (t, s, m) = run_cell_once(lib, direction, cfg, None);
-        total += t;
-        stats = s; // keep the last repetition's counters
-        mismatches += m;
+        last = run_cell_once(lib, direction, cfg, None, None);
+        total += last.time;
     }
     CellResult {
         library: lib.name().to_string(),
         direction,
         nprocs: cfg.nprocs,
         time: total / cfg.repeats.max(1) as u64,
-        stats,
-        mismatches,
+        rank_times: last.rank_times,
+        stats: last.stats, // keep the last repetition's counters
+        metrics: MetricsSnapshot::default(),
+        mismatches: last.mismatches,
     }
 }
 
@@ -111,15 +126,43 @@ pub fn run_cell_traced(
     cfg: &CellConfig,
     sink: Arc<dyn TraceSink>,
 ) -> CellResult {
-    let (time, stats, mismatches) = run_cell_once(lib, direction, cfg, Some(sink));
+    run_cell_observed(lib, direction, cfg, Some(sink), None)
+}
+
+/// Single repetition with any combination of observers installed on the
+/// cell's machine: a trace sink, a metrics registry, or both. Observers
+/// are installed only after the untimed setup pass (the write that feeds
+/// a read cell), so they cover exactly the timed phase; the returned
+/// `CellResult::metrics` is the registry's snapshot at the quiesced point
+/// after the closing barrier. Virtual times are identical to an
+/// unobserved run by construction.
+pub fn run_cell_observed(
+    lib: &dyn PioLibrary,
+    direction: Direction,
+    cfg: &CellConfig,
+    sink: Option<Arc<dyn TraceSink>>,
+    registry: Option<Arc<MetricsRegistry>>,
+) -> CellResult {
+    let once = run_cell_once(lib, direction, cfg, sink, registry);
     CellResult {
         library: lib.name().to_string(),
         direction,
         nprocs: cfg.nprocs,
-        time,
-        stats,
-        mismatches,
+        time: once.time,
+        rank_times: once.rank_times,
+        stats: once.stats,
+        metrics: once.metrics,
+        mismatches: once.mismatches,
     }
+}
+
+#[derive(Default)]
+struct CellOnce {
+    time: SimTime,
+    rank_times: Vec<SimTime>,
+    stats: StatsSnapshot,
+    metrics: MetricsSnapshot,
+    mismatches: usize,
 }
 
 fn run_cell_once(
@@ -127,7 +170,8 @@ fn run_cell_once(
     direction: Direction,
     cfg: &CellConfig,
     sink: Option<Arc<dyn TraceSink>>,
-) -> (SimTime, StatsSnapshot, usize) {
+    registry: Option<Arc<MetricsRegistry>>,
+) -> CellOnce {
     let mut mc = cfg.machine.clone();
     mc.byte_scale = cfg.byte_scale;
     let machine = Machine::new(mc);
@@ -171,19 +215,35 @@ fn run_cell_once(
         machine.reset();
     }
 
-    // Install the sink only now, so traces cover just the timed phase.
+    // Install the observers only now, so traces and metrics cover just the
+    // timed phase (every rank clock restarts at zero, which makes the
+    // metrics lane totals equal the per-rank end times exactly).
     if let Some(sink) = sink {
         machine.set_trace_sink(sink);
     }
+    if let Some(r) = &registry {
+        machine.set_metrics(Arc::clone(r));
+    }
 
     let verify = cfg.verify && direction == Direction::Read;
-    let (time, mism) = run_phase(
+    let (time, rank_times, mism) = run_phase(
         lib, direction, &machine, &target, &decomp, &vars, cfg, verify,
     );
-    (time, machine.stats.snapshot(), mism)
+    // All ranks have joined; the counters are quiesced, so the snapshot is a
+    // consistent point-in-time view (see the stats module's contract).
+    let stats = machine.with_quiesced_stats(|s| *s);
+    let metrics = registry.map(|r| r.snapshot()).unwrap_or_default();
+    CellOnce {
+        time,
+        rank_times,
+        stats,
+        metrics,
+        mismatches: mism,
+    }
 }
 
-/// Run the parallel phase; returns (job time = slowest rank, mismatches).
+/// Run the parallel phase; returns (job time = slowest rank, per-rank end
+/// times, mismatches).
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     lib: &dyn PioLibrary,
@@ -194,7 +254,7 @@ fn run_phase(
     vars: &Arc<Vec<String>>,
     cfg: &CellConfig,
     verify: bool,
-) -> (SimTime, usize) {
+) -> (SimTime, Vec<SimTime>, usize) {
     // The trait object lives on the caller's stack; hand threads a raw view.
     // SAFETY: run_world_mode joins every rank before returning, so the borrow
     // outlives every use. The lifetime is erased to move it into 'static
@@ -239,12 +299,10 @@ fn run_phase(
             }
         }
     });
-    let time = results
-        .iter()
-        .map(|(t, _)| *t)
-        .fold(SimTime::ZERO, SimTime::max);
+    let rank_times: Vec<SimTime> = results.iter().map(|(t, _)| *t).collect();
+    let time = rank_times.iter().copied().fold(SimTime::ZERO, SimTime::max);
     let mism = results.iter().map(|(_, m)| *m).sum();
-    (time, mism)
+    (time, rank_times, mism)
 }
 
 fn pick_path(lib: &str) -> String {

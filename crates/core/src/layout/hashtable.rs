@@ -89,33 +89,39 @@ impl Layout for HashtableLayout {
 
     fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader> {
         let t0 = self.machine.trace_start(clock);
-        let vref = self
-            .shared
-            .hashtable
-            .get_ref(clock, key.as_bytes())
-            .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
+        let vref = {
+            let _p = self.machine.phase_scope("get.lookup");
+            self.shared
+                .hashtable
+                .get_ref(clock, key.as_bytes())
+                .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?
+        };
         self.machine
             .trace_finish(clock, t0, "get", "get.lookup", None);
         let t1 = self.machine.trace_start(clock);
-        let mut src = MappingSource::new(
-            &self.mapping,
-            clock,
-            vref.offset as usize,
-            vref.len as usize,
-        )?;
-        let hdr = self.serializer.read_header(&mut src)?;
-        if hdr.payload_len != dst.len() as u64 {
-            return Err(PmemCpyError::ShapeMismatch {
-                id: key.to_string(),
-                detail: format!(
-                    "payload {} bytes, buffer {} bytes",
-                    hdr.payload_len,
-                    dst.len()
-                ),
-            });
-        }
-        // Deserialize straight from PMEM into the caller's buffer.
-        self.serializer.read_payload(&mut src, dst)?;
+        let hdr = {
+            let _p = self.machine.phase_scope("get.memcpy");
+            let mut src = MappingSource::new(
+                &self.mapping,
+                clock,
+                vref.offset as usize,
+                vref.len as usize,
+            )?;
+            let hdr = self.serializer.read_header(&mut src)?;
+            if hdr.payload_len != dst.len() as u64 {
+                return Err(PmemCpyError::ShapeMismatch {
+                    id: key.to_string(),
+                    detail: format!(
+                        "payload {} bytes, buffer {} bytes",
+                        hdr.payload_len,
+                        dst.len()
+                    ),
+                });
+            }
+            // Deserialize straight from PMEM into the caller's buffer.
+            self.serializer.read_payload(&mut src, dst)?;
+            hdr
+        };
         self.machine.trace_finish(
             clock,
             t1,
@@ -124,8 +130,14 @@ impl Layout for HashtableLayout {
             Some(("bytes", dst.len() as u64)),
         );
         let t2 = self.machine.trace_start(clock);
-        self.machine
-            .charge_serialize(clock, dst.len() as u64, self.serializer.cpu_cost_factor());
+        {
+            let _p = self.machine.phase_scope("get.deserialize");
+            self.machine.charge_serialize(
+                clock,
+                dst.len() as u64,
+                self.serializer.cpu_cost_factor(),
+            );
+        }
         self.machine.trace_finish(
             clock,
             t2,

@@ -78,7 +78,10 @@ pub trait Layout: Send + Sync {
             })
             .collect();
         let t0 = machine.trace_start(clock);
-        let reservations = self.reserve_many(clock, &reqs)?;
+        let reservations = {
+            let _p = machine.phase_scope("put.reserve");
+            self.reserve_many(clock, &reqs)?
+        };
         machine.trace_finish(
             clock,
             t0,
@@ -86,15 +89,31 @@ pub trait Layout: Send + Sync {
             "put.reserve",
             Some(("keys", puts.len() as u64)),
         );
+        // Media accounting for write amplification: logical payload bytes in
+        // vs record bytes hitting the media, both in modelled (byte-scaled)
+        // units so the ratio is comparable with the machine's media counters.
+        if machine.metrics_enabled() {
+            let scale = machine.config().byte_scale;
+            let logical: u64 = puts.iter().map(|p| p.payload.len() as u64).sum();
+            let media: u64 = reservations.iter().map(|r| r.len as u64).sum();
+            machine.metric_counter_add("put.logical_bytes", logical * scale);
+            machine.metric_counter_add("put.media_bytes", media * scale);
+        }
         for (put, resv) in puts.iter().zip(&reservations) {
             let bytes = put.payload.len() as u64;
             let t1 = machine.trace_start(clock);
-            machine.charge_serialize(clock, bytes, serializer.cpu_cost_factor());
+            {
+                let _p = machine.phase_scope("put.serialize");
+                machine.charge_serialize(clock, bytes, serializer.cpu_cost_factor());
+            }
             machine.trace_finish(clock, t1, "put", "put.serialize", Some(("bytes", bytes)));
             let t2 = machine.trace_start(clock);
-            let mut sink = MappingSink::new(&resv.mapping, clock, resv.offset, resv.len)?;
-            serializer.write_var(put.meta, put.payload, &mut sink)?;
-            debug_assert_eq!(sink.written(), resv.len);
+            {
+                let _p = machine.phase_scope("put.memcpy");
+                let mut sink = MappingSink::new(&resv.mapping, clock, resv.offset, resv.len)?;
+                serializer.write_var(put.meta, put.payload, &mut sink)?;
+                debug_assert_eq!(sink.written(), resv.len);
+            }
             machine.trace_finish(
                 clock,
                 t2,
@@ -103,9 +122,12 @@ pub trait Layout: Send + Sync {
                 Some(("bytes", resv.len as u64)),
             );
             let t3 = machine.trace_start(clock);
-            resv.mapping.persist(clock, resv.offset, resv.len);
-            if resv.unmap_after_persist {
-                resv.mapping.unmap(clock);
+            {
+                let _p = machine.phase_scope("put.persist");
+                resv.mapping.persist(clock, resv.offset, resv.len);
+                if resv.unmap_after_persist {
+                    resv.mapping.unmap(clock);
+                }
             }
             machine.trace_finish(
                 clock,

@@ -221,8 +221,11 @@ impl Comm {
                 if let Some((data, delivery)) = self.try_pop(src, tag) {
                     // Virtual time: the message cannot be consumed before
                     // it was delivered. (Charged with no locks held — the
-                    // advance is a yield point.)
+                    // advance is a yield point.) The jump is a wait, not
+                    // work: metrics attribute it to "mpi.wait".
+                    let w0 = self.machine().metrics_start(&self.clock);
                     self.clock.advance_to(delivery);
+                    self.machine().metrics_wait(&self.clock, w0, "mpi.wait");
                     return data;
                 }
                 sched.block_on_recv(self.rank);
@@ -235,7 +238,9 @@ impl Comm {
                     if let Some(q) = queues.get_mut(&(src, tag)) {
                         if let Some((data, delivery)) = q.pop_front() {
                             drop(queues);
+                            let w0 = self.machine().metrics_start(&self.clock);
                             self.clock.advance_to(delivery);
+                            self.machine().metrics_wait(&self.clock, w0, "mpi.wait");
                             return data;
                         }
                     }

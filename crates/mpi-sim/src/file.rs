@@ -133,12 +133,14 @@ impl MpiFile {
             }
         }
         pieces.sort_by_key(|(off, _)| *off);
-        // Assembling into the aggregator's staging buffer is a DRAM copy.
+        // Assembling into the aggregator's staging buffer is a DRAM copy —
+        // the two-phase data rearrangement pMEMCPY's direct path never does.
         let staged: u64 = pieces.iter().map(|(_, d)| d.len() as u64).sum();
         if staged > 0 {
-            self.comm
-                .machine()
-                .charge_dram_copy(self.comm.clock(), staged);
+            let machine = self.comm.machine();
+            let _p = machine.phase_scope("rearrange");
+            machine.metric_counter_add("rearrange.bytes", staged);
+            machine.charge_dram_copy(self.comm.clock(), staged);
         }
         for (off, data) in coalesce(pieces) {
             self.write_at(off, &data)?;
@@ -228,9 +230,10 @@ impl MpiFile {
         }
         let placed: u64 = requests.iter().map(|r| r.len).sum();
         if placed > 0 {
-            self.comm
-                .machine()
-                .charge_dram_copy(self.comm.clock(), placed);
+            let machine = self.comm.machine();
+            let _p = machine.phase_scope("rearrange");
+            machine.metric_counter_add("rearrange.bytes", placed);
+            machine.charge_dram_copy(self.comm.clock(), placed);
         }
         self.comm.barrier();
         Ok(results)

@@ -137,8 +137,27 @@ impl PersistentHashtable {
         self.header + HDR_HEADS + bucket * 8
     }
 
-    fn stripe_for(&self, bucket: u64) -> &Mutex<()> {
-        &self.stripes[(bucket % STRIPES as u64) as usize]
+    fn stripe_id(&self, bucket: u64) -> usize {
+        (bucket % STRIPES as u64) as usize
+    }
+
+    /// Acquire stripe `id`, feeding the per-stripe heat map when metrics
+    /// are enabled: every acquisition bumps `stripe.NN.acquires`, and an
+    /// acquisition that found the stripe already held bumps
+    /// `stripe.NN.contended` too. Under the deterministic scheduler the
+    /// contended counts are always zero — charges under a stripe run in an
+    /// atomic section, so the token never moves while a stripe is held —
+    /// which makes nonzero values a free-threaded-only contention signal.
+    fn lock_stripe(&self, id: usize) -> parking_lot::MutexGuard<'_, ()> {
+        let machine = self.pool.device().machine();
+        if machine.metrics_enabled() {
+            machine.metric_counter_add(&format!("stripe.{id:02}.acquires"), 1);
+            if let Some(guard) = self.stripes[id].try_lock() {
+                return guard;
+            }
+            machine.metric_counter_add(&format!("stripe.{id:02}.contended"), 1);
+        }
+        self.stripes[id].lock()
     }
 
     /// Walk a chain looking for `key`. Returns (predecessor_next_slot, entry).
@@ -237,7 +256,7 @@ impl PersistentHashtable {
             .collect();
         stripe_ids.sort_unstable();
         stripe_ids.dedup();
-        let _guards: Vec<_> = stripe_ids.iter().map(|&i| self.stripes[i].lock()).collect();
+        let _guards: Vec<_> = stripe_ids.iter().map(|&i| self.lock_stripe(i)).collect();
 
         let entries = self.pool.tx(clock, |tx| {
             // One allocator pass for every entry in the group.
@@ -304,7 +323,7 @@ impl PersistentHashtable {
         // Charges happen under the stripe lock: the deterministic scheduler
         // must not park this thread while it holds the stripe.
         let _atomic = pmem_sim::atomic_section();
-        let _guard = self.stripe_for(bucket).lock();
+        let _guard = self.lock_stripe(self.stripe_id(bucket));
         let existing = self.find(clock, key, hash);
         let head_slot = self.head_slot(bucket);
         let entry_size = ENT_KEY + key.len() as u64 + val_len;
@@ -361,7 +380,7 @@ impl PersistentHashtable {
         let hash = fnv1a(key);
         let bucket = self.bucket_of(hash);
         let _atomic = pmem_sim::atomic_section();
-        let _guard = self.stripe_for(bucket).lock();
+        let _guard = self.lock_stripe(self.stripe_id(bucket));
         self.find(clock, key, hash).map(|(_, entry)| {
             let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as u64;
             let vlen = self.pool.read_u32(clock, entry + ENT_VLEN) as u64;
@@ -389,7 +408,7 @@ impl PersistentHashtable {
         let hash = fnv1a(key);
         let bucket = self.bucket_of(hash);
         let _atomic = pmem_sim::atomic_section();
-        let _guard = self.stripe_for(bucket).lock();
+        let _guard = self.lock_stripe(self.stripe_id(bucket));
         let Some((pred_slot, entry)) = self.find(clock, key, hash) else {
             return Ok(false);
         };

@@ -181,7 +181,10 @@ impl<'a> Tx<'a> {
         let lane = pool.lanes.claim()?;
         machine.stats.pool_txs.fetch_add(1, Ordering::Relaxed);
         let lane_base = lane_offset(lane);
-        pool.write_u32(clock, lane_base + lane::STATE, LANE_ACTIVE);
+        {
+            let _p = machine.phase_scope("tx.begin");
+            pool.write_u32(clock, lane_base + lane::STATE, LANE_ACTIVE);
+        }
         let mut tx = Tx {
             pool,
             clock,
@@ -192,8 +195,13 @@ impl<'a> Tx<'a> {
         };
         match body(&mut tx) {
             Ok(v) => {
+                machine.metric_counter_add("tx.commits", 1);
+                machine.metric_counter_add("tx.undo_bytes", tx.undo_used);
                 let tc = machine.trace_start(clock);
-                let committed = tx.commit();
+                let committed = {
+                    let _p = machine.phase_scope("tx.commit");
+                    tx.commit()
+                };
                 machine.trace_finish(clock, tc, "pmdk", "tx.commit", None);
                 match committed {
                     Ok(()) => {

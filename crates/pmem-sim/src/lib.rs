@@ -34,6 +34,7 @@
 pub mod buffer;
 pub mod device;
 pub mod machine;
+pub mod metrics;
 pub mod mmap;
 pub mod persistence;
 pub mod rng;
@@ -45,6 +46,7 @@ pub mod trace;
 pub use buffer::SharedBuffer;
 pub use device::{PersistenceMode, PmemDevice};
 pub use machine::{Machine, MachineConfig};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, PhaseScope};
 pub use mmap::DaxMapping;
 pub use rng::DetRng;
 pub use server::{BandwidthServer, Server};

@@ -14,7 +14,8 @@
 //! own clock, scaled by the CPU oversubscription factor when more ranks run
 //! than physical cores.
 
-use crate::stats::Stats;
+use crate::metrics::{self, MetricsRegistry, PhaseScope};
+use crate::stats::{Stats, StatsSnapshot};
 use crate::time::{Clock, SimTime};
 use crate::trace::{TraceSink, TraceSpan};
 use std::borrow::Cow;
@@ -153,6 +154,10 @@ pub struct Machine {
     /// one atomic load, so the instrumented paths are free when tracing is
     /// off. Spans only read clocks — they can never change virtual time.
     trace: OnceLock<Arc<dyn TraceSink>>,
+    /// Optional metrics registry, same lifecycle and guarantees as `trace`:
+    /// install-once, zero-cost when unset, and attribution only *reads*
+    /// clocks so enabling metrics can never change a virtual-time result.
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl Machine {
@@ -162,6 +167,7 @@ impl Machine {
             stats: Stats::default(),
             config,
             trace: OnceLock::new(),
+            metrics: OnceLock::new(),
         })
     }
 
@@ -239,10 +245,109 @@ impl Machine {
         }
     }
 
+    // ---- metrics ----
+
+    /// Install a metrics registry. Returns `false` if one was already
+    /// installed (the registry can only be set once per machine).
+    pub fn set_metrics(&self, registry: Arc<MetricsRegistry>) -> bool {
+        self.metrics.set(registry).is_ok()
+    }
+
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.get().is_some()
+    }
+
+    /// The installed registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.get()
+    }
+
+    /// Open a semantic phase label on the calling thread: until the guard
+    /// drops, every virtual nanosecond this thread charges is attributed
+    /// to `label` (innermost scope wins) instead of the primitive's name.
+    /// Inert — no thread-local traffic at all — when metrics are disabled.
+    #[inline]
+    pub fn phase_scope(&self, label: &'static str) -> PhaseScope {
+        if self.metrics.get().is_some() {
+            PhaseScope::push(label)
+        } else {
+            PhaseScope::inert()
+        }
+    }
+
+    /// Add to a named counter; no-op when metrics are disabled.
+    #[inline]
+    pub fn metric_counter_add(&self, name: &str, n: u64) {
+        if let Some(m) = self.metrics.get() {
+            m.counter_add(name, n);
+        }
+    }
+
+    /// Begin measuring a wait (a clock jump not driven by a `charge_*`
+    /// primitive, e.g. a receiver synchronizing to a message's delivery
+    /// instant). Returns `None` when metrics are disabled.
+    #[inline]
+    pub fn metrics_start(&self, clock: &Clock) -> Option<SimTime> {
+        if self.metrics.get().is_some() {
+            Some(clock.now())
+        } else {
+            None
+        }
+    }
+
+    /// Attribute the time since [`Machine::metrics_start`] to `label`
+    /// (e.g. `"mpi.wait"`). Waits always keep their own label — they are
+    /// never folded into the surrounding phase scope — so reports can
+    /// separate load imbalance from attributed work.
+    #[inline]
+    pub fn metrics_wait(&self, clock: &Clock, t0: Option<SimTime>, label: &'static str) {
+        let (Some(t0), Some(m)) = (t0, self.metrics.get()) else {
+            return;
+        };
+        let dt = clock.now().saturating_sub(t0);
+        m.phase_add(clock.lane(), label, dt);
+        m.hist_record(label, dt);
+    }
+
+    /// Begin an observed interval: `Some(now)` when tracing *or* metrics
+    /// is enabled, `None` (all bookkeeping skipped) otherwise.
+    #[inline]
+    fn obs_start(&self, clock: &Clock) -> Option<SimTime> {
+        if self.trace.get().is_some() || self.metrics.get().is_some() {
+            Some(clock.now())
+        } else {
+            None
+        }
+    }
+
+    /// Close an observed interval opened with [`Machine::obs_start`]:
+    /// emits the "prim" trace span and attributes the virtual-time delta
+    /// to the innermost phase label (falling back to the primitive name).
+    /// Because every clock advance happens inside exactly one such
+    /// interval, per-lane phase totals tile the rank's timeline.
+    #[inline]
+    fn obs_finish(
+        &self,
+        clock: &Clock,
+        t0: Option<SimTime>,
+        name: &'static str,
+        arg: Option<(&'static str, u64)>,
+    ) {
+        let Some(t0) = t0 else {
+            return;
+        };
+        self.trace_finish(clock, Some(t0), "prim", name, arg);
+        if let Some(m) = self.metrics.get() {
+            let dt = clock.now().saturating_sub(t0);
+            m.phase_add(clock.lane(), metrics::current_phase().unwrap_or(name), dt);
+            m.hist_record(name, dt);
+        }
+    }
+
     /// Close a primitive-level span (category "prim") with a byte argument.
     #[inline]
     fn prim_finish(&self, clock: &Clock, t0: Option<SimTime>, name: &'static str, bytes: u64) {
-        self.trace_finish(clock, t0, "prim", name, Some(("bytes", bytes)));
+        self.obs_finish(clock, t0, name, Some(("bytes", bytes)));
     }
 
     /// Multiplier applied to CPU-bound work when more ranks than cores run.
@@ -281,7 +386,7 @@ impl Machine {
     /// CPU cost of serializing `bytes` through a format with the given
     /// relative cost factor (1.0 = the machine's base rate).
     pub fn charge_serialize(&self, clock: &Clock, bytes: u64, format_factor: f64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         let bytes = self.scaled_bytes(bytes);
         let ns = self.config.serialize_ns_per_byte * format_factor * bytes as f64;
         self.charge_compute(clock, SimTime::from_secs_f64(ns / 1e9));
@@ -291,7 +396,7 @@ impl Machine {
     /// A DRAM→DRAM copy of `bytes`: bound by the copying core and by a fair
     /// share of the memory bus.
     pub fn charge_dram_copy(&self, clock: &Clock, bytes: u64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         let bytes = self.scaled_bytes(bytes);
         self.stats
             .dram_bytes_copied
@@ -305,7 +410,7 @@ impl Machine {
     /// streams at its attended per-core throughput, capped by its fair share
     /// of the device's aggregate write bandwidth.
     pub fn charge_pmem_write(&self, clock: &Clock, bytes: u64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         let bytes = self.scaled_bytes(bytes);
         self.stats
             .pmem_bytes_written
@@ -317,7 +422,7 @@ impl Machine {
 
     /// A load stream out of PMEM media (same two bounds as writes).
     pub fn charge_pmem_read(&self, clock: &Clock, bytes: u64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         let bytes = self.scaled_bytes(bytes);
         self.stats
             .pmem_bytes_read
@@ -332,7 +437,7 @@ impl Machine {
     /// headers, undo logs, hashtable entries) have fixed real sizes
     /// regardless of how large the modelled payload volume is.
     pub fn charge_pmem_write_meta(&self, clock: &Clock, bytes: u64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         self.stats
             .pmem_bytes_written
             .fetch_add(bytes, Ordering::Relaxed);
@@ -343,7 +448,7 @@ impl Machine {
 
     /// Metadata load: unscaled counterpart of [`Machine::charge_pmem_read`].
     pub fn charge_pmem_read_meta(&self, clock: &Clock, bytes: u64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         self.stats
             .pmem_bytes_read
             .fetch_add(bytes, Ordering::Relaxed);
@@ -354,10 +459,10 @@ impl Machine {
 
     /// One kernel crossing.
     pub fn charge_syscall(&self, clock: &Clock) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         self.stats.syscalls.fetch_add(1, Ordering::Relaxed);
         clock.advance(self.cpu_scaled(self.config.syscall));
-        self.trace_finish(clock, t0, "prim", "syscall", None);
+        self.obs_finish(clock, t0, "syscall", None);
     }
 
     /// `n` minor faults on a DAX mapping; with `map_sync` each dirty page
@@ -366,7 +471,7 @@ impl Machine {
         if n == 0 {
             return;
         }
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         self.stats.page_faults.fetch_add(n, Ordering::Relaxed);
         let mut per_page = self.config.page_fault;
         if map_sync {
@@ -376,7 +481,7 @@ impl Machine {
             per_page += self.config.map_sync_page;
         }
         clock.advance(self.cpu_scaled(per_page * n));
-        self.trace_finish(clock, t0, "prim", "page_fault", Some(("pages", n)));
+        self.obs_finish(clock, t0, "page_fault", Some(("pages", n)));
     }
 
     /// Fault accounting for a freshly-touched byte range of a DAX mapping:
@@ -393,7 +498,7 @@ impl Machine {
 
     /// Flush a byte range of cachelines toward the persistence domain.
     pub fn charge_flush(&self, clock: &Clock, bytes: u64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         self.stats.flush_calls.fetch_add(1, Ordering::Relaxed);
         let lines = self.scaled_bytes(bytes).div_ceil(self.config.cacheline);
         let t = self.config.flush_base + self.config.flush_per_line * lines;
@@ -403,16 +508,16 @@ impl Machine {
 
     /// A store fence.
     pub fn charge_fence(&self, clock: &Clock) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
         clock.advance(self.cpu_scaled(self.config.fence));
-        self.trace_finish(clock, t0, "prim", "fence", None);
+        self.obs_finish(clock, t0, "fence", None);
     }
 
     /// One message over the node fabric; returns the delivery instant so the
     /// receiver's clock can be synchronized by the caller.
     pub fn charge_message(&self, sender: &Clock, bytes: u64) -> SimTime {
-        let t0 = self.trace_start(sender);
+        let t0 = self.obs_start(sender);
         let bytes = self.scaled_bytes(bytes);
         self.stats.net_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.net_messages.fetch_add(1, Ordering::Relaxed);
@@ -424,7 +529,7 @@ impl Machine {
 
     /// A write toward the burst-buffer / mass-storage tier.
     pub fn charge_storage_write(&self, clock: &Clock, bytes: u64) {
-        let t0 = self.trace_start(clock);
+        let t0 = self.obs_start(clock);
         let bytes = self.scaled_bytes(bytes);
         self.stats
             .storage_bytes_written
@@ -470,6 +575,29 @@ impl Machine {
     /// Clear all counters (start of a fresh timed region).
     pub fn reset(&self) {
         self.stats.reset();
+    }
+
+    /// Run `f` with a *quiesced* snapshot of the machine's counters.
+    ///
+    /// [`Stats`] counters are advisory Relaxed atomics: a snapshot taken
+    /// while other ranks are still charging can land between the fields of
+    /// one logical operation, and `Stats::reset` racing a snapshot can
+    /// under-report a region (see the contract on [`StatsSnapshot`]).
+    /// Measurement code must therefore only read deltas at points where no
+    /// rank is mutating — i.e. at rank barriers. This helper is that
+    /// read point: it re-snapshots until two consecutive snapshots agree,
+    /// so a straggler's in-flight burst is never cut in half, then hands
+    /// the settled snapshot to `f`. The bench harness calls it after the
+    /// closing barrier of each timed phase.
+    pub fn with_quiesced_stats<T>(&self, f: impl FnOnce(&StatsSnapshot) -> T) -> T {
+        let mut prev = self.stats.snapshot();
+        loop {
+            let next = self.stats.snapshot();
+            if next == prev {
+                return f(&next);
+            }
+            prev = next;
+        }
     }
 }
 
@@ -597,6 +725,75 @@ mod tests {
             cursor = s.start + s.dur;
         }
         assert_eq!(cursor, t_on);
+    }
+
+    #[test]
+    fn metrics_attribute_every_nanosecond_without_changing_time() {
+        use crate::metrics::MetricsRegistry;
+        let run = |on: bool| {
+            let m = Machine::chameleon();
+            let reg = MetricsRegistry::new();
+            if on {
+                assert!(m.set_metrics(reg.clone()));
+                assert!(!m.set_metrics(reg.clone()), "registry must be install-once");
+            }
+            let c = Clock::with_lane(5);
+            m.charge_serialize(&c, 4096, 1.0);
+            {
+                let _p = m.phase_scope("put.memcpy");
+                m.charge_pmem_write(&c, 4096);
+                m.charge_flush(&c, 4096);
+            }
+            m.charge_fence(&c);
+            (c.now(), reg.snapshot())
+        };
+        let (t_off, s_off) = run(false);
+        let (t_on, s) = run(true);
+        assert_eq!(t_on, t_off, "metrics must not perturb virtual time");
+        assert!(s_off.phases.is_empty(), "disabled registry records nothing");
+        // Phase totals tile the lane's timeline exactly.
+        assert_eq!(s.lane_total(5), t_on);
+        let labels: Vec<_> = s.lane_phases(5).iter().map(|(n, _)| *n).collect();
+        assert_eq!(labels, ["fence", "put.memcpy", "serialize"]);
+        // The scoped charges were folded under the semantic label...
+        assert!(s.phases.keys().all(|(_, n)| n != "pmem.write"));
+        // ...while their per-primitive histograms kept the prim name.
+        assert_eq!(s.hists["pmem.write"].count, 1);
+        assert_eq!(s.hists["flush"].count, 1);
+    }
+
+    #[test]
+    fn phase_scope_is_inert_when_metrics_are_off() {
+        let m = Machine::chameleon();
+        let _p = m.phase_scope("anything");
+        assert_eq!(crate::metrics::current_phase(), None);
+    }
+
+    #[test]
+    fn metrics_wait_records_clock_jumps() {
+        use crate::metrics::MetricsRegistry;
+        let m = Machine::chameleon();
+        let reg = MetricsRegistry::new();
+        assert!(m.set_metrics(reg.clone()));
+        let c = Clock::with_lane(2);
+        let t0 = m.metrics_start(&c);
+        c.advance_to(SimTime::from_nanos(700));
+        m.metrics_wait(&c, t0, "mpi.wait");
+        let s = reg.snapshot();
+        assert_eq!(
+            s.lane_phases(2),
+            vec![("mpi.wait", SimTime::from_nanos(700))]
+        );
+        assert_eq!(s.lane_total(2), c.now());
+    }
+
+    #[test]
+    fn quiesced_stats_hand_back_a_settled_snapshot() {
+        let m = Machine::chameleon();
+        let c = Clock::new();
+        m.charge_pmem_write(&c, 1234);
+        let bytes = m.with_quiesced_stats(|s| s.pmem_bytes_written);
+        assert_eq!(bytes, 1234);
     }
 
     #[test]

@@ -4,6 +4,21 @@
 //! harness can assert structural properties — e.g. "the pMEMCPY write path
 //! performed zero DRAM staging copies while the ADIOS path copied every byte
 //! once" — independent of the timing model.
+//!
+//! ## Consistency contract
+//!
+//! Individual counter updates are atomic, but a [`Stats::snapshot`] is not:
+//! it loads each field in turn, so a snapshot taken while ranks are still
+//! charging can observe one logical operation half-applied (e.g. the bytes
+//! of a persist but not yet its flush). Worse, [`Stats::reset`] racing a
+//! concurrent snapshot can make a later [`StatsSnapshot::delta_since`]
+//! under-report: fields read before the reset subtract a pre-reset baseline
+//! from a post-reset value and saturate to zero. The contract is therefore:
+//! **snapshot, delta and reset are only well-defined at quiescent points**
+//! — instants where no rank is mutating, i.e. at rank barriers. The bench
+//! harness enforces this by taking deltas through
+//! `Machine::with_quiesced_stats` immediately after a closing barrier,
+//! which re-reads until two consecutive snapshots agree.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,19 +38,27 @@ macro_rules! stats_fields {
         }
 
         impl Stats {
+            /// Copy every counter. Not atomic as a whole — see the module
+            /// docs: only well-defined at quiescent points (rank barriers);
+            /// prefer `Machine::with_quiesced_stats` from measurement code.
             pub fn snapshot(&self) -> StatsSnapshot {
                 StatsSnapshot {
                     $($name: self.$name.load(Ordering::Relaxed),)+
                 }
             }
 
+            /// Zero every counter. Must not race snapshots or charges (see
+            /// the module docs) — call it only while all ranks are parked.
             pub fn reset(&self) {
                 $(self.$name.store(0, Ordering::Relaxed);)+
             }
         }
 
         impl StatsSnapshot {
-            /// Field-wise difference (`self - earlier`), for measuring a region.
+            /// Field-wise difference (`self - earlier`), for measuring a
+            /// region. Both snapshots must come from quiescent points with
+            /// no `reset()` between them, otherwise the saturating
+            /// subtraction silently under-reports (module docs).
             pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
                 StatsSnapshot {
                     $($name: self.$name.saturating_sub(earlier.$name),)+

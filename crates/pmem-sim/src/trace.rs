@@ -88,7 +88,9 @@ impl TraceSink for CollectingSink {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON string literal (shared by the
+/// trace and metrics exporters).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -2,7 +2,7 @@
 //! write (plus read-back and burst-buffer drain) through pMEMCPY.
 //!
 //! ```text
-//! cargo run --release --example trace_viewer
+//! cargo run --release --example trace_viewer [-- --summary]
 //! ```
 //!
 //! The trace lands in `results/trace_viewer.json`; open it at
@@ -11,12 +11,16 @@
 //! timestamps are *simulated* nanoseconds — tracing never shifts them (the
 //! numbers are the same with the sink off; multi-rank runs carry the
 //! simulator's ambient < 0.1% run-to-run jitter either way, see ROADMAP).
+//!
+//! With `--summary`, additionally prints the per-category percentage
+//! breakdown ([`TraceSummary::breakdown`]) for every span category seen.
 
 use baselines::PmemcpyLib;
 use pmem_sim::{chrome_trace_json, CollectingSink, TraceSummary, DRAIN_LANE};
 use pmemcpy_bench::{run_cell_traced, CellConfig, Direction};
 
 fn main() {
+    let summary_mode = std::env::args().any(|a| a == "--summary");
     let nprocs = 8;
     let real_bytes = 8 << 20;
     let sink = CollectingSink::new();
@@ -56,7 +60,22 @@ fn main() {
         r.time.as_secs_f64(),
         spans.len()
     );
-    println!("{}", TraceSummary::from_spans(&spans));
+    let summary = TraceSummary::from_spans(&spans);
+    println!("{summary}");
+    if summary_mode {
+        // Percentage breakdown per category, over every category that
+        // actually produced spans.
+        let mut cats: Vec<&str> = spans.iter().map(|s| s.cat).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        println!("## per-category breakdown");
+        for cat in cats {
+            let line = summary.breakdown(cat);
+            if !line.is_empty() {
+                println!("{cat:<6} {line}");
+            }
+        }
+    }
     println!("[wrote results/trace_viewer.json — open in https://ui.perfetto.dev]");
 }
 
