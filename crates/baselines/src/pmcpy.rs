@@ -119,12 +119,27 @@ impl PioLibrary for PmemcpyLib {
         let mut pmem = self.map(comm, target)?;
         let (off, dims) = decomp.block(comm.rank() as u64);
         let elems: u64 = dims.iter().product();
-        let mut out = Vec::with_capacity(vars.len());
-        for name in vars {
-            let mut block = vec![0f64; elems as usize];
-            pmem.load_block(name, &mut block, &off, &dims)
+        let mut out: Vec<Vec<f64>> = (0..vars.len())
+            .map(|_| vec![0f64; elems as usize])
+            .collect();
+        if self.options.batch_gets {
+            // Group the rank's whole restart step: one grouped metadata
+            // lookup for all variables, payloads streamed straight into the
+            // output blocks.
+            let mut batch = pmem.read_batch();
+            for (name, block) in vars.iter().zip(out.iter_mut()) {
+                batch
+                    .load_block_into(name, block, &off, &dims)
+                    .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+            }
+            batch
+                .commit()
                 .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
-            out.push(block);
+        } else {
+            for (v, name) in vars.iter().enumerate() {
+                pmem.load_block(name, &mut out[v], &off, &dims)
+                    .map_err(|e| PioError::Pmemcpy(e.to_string()))?;
+            }
         }
         comm.barrier();
         pmem.munmap()

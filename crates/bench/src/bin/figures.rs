@@ -13,6 +13,7 @@
 //!   ablate-staging     direct-to-PMEM vs DRAM-staged serialization
 //!   ablate-fill        NetCDF fill vs NC_NOFILL
 //!   ablate-batching    group-commit write batches vs per-key commits
+//!   ablate-read-batching  batched reads + shadow index vs per-key gets
 //!   all                everything above; CSVs land in results/
 //! ```
 //!
@@ -80,6 +81,7 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
         "ablate-buckets" => ablate_buckets(real_bytes)?,
         "ablate-drain" => ablate_drain(real_bytes)?,
         "ablate-batching" => ablate_batching(real_bytes)?,
+        "ablate-read-batching" => ablate_read_batching(real_bytes)?,
         "tune" => tune_cmd(real_bytes)?,
         "volume" => volume_cmd()?,
         "all" => {
@@ -95,6 +97,7 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
             ablate_buckets(real_bytes)?;
             ablate_drain(real_bytes)?;
             ablate_batching(real_bytes)?;
+            ablate_read_batching(real_bytes)?;
             tune_cmd(real_bytes)?;
             volume_cmd()?;
         }
@@ -539,6 +542,55 @@ fn ablate_batching(real_bytes: u64) -> std::io::Result<()> {
         return Err(std::io::Error::other(format!(
             "batching regression: batched write {:.6}s > per-key {:.6}s",
             times[0], times[1]
+        )));
+    }
+    println!();
+    Ok(())
+}
+
+/// CI smoke gate: grouped read lookups (and the shadow index) must never be
+/// slower than per-key gets on the paper's headline read cell. Exits
+/// nonzero on regression.
+fn ablate_read_batching(real_bytes: u64) -> std::io::Result<()> {
+    println!("## Ablation: batched reads + shadow index vs per-key gets (PMCPY-A, 24 procs)");
+    let mut csv = String::from("mode,read_s,pmem_bytes_read\n");
+    let mut times = [0f64; 4];
+    let rows = [
+        ("batched+cache", true, true),
+        ("batched", true, false),
+        ("per-key+cache", false, true),
+        ("per-key", false, false),
+    ];
+    for (i, (name, batch_gets, shadow_index)) in rows.iter().enumerate() {
+        let lib = PmemcpyLib::custom(
+            "PMCPY-A",
+            Options {
+                batch_gets: *batch_gets,
+                shadow_index: *shadow_index,
+                ..Options::default()
+            },
+        );
+        let mut cfg = CellConfig::paper(24, real_bytes);
+        cfg.verify = true;
+        let r = run_cell(&lib, Direction::Read, &cfg);
+        assert_eq!(r.mismatches, 0, "{name} read back corrupted data");
+        times[i] = r.time.as_secs_f64();
+        println!(
+            "{name:<14} read {:>8.3}s   pmem_bytes_read={}",
+            r.time.as_secs_f64(),
+            r.stats.pmem_bytes_read
+        );
+        csv.push_str(&format!(
+            "{name},{:.6},{}\n",
+            r.time.as_secs_f64(),
+            r.stats.pmem_bytes_read
+        ));
+    }
+    write_file("results/ablate_read_batching.csv", &csv)?;
+    if times[0] > times[3] {
+        return Err(std::io::Error::other(format!(
+            "read batching regression: batched+cache read {:.6}s > per-key {:.6}s",
+            times[0], times[3]
         )));
     }
     println!();

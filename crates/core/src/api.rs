@@ -98,6 +98,7 @@ impl Pmem {
                         shared,
                         serializer,
                         self.opts.map_sync,
+                        self.opts.shadow_index,
                     )),
                     machine: Arc::clone(device.machine()),
                     clock,
@@ -220,17 +221,13 @@ impl Pmem {
         m.layout.store(&m.clock, id, &meta, slice_as_bytes(data))
     }
 
-    /// Load a dense 1-D array.
+    /// Load a dense 1-D array. A read batch of one: a single lookup returns
+    /// header + payload (no separate `stat` round).
     pub fn load_slice<T: Element>(&self, id: &str) -> Result<Vec<T>> {
-        let m = self.m()?;
-        let hdr = m.layout.stat(&m.clock, id)?;
-        let n = (hdr.payload_len / T::DTYPE.size()) as usize;
-        let mut out = vec![unsafe { std::mem::zeroed::<T>() }; n];
-        let hdr = m
-            .layout
-            .load_into(&m.clock, id, slice_as_bytes_mut(&mut out))?;
-        self.check_dtype::<T>(id, hdr.meta.dtype)?;
-        Ok(out)
+        let mut batch = self.read_batch();
+        let h = batch.load_slice::<T>(id)?;
+        let mut results = batch.commit()?;
+        Ok(results.take(h))
     }
 
     /// Load a dense 1-D array into a caller-provided buffer (no allocation;
@@ -272,12 +269,10 @@ impl Pmem {
     /// Query an array's element type and global dimensions (Fig. 2's
     /// `load_dims`).
     pub fn load_dims(&self, id: &str) -> Result<(Datatype, Vec<u64>)> {
-        let m = self.m()?;
-        let key = dims_key(id);
-        let hdr = m.layout.stat(&m.clock, &key)?;
-        let mut payload = vec![0u8; hdr.payload_len as usize];
-        m.layout.load_into(&m.clock, &key, &mut payload)?;
-        decode_dims_payload(id, &payload)
+        let mut batch = self.read_batch();
+        let h = batch.load_bytes(dims_key(id));
+        let mut results = batch.commit()?;
+        decode_dims_payload(id, &results.take(h))
     }
 
     /// Store this rank's block of the decomposed array `id` (Fig. 2's
@@ -343,12 +338,10 @@ impl Pmem {
 
     /// Read a string attribute.
     pub fn get_attr(&self, id: &str, name: &str) -> Result<String> {
-        let m = self.m()?;
-        let key = attr_key(id, name);
-        let hdr = m.layout.stat(&m.clock, &key)?;
-        let mut buf = vec![0u8; hdr.payload_len as usize];
-        m.layout.load_into(&m.clock, &key, &mut buf)?;
-        String::from_utf8(buf).map_err(|e| PmemCpyError::ShapeMismatch {
+        let mut batch = self.read_batch();
+        let h = batch.load_bytes(attr_key(id, name));
+        let mut results = batch.commit()?;
+        String::from_utf8(results.take(h)).map_err(|e| PmemCpyError::ShapeMismatch {
             id: id.to_string(),
             detail: format!("attribute is not utf-8: {e}"),
         })
@@ -403,6 +396,15 @@ impl Pmem {
     /// one allocator pass per group instead of one per key.
     pub fn batch(&self) -> crate::batch::WriteBatch<'_> {
         crate::batch::WriteBatch::new(self)
+    }
+
+    /// Open a [`ReadBatch`](crate::read::ReadBatch): stage any number of
+    /// `load_*` calls, then [`commit`](crate::read::ReadBatch::commit) them
+    /// as one group lookup per [`crate::batch::MAX_GROUP_KEYS`] keys — keys
+    /// sharing a metadata bucket are resolved by a single chain walk, and
+    /// every header is read exactly once.
+    pub fn read_batch(&self) -> crate::read::ReadBatch<'_> {
+        crate::read::ReadBatch::new(self)
     }
 }
 

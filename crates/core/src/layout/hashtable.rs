@@ -4,11 +4,10 @@
 //! access characteristics of PMEM."*).
 
 use crate::error::{PmemCpyError, Result};
-use crate::layout::{Layout, Reservation, ReserveRequest};
+use crate::layout::{Layout, Located, Reservation, ReserveRequest};
 use crate::registry::SharedPool;
-use crate::sink::MappingSource;
 use pmem_sim::{Clock, DaxMapping, Machine, PmemDevice};
-use pserial::{Serializer, VarHeader};
+use pserial::Serializer;
 use std::sync::Arc;
 
 pub struct HashtableLayout {
@@ -20,15 +19,18 @@ pub struct HashtableLayout {
 
 impl HashtableLayout {
     /// Build over an already-interned pool. `map_sync` configures the data
-    /// mapping (the PMCPY-A/B switch).
+    /// mapping (the PMCPY-A/B switch); `shadow_index` toggles the DRAM
+    /// shadow of the persistent hashtable (see `Options::shadow_index`).
     pub fn new(
         clock: &Clock,
         device: &Arc<PmemDevice>,
         shared: SharedPool,
         serializer: &'static dyn Serializer,
         map_sync: bool,
+        shadow_index: bool,
     ) -> Self {
         let mapping = DaxMapping::new(clock, Arc::clone(device), 0, device.size(), map_sync);
+        shared.hashtable.set_shadow_enabled(shadow_index);
         HashtableLayout {
             machine: Arc::clone(device.machine()),
             shared,
@@ -72,80 +74,23 @@ impl Layout for HashtableLayout {
             .collect())
     }
 
-    fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader> {
-        let vref = self
-            .shared
-            .hashtable
-            .get_ref(clock, key.as_bytes())
-            .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
-        let mut src = MappingSource::new(
-            &self.mapping,
-            clock,
-            vref.offset as usize,
-            vref.len as usize,
-        )?;
-        Ok(self.serializer.read_header(&mut src)?)
-    }
-
-    fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader> {
-        let t0 = self.machine.trace_start(clock);
-        let vref = {
-            let _p = self.machine.phase_scope("get.lookup");
-            self.shared
-                .hashtable
-                .get_ref(clock, key.as_bytes())
-                .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?
-        };
-        self.machine
-            .trace_finish(clock, t0, "get", "get.lookup", None);
-        let t1 = self.machine.trace_start(clock);
-        let hdr = {
-            let _p = self.machine.phase_scope("get.memcpy");
-            let mut src = MappingSource::new(
-                &self.mapping,
-                clock,
-                vref.offset as usize,
-                vref.len as usize,
-            )?;
-            let hdr = self.serializer.read_header(&mut src)?;
-            if hdr.payload_len != dst.len() as u64 {
-                return Err(PmemCpyError::ShapeMismatch {
-                    id: key.to_string(),
-                    detail: format!(
-                        "payload {} bytes, buffer {} bytes",
-                        hdr.payload_len,
-                        dst.len()
-                    ),
-                });
-            }
-            // Deserialize straight from PMEM into the caller's buffer.
-            self.serializer.read_payload(&mut src, dst)?;
-            hdr
-        };
-        self.machine.trace_finish(
-            clock,
-            t1,
-            "get",
-            "get.memcpy",
-            Some(("bytes", dst.len() as u64)),
-        );
-        let t2 = self.machine.trace_start(clock);
-        {
-            let _p = self.machine.phase_scope("get.deserialize");
-            self.machine.charge_serialize(
-                clock,
-                dst.len() as u64,
-                self.serializer.cpu_cost_factor(),
-            );
-        }
-        self.machine.trace_finish(
-            clock,
-            t2,
-            "get",
-            "get.deserialize",
-            Some(("bytes", dst.len() as u64)),
-        );
-        Ok(hdr)
+    fn locate_many(&self, clock: &Clock, keys: &[&str]) -> Result<Vec<Located>> {
+        // One grouped lookup: keys sharing a bucket are resolved by a single
+        // chain walk, and shadow-index hits skip the pool entirely.
+        let byte_keys: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let vrefs = self.shared.hashtable.get_ref_many(clock, &byte_keys);
+        keys.iter()
+            .zip(vrefs)
+            .map(|(key, vref)| {
+                let v = vref.ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
+                Ok(Located {
+                    mapping: Arc::clone(&self.mapping),
+                    offset: v.offset as usize,
+                    len: v.len as usize,
+                    unmap_after_load: false,
+                })
+            })
+            .collect()
     }
 
     fn exists(&self, clock: &Clock, key: &str) -> bool {
@@ -163,32 +108,6 @@ impl Layout for HashtableLayout {
             .into_iter()
             .map(|k| String::from_utf8_lossy(&k).into_owned())
             .collect()
-    }
-
-    fn stream_raw(
-        &self,
-        clock: &Clock,
-        key: &str,
-        chunk: usize,
-        emit: &mut dyn FnMut(&[u8]) -> Result<()>,
-    ) -> Result<u64> {
-        let vref = self
-            .shared
-            .hashtable
-            .get_ref(clock, key.as_bytes())
-            .ok_or_else(|| PmemCpyError::NotFound(key.to_string()))?;
-        let total = vref.len as usize;
-        let mut src = MappingSource::new(&self.mapping, clock, vref.offset as usize, total)?;
-        let mut buf = vec![0u8; chunk.max(1).min(total.max(1))];
-        let mut remaining = total;
-        use pserial::ReadSource;
-        while remaining > 0 {
-            let n = remaining.min(buf.len());
-            src.get(&mut buf[..n])?;
-            emit(&buf[..n])?;
-            remaining -= n;
-        }
-        Ok(total as u64)
     }
 
     fn name(&self) -> &'static str {

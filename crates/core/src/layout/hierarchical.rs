@@ -4,10 +4,9 @@
 //! the variable, a directory is created if it didn't already exist."*).
 
 use crate::error::{PmemCpyError, Result};
-use crate::layout::{Layout, Reservation, ReserveRequest};
-use crate::sink::MappingSource;
+use crate::layout::{Layout, Located, Reservation, ReserveRequest};
 use pmem_sim::{Clock, Machine};
-use pserial::{Serializer, VarHeader};
+use pserial::Serializer;
 use simfs::{EntryKind, SimFs};
 use std::sync::Arc;
 
@@ -81,63 +80,36 @@ impl Layout for HierarchicalLayout {
         Ok(out)
     }
 
-    fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader> {
-        let path = self.path_of(key);
-        if !self.fs.exists(&path) {
-            return Err(PmemCpyError::NotFound(key.to_string()));
+    fn locate_many(&self, clock: &Clock, keys: &[&str]) -> Result<Vec<Located>> {
+        let mut out: Vec<Located> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let located = (|| {
+                let path = self.path_of(key);
+                if !self.fs.exists(&path) {
+                    return Err(PmemCpyError::NotFound(key.to_string()));
+                }
+                let len = self.fs.file_size(&path)? as usize;
+                let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
+                Ok(Located {
+                    mapping,
+                    offset: 0,
+                    len,
+                    unmap_after_load: true,
+                })
+            })();
+            match located {
+                Ok(loc) => out.push(loc),
+                Err(e) => {
+                    // A mid-batch failure must not leak the per-key mappings
+                    // already established for earlier keys.
+                    for loc in &out {
+                        loc.mapping.unmap(clock);
+                    }
+                    return Err(e);
+                }
+            }
         }
-        let len = self.fs.file_size(&path)? as usize;
-        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
-        let mut src = MappingSource::new(&mapping, clock, 0, len)?;
-        let hdr = self.serializer.read_header(&mut src)?;
-        mapping.unmap(clock);
-        Ok(hdr)
-    }
-
-    fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader> {
-        let path = self.path_of(key);
-        if !self.fs.exists(&path) {
-            return Err(PmemCpyError::NotFound(key.to_string()));
-        }
-        let t0 = self.machine.trace_start(clock);
-        let len = self.fs.file_size(&path)? as usize;
-        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
-        self.machine
-            .trace_finish(clock, t0, "get", "get.lookup", None);
-        let t1 = self.machine.trace_start(clock);
-        let mut src = MappingSource::new(&mapping, clock, 0, len)?;
-        let hdr = self.serializer.read_header(&mut src)?;
-        if hdr.payload_len != dst.len() as u64 {
-            mapping.unmap(clock);
-            return Err(PmemCpyError::ShapeMismatch {
-                id: key.to_string(),
-                detail: format!(
-                    "payload {} bytes, buffer {} bytes",
-                    hdr.payload_len,
-                    dst.len()
-                ),
-            });
-        }
-        self.serializer.read_payload(&mut src, dst)?;
-        self.machine.trace_finish(
-            clock,
-            t1,
-            "get",
-            "get.memcpy",
-            Some(("bytes", dst.len() as u64)),
-        );
-        let t2 = self.machine.trace_start(clock);
-        self.machine
-            .charge_serialize(clock, dst.len() as u64, self.serializer.cpu_cost_factor());
-        self.machine.trace_finish(
-            clock,
-            t2,
-            "get",
-            "get.deserialize",
-            Some(("bytes", dst.len() as u64)),
-        );
-        mapping.unmap(clock);
-        Ok(hdr)
+        Ok(out)
     }
 
     fn exists(&self, _clock: &Clock, key: &str) -> bool {
@@ -179,36 +151,6 @@ impl Layout for HierarchicalLayout {
             }
         }
         out
-    }
-
-    fn stream_raw(
-        &self,
-        clock: &Clock,
-        key: &str,
-        chunk: usize,
-        emit: &mut dyn FnMut(&[u8]) -> Result<()>,
-    ) -> Result<u64> {
-        let path = self.path_of(key);
-        if !self.fs.exists(&path) {
-            return Err(PmemCpyError::NotFound(key.to_string()));
-        }
-        let total = self.fs.file_size(&path)? as usize;
-        let mapping = self.fs.mmap_file(clock, &path, self.map_sync)?;
-        let result = (|| {
-            let mut src = MappingSource::new(&mapping, clock, 0, total)?;
-            let mut buf = vec![0u8; chunk.max(1).min(total.max(1))];
-            let mut remaining = total;
-            use pserial::ReadSource;
-            while remaining > 0 {
-                let n = remaining.min(buf.len());
-                src.get(&mut buf[..n])?;
-                emit(&buf[..n])?;
-                remaining -= n;
-            }
-            Ok(total as u64)
-        })();
-        mapping.unmap(clock);
-        result
     }
 
     fn name(&self) -> &'static str {

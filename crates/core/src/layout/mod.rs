@@ -5,18 +5,22 @@
 //! [`crate::sink::MappingSink`]/[`crate::sink::MappingSource`], so the
 //! zero-staging property holds regardless of layout.
 //!
-//! The write path is batched end to end: [`Layout::reserve_many`] is the
-//! per-layout bulk seam (one pool transaction / one batched namespace pass
-//! for a whole group of keys), and the generic [`Layout::store_many`]
-//! pipeline serializes each value straight into its reserved window.
-//! Single-key [`Layout::store`] is a batch of one, so there is exactly one
-//! write-path code path.
+//! Both directions are batched end to end. Writes: [`Layout::reserve_many`]
+//! is the per-layout bulk seam (one pool transaction / one batched namespace
+//! pass for a whole group of keys), and the generic [`Layout::store_many`]
+//! pipeline serializes each value straight into its reserved window. Reads
+//! mirror that shape: [`Layout::locate_many`] is the per-layout bulk lookup
+//! (one chain walk per touched bucket on the hashtable layout), and the
+//! generic [`Layout::load_many`] pipeline decodes each record straight out
+//! of its mapping into a caller-chosen buffer. Single-key
+//! [`Layout::store`]/[`Layout::load_into`]/[`Layout::stat`] are batches of
+//! one, so there is exactly one code path per direction.
 
 pub mod hashtable;
 pub mod hierarchical;
 
-use crate::error::Result;
-use crate::sink::MappingSink;
+use crate::error::{PmemCpyError, Result};
+use crate::sink::{MappingSink, MappingSource};
 use pmem_sim::{Clock, DaxMapping, Machine};
 use pserial::{Serializer, VarHeader, VarMeta};
 use std::sync::Arc;
@@ -44,6 +48,67 @@ pub struct Reservation {
     /// Per-key file mappings (hierarchical layout) are unmapped once the
     /// record is persisted; the pool-wide mapping stays live.
     pub unmap_after_persist: bool,
+}
+
+/// Where a key's record lives: the read-side mirror of [`Reservation`],
+/// resolved by [`Layout::locate_many`].
+pub struct Located {
+    pub mapping: Arc<DaxMapping>,
+    pub offset: usize,
+    pub len: usize,
+    /// Per-key file mappings (hierarchical layout) are unmapped once the
+    /// record is consumed; the pool-wide mapping stays live.
+    pub unmap_after_load: bool,
+}
+
+/// Supplies payload destinations during a batched load: once a record's
+/// header is decoded, the consumer hands back the buffer its payload should
+/// stream into (sized exactly `hdr.payload_len`, validated by the pipeline).
+pub trait ReadConsumer {
+    /// Destination buffer for `keys[idx]`, given its decoded header.
+    fn dst(&mut self, idx: usize, hdr: &VarHeader) -> Result<&mut [u8]>;
+}
+
+/// Decode one located record: header, payload into the consumer's buffer,
+/// deserialize charge — the per-record stage of [`Layout::load_many`].
+fn load_one_located(
+    serializer: &'static dyn Serializer,
+    machine: &Machine,
+    clock: &Clock,
+    key: &str,
+    loc: &Located,
+    idx: usize,
+    consumer: &mut dyn ReadConsumer,
+) -> Result<VarHeader> {
+    let t1 = machine.trace_start(clock);
+    let (hdr, bytes) = {
+        let _p = machine.phase_scope("get.memcpy");
+        let mut src = MappingSource::new(&loc.mapping, clock, loc.offset, loc.len)?;
+        let hdr = serializer.read_header(&mut src)?;
+        let dst = consumer.dst(idx, &hdr)?;
+        if hdr.payload_len != dst.len() as u64 {
+            return Err(PmemCpyError::ShapeMismatch {
+                id: key.to_string(),
+                detail: format!(
+                    "payload {} bytes, buffer {} bytes",
+                    hdr.payload_len,
+                    dst.len()
+                ),
+            });
+        }
+        // Deserialize straight from PMEM into the caller's buffer.
+        serializer.read_payload(&mut src, dst)?;
+        let bytes = dst.len() as u64;
+        (hdr, bytes)
+    };
+    machine.trace_finish(clock, t1, "get", "get.memcpy", Some(("bytes", bytes)));
+    let t2 = machine.trace_start(clock);
+    {
+        let _p = machine.phase_scope("get.deserialize");
+        machine.charge_serialize(clock, bytes, serializer.cpu_cost_factor());
+    }
+    machine.trace_finish(clock, t2, "get", "get.deserialize", Some(("bytes", bytes)));
+    Ok(hdr)
 }
 
 /// A storage layout for serialized variable records.
@@ -145,13 +210,97 @@ pub trait Layout: Send + Sync {
         self.store_many(clock, &[PutRequest { key, meta, payload }])
     }
 
+    /// Resolve where every key's record lives, through the layout's bulk
+    /// lookup seam: the hashtable layout groups keys by bucket and walks
+    /// each chain once (lock-free, one header read per hop), the
+    /// hierarchical layout maps each file. Errors with `NotFound` for the
+    /// first missing key.
+    fn locate_many(&self, clock: &Clock, keys: &[&str]) -> Result<Vec<Located>>;
+
+    /// Load a group of records in one pass per key: bulk-resolve every
+    /// location, then for each record decode the header, obtain the
+    /// destination from `consumer`, and stream the payload straight out of
+    /// the mapping — the read-side mirror of [`Layout::store_many`], and
+    /// the single code path behind [`Layout::load_into`] and
+    /// [`crate::ReadBatch`]. Returns the decoded headers in key order.
+    fn load_many(
+        &self,
+        clock: &Clock,
+        keys: &[&str],
+        consumer: &mut dyn ReadConsumer,
+    ) -> Result<Vec<VarHeader>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let serializer = self.serializer();
+        let machine = Arc::clone(self.machine());
+        let t0 = machine.trace_start(clock);
+        let located = {
+            let _p = machine.phase_scope("get.lookup");
+            self.locate_many(clock, keys)
+        };
+        machine.trace_finish(
+            clock,
+            t0,
+            "get",
+            "get.lookup",
+            Some(("keys", keys.len() as u64)),
+        );
+        let located = located?;
+        let mut hdrs = Vec::with_capacity(located.len());
+        let mut first_err: Option<PmemCpyError> = None;
+        for (i, loc) in located.iter().enumerate() {
+            if first_err.is_none() {
+                match load_one_located(serializer, &machine, clock, keys[i], loc, i, consumer) {
+                    Ok(hdr) => hdrs.push(hdr),
+                    Err(e) => first_err = Some(e),
+                }
+            }
+            // Every per-key mapping is released, even the ones after an
+            // error that were located but never decoded.
+            if loc.unmap_after_load {
+                loc.mapping.unmap(clock);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(hdrs),
+        }
+    }
+
     /// Decode just the header of `key`'s record.
-    fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader>;
+    fn stat(&self, clock: &Clock, key: &str) -> Result<VarHeader> {
+        let loc = self
+            .locate_many(clock, &[key])?
+            .pop()
+            .expect("locate_many returns one location per key");
+        let result = (|| {
+            let mut src = MappingSource::new(&loc.mapping, clock, loc.offset, loc.len)?;
+            Ok(self.serializer().read_header(&mut src)?)
+        })();
+        if loc.unmap_after_load {
+            loc.mapping.unmap(clock);
+        }
+        result
+    }
 
     /// Decode `key`'s record, streaming the payload into `dst`
-    /// (`dst.len()` must equal the payload length; use [`Layout::stat`]
-    /// to discover it). Returns the decoded header.
-    fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader>;
+    /// (`dst.len()` must equal the payload length). A batch of one through
+    /// [`Layout::load_many`] — one lookup returns header + payload.
+    fn load_into(&self, clock: &Clock, key: &str, dst: &mut [u8]) -> Result<VarHeader> {
+        struct One<'d> {
+            dst: &'d mut [u8],
+        }
+        impl ReadConsumer for One<'_> {
+            fn dst(&mut self, _idx: usize, _hdr: &VarHeader) -> Result<&mut [u8]> {
+                Ok(self.dst)
+            }
+        }
+        Ok(self
+            .load_many(clock, &[key], &mut One { dst })?
+            .pop()
+            .expect("load_many returns one header per key"))
+    }
 
     /// Whether `key` exists.
     fn exists(&self, clock: &Clock, key: &str) -> bool;
@@ -163,17 +312,38 @@ pub trait Layout: Send + Sync {
     fn keys(&self, clock: &Clock) -> Vec<String>;
 
     /// Stream `key`'s raw serialized record (header + payload, exactly as
-    /// stored) to `emit` in chunks of at most `chunk` bytes, bounding DRAM
-    /// use to one chunk. Returns the record length. Used by the burst-buffer
-    /// drain, which flushes data "in the same format as it was produced"
-    /// (§3) without staging whole records.
+    /// stored) to `emit` in chunks of at most `chunk` bytes. Zero-copy:
+    /// each chunk is borrowed straight from the mapping — no DRAM staging
+    /// buffer, same fault/read charges as a staged load. Returns the record
+    /// length. Used by the burst-buffer drain, which flushes data "in the
+    /// same format as it was produced" (§3) without staging records.
     fn stream_raw(
         &self,
         clock: &Clock,
         key: &str,
         chunk: usize,
         emit: &mut dyn FnMut(&[u8]) -> Result<()>,
-    ) -> Result<u64>;
+    ) -> Result<u64> {
+        let loc = self
+            .locate_many(clock, &[key])?
+            .pop()
+            .expect("locate_many returns one location per key");
+        let chunk = chunk.max(1);
+        let result = (|| {
+            let mut done = 0usize;
+            while done < loc.len {
+                let n = (loc.len - done).min(chunk);
+                loc.mapping
+                    .load_borrowed(clock, loc.offset + done, n, |bytes| emit(bytes))?;
+                done += n;
+            }
+            Ok(loc.len as u64)
+        })();
+        if loc.unmap_after_load {
+            loc.mapping.unmap(clock);
+        }
+        result
+    }
 
     /// Copy out `key`'s raw serialized record into one buffer (diagnostics
     /// and tests; the drain streams via [`Layout::stream_raw`] instead).

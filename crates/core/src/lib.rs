@@ -53,6 +53,7 @@ pub mod element;
 pub mod error;
 pub mod layout;
 pub mod options;
+pub mod read;
 pub mod region;
 pub mod registry;
 pub mod sink;
@@ -63,3 +64,4 @@ pub use drain::DrainReport;
 pub use element::{Element, Pod};
 pub use error::{PmemCpyError, Result};
 pub use options::{DataLayout, Options};
+pub use read::{GetHandle, ReadBatch, ReadResults};

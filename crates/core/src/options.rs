@@ -31,6 +31,15 @@ pub struct Options {
     /// a rank's variables in a [`crate::WriteBatch`] and commit them through
     /// one pool transaction / one allocator pass instead of one per key.
     pub batch_puts: bool,
+    /// Group read lookups: collective `read()` paths stage a rank's
+    /// variables in a [`crate::ReadBatch`] and resolve them through one
+    /// grouped metadata lookup per batch instead of one per key.
+    pub batch_gets: bool,
+    /// Keep a DRAM-resident shadow of the persistent hashtable
+    /// (PmdkHashtable layout): repeat lookups of a live key skip the
+    /// persistent chain walk entirely. Write-through on every mutation and
+    /// rebuildable from the pool, so it never affects durability.
+    pub shadow_index: bool,
 }
 
 impl Default for Options {
@@ -41,6 +50,8 @@ impl Default for Options {
             layout: DataLayout::PmdkHashtable,
             hashtable_buckets: 4096,
             batch_puts: true,
+            batch_gets: true,
+            shadow_index: true,
         }
     }
 }

@@ -17,11 +17,23 @@
 //! no undo image (nothing to roll back for a new allocation). Bucket access
 //! is striped with volatile locks — rebuilt trivially on open, like PMDK's
 //! runtime lock state.
+//!
+//! The read path is lock-free. Each stripe carries a seqlock epoch (odd
+//! while a writer is splicing its chains): `get_ref`/`get_ref_many` walk a
+//! chain without taking the stripe mutex, validate the epoch afterwards, and
+//! retry (with a deterministic compute penalty) if a writer raced them.
+//! Chains are walked in a single pass — one 24-byte metadata read fetches an
+//! entry's whole `[hash][klen][vlen][next]` header — and a volatile DRAM
+//! shadow index (key → [`ValueRef`], write-through on every mutation,
+//! rebuildable via [`PersistentHashtable::rebuild_shadow`]) lets repeat
+//! lookups skip the PMEM walk entirely.
 
 use crate::error::{PmdkError, Result};
 use crate::pool::PmemPool;
 use parking_lot::Mutex;
-use pmem_sim::Clock;
+use pmem_sim::{Clock, SimTime};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const HDR_BUCKETS: u64 = 0;
@@ -36,6 +48,20 @@ const ENT_KEY: u64 = 24;
 
 const STRIPES: usize = 64;
 
+/// Bound on unlocked chain walks: a torn `next` pointer may form a cycle,
+/// so hop counts beyond any plausible chain length are treated as torn.
+const MAX_PROBE_HOPS: u32 = 1 << 16;
+/// After this many seqlock retries a reader falls back to the stripe lock,
+/// so a busy writer cannot starve it indefinitely.
+const SEQLOCK_MAX_RETRIES: u32 = 8;
+/// Modelled cost of a DRAM shadow-index probe that hits (one cache-missy
+/// hash lookup). Charged unconditionally so virtual time is identical with
+/// metrics on or off.
+const SHADOW_HIT_NS: u64 = 120;
+/// Modelled penalty for one seqlock retry (the wasted walk is already
+/// charged; this is the re-read of the epoch + loop overhead).
+const SEQLOCK_RETRY_NS: u64 = 250;
+
 /// FNV-1a, fixed so tables are portable across runs/machines.
 pub fn fnv1a(key: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -46,16 +72,82 @@ pub fn fnv1a(key: &[u8]) -> u64 {
     h
 }
 
+/// Per-stripe runtime state (volatile; rebuilt on open).
+struct Stripe {
+    /// Writer mutex: all structural mutations of this stripe's chains.
+    lock: Mutex<()>,
+    /// Seqlock epoch: odd while a writer is splicing, bumped twice per
+    /// mutation. Lock-free readers validate it around their walks.
+    epoch: AtomicU64,
+    /// This stripe's slice of the volatile shadow index: key → value
+    /// location, write-through on every put/remove.
+    shadow: Mutex<HashMap<Vec<u8>, ValueRef>>,
+}
+
+fn new_stripes() -> Vec<Stripe> {
+    (0..STRIPES)
+        .map(|_| Stripe {
+            lock: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+            shadow: Mutex::new(HashMap::new()),
+        })
+        .collect()
+}
+
+/// One entry's fixed-size header, fetched with a single 24-byte metadata
+/// read (the old walk paid one charged read per field).
+#[derive(Debug, Clone, Copy)]
+struct EntryHeader {
+    hash: u64,
+    klen: u32,
+    vlen: u32,
+    next: u64,
+}
+
+fn value_ref_of(entry: u64, hdr: &EntryHeader) -> ValueRef {
+    ValueRef {
+        offset: entry + ENT_KEY + hdr.klen as u64,
+        len: hdr.vlen as u64,
+    }
+}
+
+/// RAII seqlock writer section over one or more stripes: entry flips each
+/// epoch odd (readers retry instead of trusting the moving chain), drop
+/// flips it back even — including on error unwinds, so crash-injection
+/// paths cannot wedge readers.
+struct EpochWriteGuard<'a> {
+    stripes: Vec<&'a Stripe>,
+}
+
+impl<'a> EpochWriteGuard<'a> {
+    fn enter(stripes: Vec<&'a Stripe>) -> Self {
+        for s in &stripes {
+            s.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        EpochWriteGuard { stripes }
+    }
+}
+
+impl Drop for EpochWriteGuard<'_> {
+    fn drop(&mut self) {
+        for s in &self.stripes {
+            s.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
 /// A handle to a persistent hashtable living in `pool`.
 pub struct PersistentHashtable {
     pool: Arc<PmemPool>,
     header: u64,
     bucket_count: u64,
-    stripes: Vec<Mutex<()>>,
+    stripes: Vec<Stripe>,
     /// The entry count is shared across all stripes; its read-modify-write
     /// must be serialized separately or concurrent inserts on different
     /// buckets lose increments.
     count_lock: Mutex<()>,
+    /// Gates the volatile shadow index (ablations turn it off).
+    shadow_enabled: AtomicBool,
 }
 
 impl std::fmt::Debug for PersistentHashtable {
@@ -89,12 +181,15 @@ impl PersistentHashtable {
             pool: Arc::clone(pool),
             header,
             bucket_count,
-            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            stripes: new_stripes(),
             count_lock: Mutex::new(()),
+            shadow_enabled: AtomicBool::new(true),
         })
     }
 
-    /// Attach to an existing table at `header`.
+    /// Attach to an existing table at `header`. The shadow index starts
+    /// cold (lookups repopulate it lazily); call
+    /// [`PersistentHashtable::rebuild_shadow`] to warm it eagerly.
     pub fn open(clock: &Clock, pool: &Arc<PmemPool>, header: u64) -> Result<Self> {
         let bucket_count = pool.read_u64(clock, header + HDR_BUCKETS);
         if bucket_count == 0 || bucket_count > (1 << 32) {
@@ -106,8 +201,9 @@ impl PersistentHashtable {
             pool: Arc::clone(pool),
             header,
             bucket_count,
-            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            stripes: new_stripes(),
             count_lock: Mutex::new(()),
+            shadow_enabled: AtomicBool::new(true),
         })
     }
 
@@ -148,20 +244,35 @@ impl PersistentHashtable {
     /// contended counts are always zero — charges under a stripe run in an
     /// atomic section, so the token never moves while a stripe is held —
     /// which makes nonzero values a free-threaded-only contention signal.
+    /// Since the seqlock landed only writers take stripes, so the heat map
+    /// is a *write* heat map.
     fn lock_stripe(&self, id: usize) -> parking_lot::MutexGuard<'_, ()> {
         let machine = self.pool.device().machine();
         if machine.metrics_enabled() {
             machine.metric_counter_add(&format!("stripe.{id:02}.acquires"), 1);
-            if let Some(guard) = self.stripes[id].try_lock() {
+            if let Some(guard) = self.stripes[id].lock.try_lock() {
                 return guard;
             }
             machine.metric_counter_add(&format!("stripe.{id:02}.contended"), 1);
         }
-        self.stripes[id].lock()
+        self.stripes[id].lock.lock()
     }
 
-    /// Walk a chain looking for `key`. Returns (predecessor_next_slot, entry).
-    fn find(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64)> {
+    /// Fetch an entry's whole header with one charged metadata read.
+    fn read_entry_header(&self, clock: &Clock, entry: u64) -> EntryHeader {
+        let mut b = [0u8; ENT_KEY as usize];
+        self.pool.read_bytes(clock, entry, &mut b);
+        EntryHeader {
+            hash: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            klen: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            vlen: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+            next: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+        }
+    }
+
+    /// Walk a chain looking for `key` (writer side, caller holds the
+    /// stripe). Returns (predecessor_next_slot, entry, header).
+    fn find(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64, EntryHeader)> {
         let machine = self.pool.device().machine();
         let t0 = machine.trace_start(clock);
         let out = self.find_inner(clock, key, hash);
@@ -169,25 +280,145 @@ impl PersistentHashtable {
         out
     }
 
-    fn find_inner(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64)> {
+    fn find_inner(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64, EntryHeader)> {
         let mut slot = self.head_slot(self.bucket_of(hash));
         let mut entry = self.pool.read_u64(clock, slot);
         while entry != 0 {
-            let ehash = self.pool.read_u64(clock, entry + ENT_HASH);
-            if ehash == hash {
-                let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as usize;
-                if klen == key.len() {
-                    let mut kbuf = vec![0u8; klen];
-                    self.pool.read_bytes(clock, entry + ENT_KEY, &mut kbuf);
-                    if kbuf == key {
-                        return Some((slot, entry));
-                    }
+            let hdr = self.read_entry_header(clock, entry);
+            if hdr.hash == hash && hdr.klen as usize == key.len() {
+                let mut kbuf = vec![0u8; key.len()];
+                self.pool.read_bytes(clock, entry + ENT_KEY, &mut kbuf);
+                if kbuf == key {
+                    return Some((slot, entry, hdr));
                 }
             }
             slot = entry + ENT_NEXT;
-            entry = self.pool.read_u64(clock, slot);
+            entry = hdr.next;
         }
         None
+    }
+
+    // ---- volatile shadow index ----
+
+    /// Enable/disable the shadow index at runtime; disabling drops every
+    /// cached entry (ablations compare cold chain walks against the cache).
+    pub fn set_shadow_enabled(&self, enabled: bool) {
+        self.shadow_enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            for s in &self.stripes {
+                s.shadow.lock().clear();
+            }
+        }
+    }
+
+    pub fn shadow_enabled(&self) -> bool {
+        self.shadow_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached key → value locations (diagnostics).
+    pub fn shadow_len(&self) -> usize {
+        self.stripes.iter().map(|s| s.shadow.lock().len()).sum()
+    }
+
+    /// Rebuild the shadow index from the persistent table: one full bucket
+    /// scan, charged like any other metadata walk. Opening a pool leaves
+    /// the cache cold by default (lazy population is free); callers that
+    /// prefer a warm cache after `open` pay the scan cost explicitly here.
+    /// Returns the number of entries installed.
+    pub fn rebuild_shadow(&self, clock: &Clock) -> u64 {
+        if !self.shadow_enabled.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let _atomic = pmem_sim::atomic_section();
+        let mut installed = 0u64;
+        for b in 0..self.bucket_count {
+            let sid = self.stripe_id(b);
+            let _guard = self.lock_stripe(sid);
+            let mut shadow = self.stripes[sid].shadow.lock();
+            let mut entry = self.pool.read_u64(clock, self.head_slot(b));
+            while entry != 0 {
+                let hdr = self.read_entry_header(clock, entry);
+                let mut k = vec![0u8; hdr.klen as usize];
+                self.pool.read_bytes(clock, entry + ENT_KEY, &mut k);
+                shadow.insert(k, value_ref_of(entry, &hdr));
+                installed += 1;
+                entry = hdr.next;
+            }
+        }
+        installed
+    }
+
+    /// Probe the shadow index. A hit replaces the whole PMEM chain walk
+    /// with one DRAM hash probe, charged unconditionally (fixed cost,
+    /// metrics on or off) under the `get.lookup.cached` phase. Misses are
+    /// charge-free, so shadow-off and shadow-on-miss timings are identical.
+    fn shadow_probe(&self, clock: &Clock, stripe: &Stripe, key: &[u8]) -> Option<ValueRef> {
+        if !self.shadow_enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let machine = self.pool.device().machine();
+        let e1 = stripe.epoch.load(Ordering::Acquire);
+        if e1 & 1 != 0 {
+            return None; // writer mid-splice: take the validating walk
+        }
+        let hit = stripe.shadow.lock().get(key).copied();
+        if stripe.epoch.load(Ordering::Acquire) != e1 {
+            return None; // raced a writer; the walk revalidates
+        }
+        match hit {
+            Some(vref) => {
+                let _cached = machine.phase_scope("get.lookup.cached");
+                machine.charge_compute_labeled(
+                    clock,
+                    SimTime::from_nanos(SHADOW_HIT_NS),
+                    "index.probe",
+                );
+                machine.metric_counter_add("shadow.hits", 1);
+                Some(vref)
+            }
+            None => {
+                machine.metric_counter_add("shadow.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Cache a location discovered by a validated lock-free walk. `epoch`
+    /// is the stripe epoch the walk validated against: if a writer has
+    /// moved the chain since, the entry may be stale (or freed) and must
+    /// not be published.
+    fn shadow_publish(&self, stripe: &Stripe, key: &[u8], vref: ValueRef, epoch: u64) {
+        if !self.shadow_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut shadow = stripe.shadow.lock();
+        if stripe.epoch.load(Ordering::Acquire) == epoch {
+            shadow.insert(key.to_vec(), vref);
+        }
+    }
+
+    /// Writer-side invalidation (caller holds the stripe): drop any cached
+    /// ref *before* the chain moves, so a stale shadow hit can never point
+    /// at a freed entry.
+    fn shadow_invalidate(&self, stripe: &Stripe, key: &[u8]) {
+        if !self.shadow_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        if stripe.shadow.lock().remove(key).is_some() {
+            self.pool
+                .device()
+                .machine()
+                .metric_counter_add("shadow.invalidations", 1);
+        }
+    }
+
+    /// Writer-side write-through (caller holds the stripe, after the tx
+    /// committed): the new location is immediately visible to readers.
+    fn shadow_store(&self, stripe: &Stripe, key: &[u8], vref: ValueRef) {
+        if !self.shadow_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        stripe.shadow.lock().insert(key.to_vec(), vref);
     }
 
     /// Insert (or replace) `key` with space for `val_len` value bytes, but do
@@ -257,6 +488,11 @@ impl PersistentHashtable {
         stripe_ids.sort_unstable();
         stripe_ids.dedup();
         let _guards: Vec<_> = stripe_ids.iter().map(|&i| self.lock_stripe(i)).collect();
+        let _epoch = EpochWriteGuard::enter(stripe_ids.iter().map(|&i| &self.stripes[i]).collect());
+        for (i, &(key, _)) in reqs.iter().enumerate() {
+            let stripe = &self.stripes[self.stripe_id(self.bucket_of(hashes[i]))];
+            self.shadow_invalidate(stripe, key);
+        }
 
         let entries = self.pool.tx(clock, |tx| {
             // One allocator pass for every entry in the group.
@@ -269,9 +505,9 @@ impl PersistentHashtable {
                 // this entry's predecessor.
                 for &i in idxs {
                     let (key, _) = reqs[i];
-                    if let Some((pred_slot, old_entry)) = self.find(clock, key, hashes[i]) {
-                        let old_next = self.pool.read_u64(clock, old_entry + ENT_NEXT);
-                        tx.set(pred_slot, &old_next.to_le_bytes())?;
+                    if let Some((pred_slot, old_entry, old_hdr)) = self.find(clock, key, hashes[i])
+                    {
+                        tx.set(pred_slot, &old_hdr.next.to_le_bytes())?;
                         tx.free(old_entry)?;
                     } else {
                         net_new += 1;
@@ -300,14 +536,19 @@ impl PersistentHashtable {
             }
             Ok(entries)
         })?;
-        Ok(reqs
+        let refs: Vec<ValueRef> = reqs
             .iter()
             .zip(&entries)
             .map(|(&(key, val_len), &entry)| ValueRef {
                 offset: entry + ENT_KEY + key.len() as u64,
                 len: val_len,
             })
-            .collect())
+            .collect();
+        for (i, &(key, _)) in reqs.iter().enumerate() {
+            let stripe = &self.stripes[self.stripe_id(self.bucket_of(hashes[i]))];
+            self.shadow_store(stripe, key, refs[i]);
+        }
+        Ok(refs)
     }
 
     fn insert_impl(
@@ -323,7 +564,11 @@ impl PersistentHashtable {
         // Charges happen under the stripe lock: the deterministic scheduler
         // must not park this thread while it holds the stripe.
         let _atomic = pmem_sim::atomic_section();
-        let _guard = self.lock_stripe(self.stripe_id(bucket));
+        let sid = self.stripe_id(bucket);
+        let _guard = self.lock_stripe(sid);
+        let stripe = &self.stripes[sid];
+        let _epoch = EpochWriteGuard::enter(vec![stripe]);
+        self.shadow_invalidate(stripe, key);
         let existing = self.find(clock, key, hash);
         let head_slot = self.head_slot(bucket);
         let entry_size = ENT_KEY + key.len() as u64 + val_len;
@@ -343,7 +588,7 @@ impl PersistentHashtable {
             tx.write_new(entry + ENT_NEXT, &old_head.to_le_bytes());
             // Linking the head is the visible commit point.
             tx.set(head_slot, &entry.to_le_bytes())?;
-            if let Some((pred_slot, old_entry)) = existing {
+            if let Some((pred_slot, old_entry, old_hdr)) = existing {
                 // Unlink + free the replaced entry in the same transaction.
                 // The predecessor slot may be the old head we just rewrote;
                 // re-read through the new chain.
@@ -352,8 +597,7 @@ impl PersistentHashtable {
                 } else {
                     pred_slot
                 };
-                let old_next = self.pool.read_u64(clock, old_entry + ENT_NEXT);
-                tx.set(pred_slot, &old_next.to_le_bytes())?;
+                tx.set(pred_slot, &old_hdr.next.to_le_bytes())?;
                 tx.free(old_entry)?;
             } else {
                 let _count_guard = self.count_lock.lock();
@@ -362,10 +606,12 @@ impl PersistentHashtable {
             }
             Ok(entry + ENT_KEY + key.len() as u64)
         })?;
-        Ok(ValueRef {
+        let vref = ValueRef {
             offset: value_off,
             len: val_len,
-        })
+        };
+        self.shadow_store(stripe, key, vref);
+        Ok(vref)
     }
 
     /// Insert (or replace) `key → value` atomically: on a crash at any point
@@ -375,20 +621,185 @@ impl PersistentHashtable {
         self.insert_impl(clock, key, value.len() as u64, Some(value))
     }
 
-    /// Locate `key`'s value without copying it.
+    /// Locate `key`'s value without copying it. Lock-free: probes the
+    /// shadow index, then walks the chain under the stripe's seqlock
+    /// without ever taking the stripe mutex (writers bump the epoch;
+    /// readers validate and retry).
     pub fn get_ref(&self, clock: &Clock, key: &[u8]) -> Option<ValueRef> {
         let hash = fnv1a(key);
-        let bucket = self.bucket_of(hash);
-        let _atomic = pmem_sim::atomic_section();
-        let _guard = self.lock_stripe(self.stripe_id(bucket));
-        self.find(clock, key, hash).map(|(_, entry)| {
-            let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as u64;
-            let vlen = self.pool.read_u32(clock, entry + ENT_VLEN) as u64;
-            ValueRef {
-                offset: entry + ENT_KEY + klen,
-                len: vlen,
+        let mut out = [None];
+        self.get_group(clock, &[key], &[hash], self.bucket_of(hash), &[0], &mut out);
+        out[0]
+    }
+
+    /// Batched lookup: resolve every key with one chain walk per touched
+    /// bucket. Keys are grouped by (stripe, bucket) in sorted order — the
+    /// same deterministic grouping the write batches use for stripe
+    /// acquisition — so keys sharing a bucket share its head/header reads.
+    /// Results are positionally parallel to `keys`.
+    pub fn get_ref_many(&self, clock: &Clock, keys: &[&[u8]]) -> Vec<Option<ValueRef>> {
+        let mut out = vec![None; keys.len()];
+        let hashes: Vec<u64> = keys.iter().map(|k| fnv1a(k)).collect();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| {
+            let bucket = self.bucket_of(hashes[i]);
+            (self.stripe_id(bucket), bucket, i)
+        });
+        let mut i = 0;
+        while i < order.len() {
+            let bucket = self.bucket_of(hashes[order[i]]);
+            let mut j = i + 1;
+            while j < order.len() && self.bucket_of(hashes[order[j]]) == bucket {
+                j += 1;
             }
-        })
+            self.get_group(clock, keys, &hashes, bucket, &order[i..j], &mut out);
+            i = j;
+        }
+        out
+    }
+
+    /// Resolve one bucket's worth of keys: shadow probes first, then a
+    /// single validated lock-free walk for the rest.
+    fn get_group(
+        &self,
+        clock: &Clock,
+        keys: &[&[u8]],
+        hashes: &[u64],
+        bucket: u64,
+        group: &[usize],
+        out: &mut [Option<ValueRef>],
+    ) {
+        let stripe = &self.stripes[self.stripe_id(bucket)];
+        let mut pending: Vec<usize> = Vec::with_capacity(group.len());
+        for &i in group {
+            match self.shadow_probe(clock, stripe, keys[i]) {
+                Some(vref) => out[i] = Some(vref),
+                None => pending.push(i),
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let machine = self.pool.device().machine();
+        let t0 = machine.trace_start(clock);
+        let mut pool_reads = 0u64;
+        let mut retries = 0u32;
+        loop {
+            let e1 = stripe.epoch.load(Ordering::Acquire);
+            if e1 & 1 == 0 {
+                if let Some(found) =
+                    self.probe_chain_group(clock, keys, hashes, bucket, &pending, &mut pool_reads)
+                {
+                    if stripe.epoch.load(Ordering::Acquire) == e1 {
+                        for (&i, vref) in pending.iter().zip(&found) {
+                            out[i] = *vref;
+                            if let Some(vref) = vref {
+                                self.shadow_publish(stripe, keys[i], *vref, e1);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            // Torn or raced: charge a deterministic retry penalty and walk
+            // again. Under SchedMode::Deterministic writers splice inside
+            // atomic sections, so any retry pattern is itself reproducible.
+            machine.charge_compute_labeled(
+                clock,
+                SimTime::from_nanos(SEQLOCK_RETRY_NS),
+                "seqlock.retry",
+            );
+            machine.metric_counter_add("ht.seqlock.retries", 1);
+            retries += 1;
+            if retries >= SEQLOCK_MAX_RETRIES {
+                // A busy writer must not starve readers: fall back to the
+                // mutex and walk a quiescent chain.
+                let _atomic = pmem_sim::atomic_section();
+                let _guard = self.lock_stripe(self.stripe_id(bucket));
+                for &i in &pending {
+                    out[i] = self
+                        .find_inner(clock, keys[i], hashes[i])
+                        .map(|(_, entry, hdr)| value_ref_of(entry, &hdr));
+                }
+                break;
+            }
+        }
+        machine.trace_finish(
+            clock,
+            t0,
+            "pmdk",
+            "ht.probe",
+            Some(("keys", pending.len() as u64)),
+        );
+        if pool_reads > 0 {
+            machine.metric_counter_add("get.lookup.pool_reads", pool_reads);
+        }
+    }
+
+    /// One unlocked chain walk resolving a whole bucket group in a single
+    /// header pass. Returns `None` on a torn read (out-of-bounds entry or
+    /// implausible hop count — the epoch check then retries), otherwise
+    /// results positionally parallel to `group`. `pool_reads` counts
+    /// charged pool read ops (the `get.lookup.pool_reads` counter).
+    fn probe_chain_group(
+        &self,
+        clock: &Clock,
+        keys: &[&[u8]],
+        hashes: &[u64],
+        bucket: u64,
+        group: &[usize],
+        pool_reads: &mut u64,
+    ) -> Option<Vec<Option<ValueRef>>> {
+        let device_size = self.pool.device().size() as u64;
+        let mut found: Vec<Option<ValueRef>> = vec![None; group.len()];
+        let mut unresolved = group.len();
+        *pool_reads += 1;
+        let mut entry = self.pool.read_u64(clock, self.head_slot(bucket));
+        let mut hops = 0u32;
+        while entry != 0 && unresolved > 0 {
+            // A concurrent writer may have recycled this pointer: bound
+            // every dereference so garbage is detected (and retried via the
+            // epoch) instead of faulting the simulated device.
+            if hops >= MAX_PROBE_HOPS
+                || entry
+                    .checked_add(ENT_KEY)
+                    .is_none_or(|end| end > device_size)
+            {
+                return None;
+            }
+            *pool_reads += 1;
+            let hdr = self.read_entry_header(clock, entry);
+            if (entry + ENT_KEY)
+                .checked_add(hdr.klen as u64 + hdr.vlen as u64)
+                .is_none_or(|end| end > device_size)
+            {
+                return None;
+            }
+            let mut kbuf: Option<Vec<u8>> = None;
+            for (gi, &i) in group.iter().enumerate() {
+                if found[gi].is_some()
+                    || hdr.hash != hashes[i]
+                    || hdr.klen as usize != keys[i].len()
+                {
+                    continue;
+                }
+                if kbuf.is_none() {
+                    // Key bytes are read once per entry even if several
+                    // group members share the hash.
+                    *pool_reads += 1;
+                    let mut b = vec![0u8; hdr.klen as usize];
+                    self.pool.read_bytes(clock, entry + ENT_KEY, &mut b);
+                    kbuf = Some(b);
+                }
+                if kbuf.as_deref() == Some(keys[i]) {
+                    found[gi] = Some(value_ref_of(entry, &hdr));
+                    unresolved -= 1;
+                }
+            }
+            entry = hdr.next;
+            hops += 1;
+        }
+        Some(found)
     }
 
     /// Copy out `key`'s value.
@@ -408,13 +819,16 @@ impl PersistentHashtable {
         let hash = fnv1a(key);
         let bucket = self.bucket_of(hash);
         let _atomic = pmem_sim::atomic_section();
-        let _guard = self.lock_stripe(self.stripe_id(bucket));
-        let Some((pred_slot, entry)) = self.find(clock, key, hash) else {
+        let sid = self.stripe_id(bucket);
+        let _guard = self.lock_stripe(sid);
+        let stripe = &self.stripes[sid];
+        let _epoch = EpochWriteGuard::enter(vec![stripe]);
+        self.shadow_invalidate(stripe, key);
+        let Some((pred_slot, entry, hdr)) = self.find(clock, key, hash) else {
             return Ok(false);
         };
         self.pool.tx(clock, |tx| {
-            let next = self.pool.read_u64(clock, entry + ENT_NEXT);
-            tx.set(pred_slot, &next.to_le_bytes())?;
+            tx.set(pred_slot, &hdr.next.to_le_bytes())?;
             tx.free(entry)?;
             let _count_guard = self.count_lock.lock();
             let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
@@ -430,11 +844,11 @@ impl PersistentHashtable {
         for b in 0..self.bucket_count {
             let mut entry = self.pool.read_u64(clock, self.head_slot(b));
             while entry != 0 {
-                let klen = self.pool.read_u32(clock, entry + ENT_KLEN) as usize;
-                let mut k = vec![0u8; klen];
+                let hdr = self.read_entry_header(clock, entry);
+                let mut k = vec![0u8; hdr.klen as usize];
                 self.pool.read_bytes(clock, entry + ENT_KEY, &mut k);
                 out.push(k);
-                entry = self.pool.read_u64(clock, entry + ENT_NEXT);
+                entry = hdr.next;
             }
         }
         out
@@ -459,7 +873,7 @@ impl PersistentHashtable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem_sim::{Machine, PersistenceMode, PmemDevice};
+    use pmem_sim::{Machine, MetricsRegistry, PersistenceMode, PmemDevice};
 
     fn table(bytes: usize, buckets: u64) -> (PersistentHashtable, Arc<PmemPool>, Clock) {
         let dev = PmemDevice::new(Machine::chameleon(), bytes, PersistenceMode::Tracked);
@@ -654,6 +1068,28 @@ mod tests {
     }
 
     #[test]
+    fn crash_mid_put_leaves_epoch_even_for_readers() {
+        let (ht, pool, clock) = table(1 << 22, 16);
+        ht.put(&clock, b"k", b"stable").unwrap();
+        pool.fail_points.arm("tx::commit-before", 1);
+        ht.put(&clock, b"k", b"doomed").unwrap_err();
+        // The EpochWriteGuard must have restored every epoch to even on the
+        // error path, or all subsequent lock-free gets would retry forever.
+        for s in &ht.stripes {
+            assert_eq!(s.epoch.load(Ordering::Acquire) & 1, 0);
+        }
+        // Injected tx failures skip in-process rollback (they model a
+        // crash); recover through reopen before reading.
+        pool.device().crash();
+        let header = ht.header_offset();
+        let dev = Arc::clone(pool.device());
+        drop((ht, pool));
+        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        assert_eq!(ht.get(&clock, b"k").unwrap(), b"stable");
+    }
+
+    #[test]
     fn concurrent_inserts_from_many_threads() {
         let (ht, _pool, clock) = table(1 << 23, 64);
         let ht = Arc::new(ht);
@@ -679,6 +1115,176 @@ mod tests {
                 assert_eq!(ht.get(&clock, key.as_bytes()).unwrap(), key.as_bytes());
             }
         }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_always_see_consistent_values() {
+        // Seqlock stress: writers repeatedly overwrite the same keys while
+        // lock-free readers get them. Every read must return either a
+        // complete old or complete new value — never torn bytes, never a
+        // panic from chasing a recycled pointer.
+        let (ht, _pool, clock) = table(1 << 24, 4); // few buckets: long chains
+        let ht = Arc::new(ht);
+        let clock = Arc::new(clock);
+        let stop = Arc::new(AtomicBool::new(false));
+        let keys: Vec<String> = (0..16).map(|i| format!("hot-{i}")).collect();
+        for k in &keys {
+            ht.put(&clock, k.as_bytes(), format!("{k}-v0").as_bytes())
+                .unwrap();
+        }
+        let mut handles = vec![];
+        for w in 0..2 {
+            let ht = Arc::clone(&ht);
+            let clock = Arc::clone(&clock);
+            let keys = keys.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 1..30u32 {
+                    for k in keys.iter().skip(w).step_by(2) {
+                        ht.put(&clock, k.as_bytes(), format!("{k}-v{round}").as_bytes())
+                            .unwrap();
+                    }
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let ht = Arc::clone(&ht);
+            let clock = Arc::clone(&clock);
+            let keys = keys.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for k in &keys {
+                        let got = ht.get(&clock, k.as_bytes()).expect("hot key must exist");
+                        let s = String::from_utf8(got).expect("value must be utf-8");
+                        assert!(
+                            s.starts_with(&format!("{k}-v")),
+                            "torn read: key {k} returned {s:?}"
+                        );
+                    }
+                }
+            }));
+        }
+        for h in handles.drain(..2) {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn get_ref_many_matches_per_key_gets() {
+        let (ht, _pool, clock) = table(1 << 22, 2); // heavy bucket sharing
+        for i in 0..10u32 {
+            ht.put(&clock, format!("k{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let names: Vec<String> = (0..12).map(|i| format!("k{i}")).collect();
+        let keys: Vec<&[u8]> = names.iter().map(|n| n.as_bytes()).collect();
+        ht.set_shadow_enabled(false); // force the chain walks
+        ht.set_shadow_enabled(true);
+        let batched = ht.get_ref_many(&clock, &keys);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(batched[i], ht.get_ref(&clock, k), "key {i} diverged");
+        }
+        assert!(batched[10].is_none() && batched[11].is_none());
+    }
+
+    #[test]
+    fn shadow_index_hits_skip_pool_reads_and_invalidate_on_mutation() {
+        let dev = PmemDevice::new(Machine::chameleon(), 1 << 22, PersistenceMode::Fast);
+        let registry = MetricsRegistry::new();
+        dev.machine().set_metrics(Arc::clone(&registry));
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::create(&clock, &pool, 16).unwrap();
+        ht.put(&clock, b"cached", b"value-1").unwrap();
+        // put's write-through makes the very first get a shadow hit.
+        let before = registry.snapshot();
+        assert_eq!(ht.get(&clock, b"cached").unwrap(), b"value-1");
+        let after = registry.snapshot();
+        assert_eq!(
+            after.counter("shadow.hits") - before.counter("shadow.hits"),
+            1
+        );
+        assert_eq!(
+            after.counter("get.lookup.pool_reads"),
+            before.counter("get.lookup.pool_reads"),
+            "a shadow hit must not charge chain-walk reads"
+        );
+        // Overwrite invalidates, then re-caches the new location.
+        ht.put(&clock, b"cached", b"value-2").unwrap();
+        assert!(registry.snapshot().counter("shadow.invalidations") >= 1);
+        assert_eq!(ht.get(&clock, b"cached").unwrap(), b"value-2");
+        // Remove invalidates; the next lookup walks and misses.
+        ht.remove(&clock, b"cached").unwrap();
+        assert!(ht.get(&clock, b"cached").is_none());
+        let s = registry.snapshot();
+        assert!(s.counter("shadow.invalidations") >= 2);
+        assert!(s.counter("shadow.misses") >= 1);
+    }
+
+    #[test]
+    fn single_pass_walk_charges_at_most_three_reads_per_key() {
+        let dev = PmemDevice::new(Machine::chameleon(), 1 << 22, PersistenceMode::Fast);
+        let registry = MetricsRegistry::new();
+        dev.machine().set_metrics(Arc::clone(&registry));
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::create(&clock, &pool, 4096).unwrap();
+        for i in 0..32u32 {
+            ht.put(&clock, format!("var{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        ht.set_shadow_enabled(false); // cold walks only
+        ht.set_shadow_enabled(true);
+        let before = registry.snapshot().counter("get.lookup.pool_reads");
+        for i in 0..32u32 {
+            assert!(ht.get_ref(&clock, format!("var{i}").as_bytes()).is_some());
+        }
+        let reads = registry.snapshot().counter("get.lookup.pool_reads") - before;
+        // Single-entry buckets: head + header + key = 3 charged reads per
+        // key (the pre-batch walk paid 6: head, hash, klen, key, klen, vlen).
+        assert!(
+            reads <= 3 * 32,
+            "expected ≤ 3 reads/key from the single-pass walk, got {reads} for 32 keys"
+        );
+    }
+
+    #[test]
+    fn rebuild_shadow_warms_the_cache_from_the_persistent_table() {
+        let (ht, pool, clock) = table(1 << 22, 16);
+        for i in 0..8u32 {
+            ht.put(&clock, format!("k{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let header = ht.header_offset();
+        let dev = Arc::clone(pool.device());
+        drop((ht, pool));
+        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        assert_eq!(ht.shadow_len(), 0, "reopened tables start cold");
+        assert_eq!(ht.rebuild_shadow(&clock), 8);
+        assert_eq!(ht.shadow_len(), 8);
+        for i in 0..8u32 {
+            assert_eq!(
+                ht.get(&clock, format!("k{i}").as_bytes()).unwrap(),
+                i.to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn shadow_can_be_disabled() {
+        let (ht, _pool, clock) = table(1 << 22, 16);
+        ht.put(&clock, b"k", b"v").unwrap();
+        assert!(ht.shadow_len() > 0);
+        ht.set_shadow_enabled(false);
+        assert_eq!(ht.shadow_len(), 0);
+        assert_eq!(ht.get(&clock, b"k").unwrap(), b"v"); // chain walk still works
+        assert_eq!(ht.shadow_len(), 0, "disabled cache must not repopulate");
+        assert_eq!(ht.rebuild_shadow(&clock), 0);
     }
 
     #[test]

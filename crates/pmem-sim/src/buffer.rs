@@ -105,6 +105,25 @@ impl SharedBuffer {
         v
     }
 
+    /// Run `f` over the range as a borrowed slice — a zero-copy read.
+    ///
+    /// The disjointness contract extends over the whole call: no concurrent
+    /// write may target `[off, off+len)` while `f` runs. All extents handed
+    /// out by the workspace allocators are disjoint per record, so readers
+    /// of committed records satisfy this by construction.
+    #[inline]
+    pub fn with_slice<R>(&self, off: usize, len: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len()),
+            "SharedBuffer with_slice out of bounds: off={off} len={len} cap={}",
+            self.len()
+        );
+        // SAFETY: bounds checked above; disjointness is the caller contract,
+        // so no `&mut` alias of this range exists while the borrow lives.
+        let slice = unsafe { std::slice::from_raw_parts(self.ptr().add(off) as *const u8, len) };
+        f(slice)
+    }
+
     /// Copy `len` bytes from `src_off` in `src` to `dst_off` in `self`.
     /// The two buffers may be the same object only if the ranges are disjoint.
     pub fn copy_from(&self, dst_off: usize, src: &SharedBuffer, src_off: usize, len: usize) {
@@ -190,6 +209,21 @@ mod tests {
         for i in 0..8usize {
             assert!(b.read_vec(i * 8192, 8192).iter().all(|&x| x == i as u8 + 1));
         }
+    }
+
+    #[test]
+    fn with_slice_borrows_without_copying() {
+        let b = SharedBuffer::new(16);
+        b.write(4, &[1, 2, 3, 4]);
+        let sum: u32 = b.with_slice(4, 4, |s| s.iter().map(|&x| x as u32).sum());
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn with_slice_past_end_panics() {
+        let b = SharedBuffer::new(8);
+        b.with_slice(6, 4, |_| ());
     }
 
     #[test]

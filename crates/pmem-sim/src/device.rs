@@ -95,6 +95,22 @@ impl PmemDevice {
         self.machine.charge_pmem_read(clock, dst.len() as u64);
     }
 
+    /// Load bytes as a borrowed slice — same charges as [`PmemDevice::read`]
+    /// but without a DRAM destination buffer. The disjointness contract of
+    /// [`SharedBuffer::with_slice`] applies for the duration of `f`.
+    pub fn read_borrowed<R>(
+        &self,
+        clock: &Clock,
+        off: usize,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        // Charge first so `f` observes the same clock it would after a
+        // staged `read` of the same range (emit callbacks charge on top).
+        self.machine.charge_pmem_read(clock, len as u64);
+        self.buf.with_slice(off, len, f)
+    }
+
     /// Zero a range, charged as a write stream.
     pub fn zero(&self, clock: &Clock, off: usize, len: usize) {
         self.zero_untimed(off, len);

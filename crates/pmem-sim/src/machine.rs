@@ -383,6 +383,16 @@ impl Machine {
         clock.advance(self.cpu_scaled(t));
     }
 
+    /// Charge fixed CPU work as a named primitive, so the duration stays
+    /// inside the phase-tiling contract (attributed to the innermost phase,
+    /// falling back to `name`) and shows up in traces/histograms. Used by
+    /// higher layers for DRAM index probes and seqlock retry penalties.
+    pub fn charge_compute_labeled(&self, clock: &Clock, t: SimTime, name: &'static str) {
+        let t0 = self.obs_start(clock);
+        clock.advance(self.cpu_scaled(t));
+        self.obs_finish(clock, t0, name, None);
+    }
+
     /// CPU cost of serializing `bytes` through a format with the given
     /// relative cost factor (1.0 = the machine's base rate).
     pub fn charge_serialize(&self, clock: &Clock, bytes: u64, format_factor: f64) {

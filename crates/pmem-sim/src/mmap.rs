@@ -159,6 +159,24 @@ impl DaxMapping {
         self.device.read(clock, self.base + off, dst);
     }
 
+    /// Load through the mapping as a borrowed slice: identical fault
+    /// accounting and read charges to [`DaxMapping::load`], but `f` sees the
+    /// device bytes directly — no DRAM staging buffer. The caller must not
+    /// write `[off, off+len)` concurrently for the duration of `f` (the
+    /// [`crate::buffer::SharedBuffer`] disjointness contract).
+    pub fn load_borrowed<R>(
+        &self,
+        clock: &Clock,
+        off: usize,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        self.assert_mapped();
+        self.check_range(off, len);
+        self.fault_range(clock, off, len);
+        self.device.read_borrowed(clock, self.base + off, len, f)
+    }
+
     /// Persist a range of the mapping (CLWB range + SFENCE).
     pub fn persist(&self, clock: &Clock, off: usize, len: usize) {
         self.assert_mapped();
@@ -292,6 +310,21 @@ mod tests {
         let m = DaxMapping::new(&c, Arc::clone(&dev), 4096, 4096, false);
         m.store(&c, 0, b"xyz");
         assert_eq!(dev.read_vec_untimed(4096, 3), b"xyz");
+    }
+
+    #[test]
+    fn load_borrowed_charges_like_staged_load() {
+        let (staged, c1) = mapping(false);
+        let (borrowed, c2) = mapping(false);
+        staged.store(&c1, 0, &[7; 4096]);
+        borrowed.store(&c2, 0, &[7; 4096]);
+        let mut out = [0u8; 4096];
+        let t1 = c1.now();
+        staged.load(&c1, 0, &mut out);
+        let t2 = c2.now();
+        let seen = borrowed.load_borrowed(&c2, 0, 4096, |s| s.to_vec());
+        assert_eq!(seen, out);
+        assert_eq!(c2.now() - t2, c1.now() - t1);
     }
 
     #[test]
