@@ -5,6 +5,7 @@
 //!
 //! commands:
 //!   fig6               Figure 6: write performance sweep
+//!   fig6-wb            Figure 6 ablation: write-behind WAL puts vs inline
 //!   fig7               Figure 7: read performance sweep
 //!   api                §3 API-complexity table
 //!   machine            §4 testbed / PMEM-emulation constants
@@ -70,6 +71,7 @@ fn main() {
 fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()> {
     match cmd {
         "fig6" => fig_cmd(Direction::Write, procs, real_bytes)?,
+        "fig6-wb" => fig6_write_behind(real_bytes)?,
         "fig7" => fig_cmd(Direction::Read, procs, real_bytes)?,
         "api" => print!("{}", api_complexity::render_api_table()),
         "machine" => machine_cmd(),
@@ -88,6 +90,7 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
             machine_cmd();
             print!("{}", api_complexity::render_api_table());
             fig_cmd(Direction::Write, procs, real_bytes)?;
+            fig6_write_behind(real_bytes)?;
             fig_cmd(Direction::Read, procs, real_bytes)?;
             ablate_serializer(real_bytes)?;
             ablate_layout(real_bytes)?;
@@ -166,6 +169,72 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Res
         &format!("results/{name}_trace.json"),
         &chrome_trace_json(&spans, &lanes),
     )
+}
+
+/// CI perf + regression gate: write-behind puts (one fenced WAL append per
+/// commit group, checkpoint work on the background lane) must never be
+/// slower than inline commits on the paper's headline write cell. Emits a
+/// BENCH report for the perfgate baseline comparison and exits nonzero on
+/// regression.
+fn fig6_write_behind(real_bytes: u64) -> std::io::Result<()> {
+    use pmem_sim::MetricsRegistry;
+    use pmemcpy_bench::{run_cell_observed, RunReport};
+    println!("## Figure 6 ablation: write-behind WAL puts vs inline commits (24 procs)");
+    let rows = [
+        ("PMCPY-A", Options::default()),
+        (
+            "PMCPY-WB",
+            Options {
+                // The ring must hold a meaningful fraction of the step so
+                // pressure drains stay off the common path.
+                wal_capacity: real_bytes.max(4 << 20),
+                ..Options::write_behind()
+            },
+        ),
+    ];
+    let mut csv = String::from("mode,write_s,pool_txs,wal_appends\n");
+    let mut cells = Vec::new();
+    let mut times = [0f64; 2];
+    for (i, (name, opts)) in rows.into_iter().enumerate() {
+        let lib = PmemcpyLib::custom(name, opts);
+        let cfg = CellConfig::paper(24, real_bytes);
+        let w = run_cell_observed(
+            &lib,
+            Direction::Write,
+            &cfg,
+            None,
+            Some(MetricsRegistry::new()),
+        );
+        times[i] = w.time.as_secs_f64();
+        println!(
+            "{name:<9} write {:>8.3}s   pool_txs={:<6} wal_appends={}",
+            w.time.as_secs_f64(),
+            w.stats.pool_txs,
+            w.metrics.counter("wal.appends")
+        );
+        csv.push_str(&format!(
+            "{name},{:.6},{},{}\n",
+            w.time.as_secs_f64(),
+            w.stats.pool_txs,
+            w.metrics.counter("wal.appends")
+        ));
+        cells.push(w);
+    }
+    write_file("results/fig6_wb_writes.csv", &csv)?;
+    let report = RunReport {
+        name: "fig6_wb_writes".into(),
+        real_bytes,
+        cells,
+    };
+    write_file("results/BENCH_fig6_wb.json", &report.to_json())?;
+    if times[1] > times[0] {
+        return Err(std::io::Error::other(format!(
+            "write-behind regression: WAL-append write {:.6}s > inline {:.6}s",
+            times[1], times[0]
+        )));
+    }
+    println!();
+    Ok(())
 }
 
 fn machine_cmd() {

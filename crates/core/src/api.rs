@@ -84,22 +84,42 @@ impl Pmem {
         if self.mounted.is_some() {
             return Err(PmemCpyError::Config("already mapped".into()));
         }
+        self.opts.validate()?;
         let serializer = self.opts.resolve_serializer()?;
         let clock = comm.clock_arc();
         let mounted = match (target, self.opts.layout) {
             (MmapTarget::DevDax(device), DataLayout::PmdkHashtable) => {
                 let shared =
                     registry::shared_pool(&clock, device, "pmemcpy", self.opts.hashtable_buckets)?;
-                comm.barrier();
-                Mounted {
-                    layout: Box::new(HashtableLayout::new(
+                // Write-behind: attach (and on first arrival recover) the
+                // shared WAL + front index before any rank proceeds.
+                let write_behind = if self.opts.write_behind {
+                    Some(registry::write_behind_state(
                         &clock,
                         device,
-                        shared,
-                        serializer,
-                        self.opts.map_sync,
-                        self.opts.shadow_index,
-                    )),
+                        &shared,
+                        self.opts.wal_capacity,
+                    )?)
+                } else {
+                    None
+                };
+                comm.barrier();
+                let inner = HashtableLayout::new(
+                    &clock,
+                    device,
+                    shared,
+                    serializer,
+                    self.opts.map_sync,
+                    self.opts.shadow_index,
+                );
+                let layout: Box<dyn Layout> = match write_behind {
+                    Some(state) => {
+                        Box::new(crate::write_behind::WriteBehindLayout::new(inner, state))
+                    }
+                    None => Box::new(inner),
+                };
+                Mounted {
+                    layout,
                     machine: Arc::clone(device.machine()),
                     clock,
                     device_for_release: Some(Arc::clone(device)),
@@ -138,13 +158,27 @@ impl Pmem {
     }
 
     /// Unmap. Data stays durable; the handle returns to the unmapped state.
+    /// Under write-behind this first drains the WAL into the durable layout
+    /// (every rank calls it; after the first drain the log is empty), so the
+    /// volatile front index is never the only place recent puts live once
+    /// the pool handles go away.
     pub fn munmap(&mut self) -> Result<()> {
         let m = self.mounted.take().ok_or(PmemCpyError::NotMapped)?;
+        m.layout.checkpoint(&m.clock)?;
         m.machine.charge_syscall(&m.clock);
         if let Some(device) = m.device_for_release {
             registry::release_pool(&device);
         }
         Ok(())
+    }
+
+    /// Force a write-behind checkpoint: drain WAL records into the durable
+    /// layout and truncate the log. A no-op returning `Ok(0)` for inline
+    /// layouts. Checkpoint work is charged to the background checkpoint
+    /// lane, not this rank's clock.
+    pub fn checkpoint(&self) -> Result<usize> {
+        let m = self.m()?;
+        m.layout.checkpoint(&m.clock)
     }
 
     pub fn is_mapped(&self) -> bool {

@@ -107,6 +107,9 @@ impl Layout for HashtableLayout {
             .keys(clock)
             .into_iter()
             .map(|k| String::from_utf8_lossy(&k).into_owned())
+            // `\0`-prefixed keys are reserved for internal metadata (the
+            // write-behind WAL location) and never listed.
+            .filter(|k| !k.starts_with('\0'))
             .collect()
     }
 

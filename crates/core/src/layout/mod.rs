@@ -356,6 +356,14 @@ pub trait Layout: Send + Sync {
         Ok(out)
     }
 
+    /// Flush any write-behind state into durable layout storage (see
+    /// [`crate::write_behind`]): drains WAL records and truncates the log.
+    /// Inline layouts have nothing to flush. Returns the number of WAL
+    /// records drained.
+    fn checkpoint(&self, _clock: &Clock) -> Result<usize> {
+        Ok(0)
+    }
+
     /// Layout name for diagnostics.
     fn name(&self) -> &'static str;
 }

@@ -57,6 +57,7 @@ pub mod read;
 pub mod region;
 pub mod registry;
 pub mod sink;
+pub mod write_behind;
 
 pub use api::{MmapTarget, Pmem};
 pub use batch::WriteBatch;

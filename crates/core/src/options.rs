@@ -40,7 +40,24 @@ pub struct Options {
     /// persistent chain walk entirely. Write-through on every mutation and
     /// rebuildable from the pool, so it never affects durability.
     pub shadow_index: bool,
+    /// Write-behind persistence (off by default, giving the paper's inline
+    /// behavior): puts land in a volatile DRAM front index plus one fenced
+    /// append of the whole commit group to a persistent WAL, and a
+    /// background checkpoint lane later drains the records into the regular
+    /// layout, truncating the log under a crash-safe watermark. Durability
+    /// is unchanged — every put is on PMEM before it returns — but the
+    /// inline cost drops to a single streamed log append. Requires
+    /// [`DataLayout::PmdkHashtable`], `batch_puts`, and `shadow_index`
+    /// (checked by [`Options::validate`]).
+    pub write_behind: bool,
+    /// Ring capacity in bytes of the write-behind WAL (ignored unless
+    /// `write_behind` is on). One commit group must fit in half the ring.
+    pub wal_capacity: u64,
 }
+
+/// Smallest accepted [`Options::wal_capacity`] — below this a single batched
+/// record could never fit in half the ring.
+pub const MIN_WAL_CAPACITY: u64 = 4096;
 
 impl Default for Options {
     fn default() -> Self {
@@ -52,6 +69,8 @@ impl Default for Options {
             batch_puts: true,
             batch_gets: true,
             shadow_index: true,
+            write_behind: false,
+            wal_capacity: 8 << 20,
         }
     }
 }
@@ -70,11 +89,56 @@ impl Options {
         }
     }
 
+    /// The write-behind configuration: inline puts replaced by WAL appends.
+    pub fn write_behind() -> Self {
+        Options {
+            write_behind: true,
+            ..Options::default()
+        }
+    }
+
     /// Resolve the serializer from the registry.
     pub fn resolve_serializer(&self) -> Result<&'static dyn Serializer> {
         pserial::by_name(&self.serializer).ok_or_else(|| {
             PmemCpyError::Config(format!("unknown serializer {:?}", self.serializer))
         })
+    }
+
+    /// Reject inconsistent combinations up front, at `mmap` time, instead of
+    /// panicking (or corrupting semantics) deep inside the pipeline.
+    pub fn validate(&self) -> Result<()> {
+        if self.layout == DataLayout::PmdkHashtable && self.hashtable_buckets == 0 {
+            return Err(PmemCpyError::Config(
+                "hashtable_buckets must be nonzero for the PmdkHashtable layout".into(),
+            ));
+        }
+        if self.write_behind {
+            if self.layout != DataLayout::PmdkHashtable {
+                return Err(PmemCpyError::Config(
+                    "write_behind requires the PmdkHashtable layout (the WAL lives in its pool)"
+                        .into(),
+                ));
+            }
+            if !self.batch_puts {
+                return Err(PmemCpyError::Config(
+                    "write_behind requires batch_puts: the WAL appends whole commit groups".into(),
+                ));
+            }
+            if !self.shadow_index {
+                return Err(PmemCpyError::Config(
+                    "write_behind requires shadow_index: checkpointed keys must stay cheap to \
+                     re-resolve after the front index drains"
+                        .into(),
+                ));
+            }
+            if self.wal_capacity < MIN_WAL_CAPACITY {
+                return Err(PmemCpyError::Config(format!(
+                    "wal_capacity {} is below the {MIN_WAL_CAPACITY}-byte minimum",
+                    self.wal_capacity
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -96,6 +160,48 @@ mod tests {
         let b = Options::pmcpy_b();
         assert!(!a.map_sync && b.map_sync);
         assert_eq!(a.serializer, b.serializer);
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults_and_write_behind() {
+        Options::default().validate().unwrap();
+        Options::pmcpy_b().validate().unwrap();
+        Options::write_behind().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_write_behind_combinations() {
+        for bad in [
+            Options {
+                batch_puts: false,
+                ..Options::write_behind()
+            },
+            Options {
+                shadow_index: false,
+                ..Options::write_behind()
+            },
+            Options {
+                layout: DataLayout::HierarchicalFiles,
+                ..Options::write_behind()
+            },
+            Options {
+                wal_capacity: 0,
+                ..Options::write_behind()
+            },
+            Options {
+                wal_capacity: MIN_WAL_CAPACITY - 1,
+                ..Options::write_behind()
+            },
+            Options {
+                hashtable_buckets: 0,
+                ..Options::default()
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(PmemCpyError::Config(_))),
+                "accepted invalid options: {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -88,16 +88,46 @@ pub fn shared_pool(
     Ok(shared)
 }
 
+/// Get (or create + recover on first call) the shared write-behind state for
+/// `device`: the ranks of a job share one WAL and one DRAM front index, just
+/// as they share one pool. The first arrival runs WAL recovery (replay of
+/// log-over-last-checkpoint into the front index).
+pub fn write_behind_state(
+    clock: &Clock,
+    device: &Arc<PmemDevice>,
+    shared: &SharedPool,
+    wal_capacity: u64,
+) -> Result<Arc<crate::write_behind::WriteBehindState>> {
+    let key = Arc::as_ptr(device) as usize;
+    // Recovery charges the clock while the map lock is held; as with
+    // `shared_pool`, stay unparkable for the duration.
+    let _atomic = pmem_sim::atomic_section();
+    let mut map = wb_holder().lock();
+    if let Some(state) = map.get(&key) {
+        return Ok(Arc::clone(state));
+    }
+    let state = crate::write_behind::WriteBehindState::attach(clock, shared, wal_capacity)?;
+    map.insert(key, Arc::clone(&state));
+    Ok(state)
+}
+
 /// Drop the interned pool for `device` (called at munmap by the last rank;
 /// harmless if others still hold clones — their Arcs keep the data alive).
 pub fn release_pool(device: &Arc<PmemDevice>) {
     let key = Arc::as_ptr(device) as usize;
     holder().lock().remove(&key);
+    wb_holder().lock().remove(&key);
     registry().lock().remove(&key);
 }
 
 fn holder() -> &'static Mutex<HashMap<Key, Arc<SharedPoolInner>>> {
     static HOLD: OnceLock<Mutex<HashMap<Key, Arc<SharedPoolInner>>>> = OnceLock::new();
+    HOLD.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn wb_holder() -> &'static Mutex<HashMap<Key, Arc<crate::write_behind::WriteBehindState>>> {
+    static HOLD: OnceLock<Mutex<HashMap<Key, Arc<crate::write_behind::WriteBehindState>>>> =
+        OnceLock::new();
     HOLD.get_or_init(|| Mutex::new(HashMap::new()))
 }
 

@@ -802,12 +802,48 @@ impl PersistentHashtable {
         Some(found)
     }
 
-    /// Copy out `key`'s value.
+    /// Copy out `key`'s value. The byte copy sits *inside* the seqlock
+    /// window: resolving a ref and then reading the bytes unvalidated would
+    /// race a concurrent replace/remove that frees and recycles the value
+    /// region between the two (a torn read of reused memory).
     pub fn get(&self, clock: &Clock, key: &[u8]) -> Option<Vec<u8>> {
-        let vref = self.get_ref(clock, key)?;
-        let mut buf = vec![0u8; vref.len as usize];
-        self.pool.read_bytes(clock, vref.offset, &mut buf);
-        Some(buf)
+        let hash = fnv1a(key);
+        let sid = self.stripe_id(self.bucket_of(hash));
+        let stripe = &self.stripes[sid];
+        let machine = self.pool.device().machine();
+        let mut retries = 0u32;
+        loop {
+            let e1 = stripe.epoch.load(Ordering::Acquire);
+            if e1 & 1 == 0 {
+                let copied = self.get_ref(clock, key).map(|vref| {
+                    let mut buf = vec![0u8; vref.len as usize];
+                    self.pool.read_bytes(clock, vref.offset, &mut buf);
+                    buf
+                });
+                if stripe.epoch.load(Ordering::Acquire) == e1 {
+                    return copied;
+                }
+            }
+            machine.charge_compute_labeled(
+                clock,
+                SimTime::from_nanos(SEQLOCK_RETRY_NS),
+                "seqlock.retry",
+            );
+            machine.metric_counter_add("ht.seqlock.retries", 1);
+            retries += 1;
+            if retries >= SEQLOCK_MAX_RETRIES {
+                // A busy writer must not starve readers: fall back to the
+                // mutex and copy from a quiescent chain.
+                let _atomic = pmem_sim::atomic_section();
+                let _guard = self.lock_stripe(sid);
+                return self.find_inner(clock, key, hash).map(|(_, entry, hdr)| {
+                    let vref = value_ref_of(entry, &hdr);
+                    let mut buf = vec![0u8; vref.len as usize];
+                    self.pool.read_bytes(clock, vref.offset, &mut buf);
+                    buf
+                });
+            }
+        }
     }
 
     pub fn contains(&self, clock: &Clock, key: &[u8]) -> bool {

@@ -148,17 +148,14 @@ impl PersistentLog {
                     .write_bytes(clock, self.ring + tail, &WRAP.to_le_bytes());
             }
             tail = 0;
-        } else {
-            // Non-wrapping free-space check (tail==head means empty, so the
-            // new tail must never land exactly on head).
-            let used = if tail >= head {
-                tail - head
-            } else {
-                self.capacity - head + tail
-            };
-            if used + need >= self.capacity {
-                return Err(PmdkError::OutOfMemory { requested: need });
-            }
+        } else if tail < head && tail + need >= head {
+            // Wrapped ring: the record grows toward `head` and must stop
+            // strictly short of it (tail==head means *empty*). In the
+            // unwrapped case the record grows toward the ring's end and
+            // cannot collide — in particular an append that exactly fills
+            // the remaining capacity is fine: the resulting tail==capacity
+            // is distinct from head==0 and every reader normalizes it.
+            return Err(PmdkError::OutOfMemory { requested: need });
         }
 
         // Body first (persisted), then the atomic tail commit.
@@ -167,7 +164,10 @@ impl PersistentLog {
             .write_bytes(clock, rec, &(record.len() as u32).to_le_bytes());
         self.pool
             .write_bytes(clock, rec + 4, &crc32(record).to_le_bytes());
-        self.pool.write_bytes(clock, rec + REC_HDR, record);
+        self.write_body(clock, rec + REC_HDR, record);
+        // Crash window: the body is durable but the tail never moves, so
+        // the record simply does not exist after recovery.
+        self.pool.fail_points.check("wal::append")?;
         self.pool
             .write_u64(clock, self.header + HDR_TAIL, tail + need);
         Ok(())
@@ -185,7 +185,7 @@ impl PersistentLog {
         let (rec, len) = self.record_at(clock, &mut head, tail)?;
         let Some(rec) = rec else { return Ok(None) };
         let mut body = vec![0u8; len as usize];
-        self.pool.read_bytes(clock, rec + REC_HDR, &mut body);
+        self.read_body(clock, rec + REC_HDR, &mut body);
         // Verify integrity before committing the head advance.
         let stored_crc = self.pool.read_u32(clock, rec + 4);
         if crc32(&body) != stored_crc {
@@ -194,6 +194,20 @@ impl PersistentLog {
         self.pool
             .write_u64(clock, self.header + HDR_HEAD, head + REC_HDR + len);
         Ok(Some(body))
+    }
+
+    /// Record bodies are data-plane traffic — the application payloads the
+    /// log carries — so they charge byte-scaled PMEM bandwidth like any
+    /// other data movement. Only the 8-byte record headers and the ring
+    /// pointers are metadata-timed.
+    fn write_body(&self, clock: &Clock, off: u64, body: &[u8]) {
+        let dev = self.pool.device();
+        dev.write(clock, off as usize, body);
+        dev.persist(clock, off as usize, body.len());
+    }
+
+    fn read_body(&self, clock: &Clock, off: u64, body: &mut [u8]) {
+        self.pool.device().read(clock, off as usize, body);
     }
 
     /// Resolve the record at `*head`, skipping a WRAP marker (updates head).
@@ -230,6 +244,54 @@ impl PersistentLog {
         Ok(())
     }
 
+    /// Drop the `n` oldest records in one step — the checkpoint watermark
+    /// advance. Unlike repeated [`PersistentLog::pop`] there is exactly one
+    /// persisted head write, *after* every record to drop has been walked:
+    /// a crash anywhere before that commit leaves the head untouched, so a
+    /// re-drain simply replays the same (idempotently applied) records.
+    /// Returns how many records were actually dropped (≤ `n` if the log ran
+    /// dry first).
+    pub fn truncate_front(&self, clock: &Clock, n: usize) -> Result<usize> {
+        let _atomic = pmem_sim::atomic_section();
+        let _g = self.append_lock.lock();
+        let mut cursor = self.pool.read_u64(clock, self.header + HDR_HEAD);
+        let tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
+        let mut dropped = 0usize;
+        while dropped < n && cursor != tail {
+            let (rec, len) = self.record_at(clock, &mut cursor, tail)?;
+            if rec.is_none() {
+                break;
+            }
+            cursor += REC_HDR + len;
+            dropped += 1;
+        }
+        // Crash window: everything walked, watermark not yet advanced — the
+        // records stay in the log and recovery re-applies them.
+        self.pool.fail_points.check("wal::truncate")?;
+        if dropped > 0 {
+            self.pool.write_u64(clock, self.header + HDR_HEAD, cursor);
+        }
+        Ok(dropped)
+    }
+
+    /// Number of committed records (walks the ring; tests and diagnostics).
+    pub fn record_count(&self, clock: &Clock) -> Result<usize> {
+        let _atomic = pmem_sim::atomic_section();
+        let _g = self.append_lock.lock();
+        let mut head = self.pool.read_u64(clock, self.header + HDR_HEAD);
+        let tail = self.pool.read_u64(clock, self.header + HDR_TAIL);
+        let mut count = 0usize;
+        while head != tail {
+            let (rec, len) = self.record_at(clock, &mut head, tail)?;
+            if rec.is_none() {
+                break;
+            }
+            head += REC_HDR + len;
+            count += 1;
+        }
+        Ok(count)
+    }
+
     /// Replay every committed record oldest-first (recovery / apply path).
     pub fn replay(&self, clock: &Clock) -> Result<Vec<Vec<u8>>> {
         let _atomic = pmem_sim::atomic_section();
@@ -241,7 +303,7 @@ impl PersistentLog {
             let (rec, len) = self.record_at(clock, &mut head, tail)?;
             let Some(rec) = rec else { break };
             let mut body = vec![0u8; len as usize];
-            self.pool.read_bytes(clock, rec + REC_HDR, &mut body);
+            self.read_body(clock, rec + REC_HDR, &mut body);
             let stored_crc = self.pool.read_u32(clock, rec + 4);
             if crc32(&body) != stored_crc {
                 return Err(PmdkError::BadPool("log record CRC mismatch".into()));
@@ -317,7 +379,10 @@ mod tests {
             log.append(&clock, &[9u8; 8]),
             Err(PmdkError::OutOfMemory { .. })
         ));
-        // Trimming frees space again.
+        // Trimming frees space again. Two pops: exact fill means the ring
+        // was truly full, and reusing a single record's space would land
+        // the new tail exactly on head — the reserved "empty" encoding.
+        log.pop(&clock).unwrap().unwrap();
         log.pop(&clock).unwrap().unwrap();
         log.append(&clock, &[9u8; 8]).unwrap();
     }
@@ -372,5 +437,154 @@ mod tests {
         pool.read_bytes(&clock, ring + REC_HDR, &mut b);
         pool.write_bytes(&clock, ring + REC_HDR, &[b[0] ^ 0xFF]);
         assert!(matches!(log.pop(&clock), Err(PmdkError::BadPool(_))));
+    }
+
+    /// Regression: an append exactly filling the remaining capacity used to
+    /// be rejected as OutOfMemory even though the resulting tail==capacity
+    /// state is unambiguous (tail==head is the only "empty" encoding).
+    #[test]
+    fn exact_fill_append_is_accepted_and_replayable() {
+        let (log, _pool, clock) = fixture(128);
+        let a = vec![1u8; 56]; // need = 64
+        let b = vec![2u8; 56]; // need = 64: lands exactly on capacity
+        log.append(&clock, &a).unwrap();
+        log.append(&clock, &b).unwrap();
+        assert_eq!(log.used(&clock), 128);
+        assert!(matches!(
+            log.append(&clock, &[3u8; 8]),
+            Err(PmdkError::OutOfMemory { .. })
+        ));
+        assert_eq!(log.replay(&clock).unwrap(), vec![a.clone(), b.clone()]);
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), a);
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), b);
+        // head==tail==capacity: empty, and the next append wraps cleanly.
+        assert_eq!(log.used(&clock), 0);
+        let c = vec![3u8; 8];
+        log.append(&clock, &c).unwrap();
+        assert_eq!(log.replay(&clock).unwrap(), vec![c.clone()]);
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), c);
+        assert!(log.pop(&clock).unwrap().is_none());
+    }
+
+    /// Regression: pop/replay interleaving right after an exact-fill wrap
+    /// (head mid-ring, tail parked at capacity) must keep FIFO order.
+    #[test]
+    fn pop_and_replay_interleave_after_exact_fill_wrap() {
+        let (log, _pool, clock) = fixture(128);
+        log.append(&clock, &[1u8; 56]).unwrap();
+        log.append(&clock, &[2u8; 56]).unwrap(); // tail == capacity
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), vec![1u8; 56]);
+        // Wrapped append into the space the pop released.
+        log.append(&clock, &[3u8; 40]).unwrap();
+        assert_eq!(
+            log.replay(&clock).unwrap(),
+            vec![vec![2u8; 56], vec![3u8; 40]]
+        );
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), vec![2u8; 56]);
+        assert_eq!(log.pop(&clock).unwrap().unwrap(), vec![3u8; 40]);
+        assert!(log.pop(&clock).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncate_front_drops_oldest_records_in_one_commit() {
+        let (log, _pool, clock) = fixture(1024);
+        for i in 0..5u32 {
+            log.append(&clock, &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(log.truncate_front(&clock, 3).unwrap(), 3);
+        assert_eq!(
+            log.replay(&clock).unwrap(),
+            vec![3u32.to_le_bytes().to_vec(), 4u32.to_le_bytes().to_vec()]
+        );
+        // Over-asking drains what is there and reports the true count.
+        assert_eq!(log.truncate_front(&clock, 10).unwrap(), 2);
+        assert_eq!(log.record_count(&clock).unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_during_truncate_keeps_the_watermark() {
+        let (log, pool, clock) = fixture(1024);
+        log.append(&clock, b"one").unwrap();
+        log.append(&clock, b"two").unwrap();
+        pool.fail_points.arm("wal::truncate", 1);
+        assert!(matches!(
+            log.truncate_front(&clock, 1),
+            Err(PmdkError::Injected(_))
+        ));
+        // The head never moved: both records still replay, so a re-drain
+        // applies them again (idempotently) and then truncates.
+        assert_eq!(
+            log.replay(&clock).unwrap(),
+            vec![b"one".to_vec(), b"two".to_vec()]
+        );
+        assert_eq!(log.truncate_front(&clock, 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn crash_mid_append_loses_only_that_record() {
+        let (log, pool, clock) = fixture(1024);
+        log.append(&clock, b"committed").unwrap();
+        pool.fail_points.arm("wal::append", 1);
+        assert!(matches!(
+            log.append(&clock, b"torn"),
+            Err(PmdkError::Injected(_))
+        ));
+        assert_eq!(log.replay(&clock).unwrap(), vec![b"committed".to_vec()]);
+        // The ring is not poisoned: the next append overwrites the torn body.
+        log.append(&clock, b"after").unwrap();
+        assert_eq!(
+            log.replay(&clock).unwrap(),
+            vec![b"committed".to_vec(), b"after".to_vec()]
+        );
+    }
+
+    /// Deterministic randomized stress: interleaved append/pop/replay/
+    /// truncate against a queue model, across capacities small enough to
+    /// force frequent wraps and exact fills.
+    #[test]
+    fn randomized_ops_match_a_queue_model() {
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next_rand = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as u32
+        };
+        for capacity in [64u64, 96, 128, 256] {
+            let (log, _pool, clock) = fixture(capacity);
+            let mut model: std::collections::VecDeque<Vec<u8>> = Default::default();
+            let mut seq = 0u8;
+            for _ in 0..2000 {
+                match next_rand() % 10 {
+                    0..=4 => {
+                        let max_len = capacity / 2 - REC_HDR;
+                        let len = 1 + (next_rand() as u64 % max_len) as usize;
+                        let rec = vec![seq; len];
+                        match log.append(&clock, &rec) {
+                            Ok(()) => {
+                                model.push_back(rec);
+                                seq = seq.wrapping_add(1);
+                            }
+                            Err(PmdkError::OutOfMemory { .. }) => {}
+                            Err(e) => panic!("append: {e}"),
+                        }
+                    }
+                    5..=6 => assert_eq!(log.pop(&clock).unwrap(), model.pop_front()),
+                    7 => {
+                        let n = (next_rand() % 3) as usize;
+                        let dropped = log.truncate_front(&clock, n).unwrap();
+                        assert_eq!(dropped, n.min(model.len()));
+                        for _ in 0..dropped {
+                            model.pop_front();
+                        }
+                    }
+                    _ => {
+                        let replayed = log.replay(&clock).unwrap();
+                        assert!(replayed.iter().eq(model.iter()), "replay diverged");
+                    }
+                }
+            }
+            assert_eq!(log.record_count(&clock).unwrap(), model.len());
+        }
     }
 }

@@ -38,6 +38,32 @@ impl FailPoints {
         }
         Ok(())
     }
+
+    /// Sites still armed (i.e. that never fired) — hygiene checks in tests.
+    pub fn armed_sites(&self) -> Vec<&'static str> {
+        let mut sites: Vec<_> = self.armed.lock().keys().copied().collect();
+        sites.sort_unstable();
+        sites
+    }
+
+    /// Disarm everything, returning the sites that never fired.
+    pub fn clear(&self) -> Vec<&'static str> {
+        let mut sites: Vec<_> = self.armed.lock().drain().map(|(s, _)| s).collect();
+        sites.sort_unstable();
+        sites
+    }
+}
+
+impl Drop for PmemPool {
+    fn drop(&mut self) {
+        // Fail-point hygiene: a reopened pool always starts with a fresh
+        // table, so an armed-but-unfired site would otherwise vanish
+        // silently — a test that thinks it injected a crash when it never
+        // did. Disarming explicitly here keeps the invariant "armed sites
+        // die with the handle" visible, and `FailPoints::armed_sites` lets
+        // tests assert nothing was left armed before dropping.
+        self.fail_points.clear();
+    }
 }
 
 /// A pmemobj-style persistent object pool.

@@ -53,5 +53,5 @@ pub use server::{BandwidthServer, Server};
 pub use stats::{Stats, StatsSnapshot};
 pub use time::{atomic_section, in_atomic_section, AtomicSection, Clock, ClockGate, SimTime};
 pub use trace::{
-    chrome_trace_json, CollectingSink, TraceSink, TraceSpan, TraceSummary, DRAIN_LANE,
+    chrome_trace_json, CollectingSink, TraceSink, TraceSpan, TraceSummary, CKPT_LANE, DRAIN_LANE,
 };

@@ -27,6 +27,10 @@ use std::sync::Arc;
 /// its own clock rather than any rank's (see `pmemcpy`'s drain module).
 pub const DRAIN_LANE: u64 = 1000;
 
+/// Lane id used by the write-behind checkpoint lane: the background drain of
+/// WAL records into the durable layout (see `pmemcpy`'s write_behind module).
+pub const CKPT_LANE: u64 = 1001;
+
 /// One completed operation on a virtual-time lane.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSpan {

@@ -16,6 +16,37 @@ fn reopen(dev: &Arc<PmemDevice>, clock: &Clock) -> Arc<PmemPool> {
     PmemPool::open(clock, Arc::clone(dev), "crash").unwrap()
 }
 
+/// Every armed fail point must have fired by the time a scenario finishes:
+/// an unfired site means the test never reached the code path it meant to
+/// crash, and would silently pass while testing nothing.
+fn assert_unfired(pool: &PmemPool, context: &str) {
+    let armed = pool.fail_points.armed_sites();
+    assert!(
+        armed.is_empty(),
+        "{context}: fail points armed but never fired: {armed:?}"
+    );
+}
+
+/// Fail-point hygiene: armed sites are visible, and dropping the pool (the
+/// crash-simulation path) disarms whatever a test left behind instead of
+/// letting it fire in an unrelated later open.
+#[test]
+fn fail_points_disarm_when_the_pool_drops() {
+    let (pool, dev, clock) = tracked_pool(8);
+    pool.fail_points.arm("tx::commit-before", 1);
+    pool.fail_points.arm("wal::append", 3);
+    assert_eq!(
+        pool.fail_points.armed_sites(),
+        vec!["tx::commit-before", "wal::append"]
+    );
+    drop(pool);
+    let pool = reopen(&dev, &clock);
+    assert_unfired(&pool, "reopened pool");
+    // A put that would have crashed under the stale arm succeeds.
+    let ht = pmdk_sim::PersistentHashtable::create(&clock, &pool, 16).unwrap();
+    ht.put(&clock, b"key", b"value").unwrap();
+}
+
 /// Crash at every distinct fail site of a replace transaction: afterwards
 /// the table must still hold the old value and pass heap invariants.
 #[test]
@@ -34,6 +65,7 @@ fn hashtable_replace_is_crash_atomic_at_every_site() {
         pool.fail_points.arm(site, 1);
         let err = ht.put(&clock, b"key", b"doomed-value").unwrap_err();
         assert!(matches!(err, PmdkError::Injected(_)), "site {site}: {err}");
+        assert_unfired(&pool, site);
         dev.crash();
         drop((ht, pool));
 
@@ -60,6 +92,7 @@ fn committed_replacement_survives_crash_during_cleanup() {
 
     pool.fail_points.arm("tx::commit-during", 1);
     let _ = ht.put(&clock, b"key", b"new");
+    assert_unfired(&pool, "commit-during");
     dev.crash();
     drop((ht, pool));
 
@@ -88,6 +121,7 @@ fn repeated_crash_cycles_do_not_leak() {
         // ...then a crashed replace of the same key.
         pool.fail_points.arm("tx::commit-before", 1);
         let _ = ht.put(&clock, format!("k{round}").as_bytes(), b"doomed");
+        assert_unfired(&pool, "crash cycle");
         dev.crash();
         drop(ht);
         pool = reopen(&dev, &clock);
@@ -163,6 +197,7 @@ fn crash_mid_write_batch_rolls_back_the_whole_group() {
     batch.store_slice("stable", &doomed).unwrap();
     batch.store_scalar("n2", 9u64).unwrap();
     assert!(batch.commit().is_err(), "armed fail point must abort");
+    assert_unfired(&shared.pool, "batch commit");
     dev.crash();
     drop(pmem);
     drop(shared);
