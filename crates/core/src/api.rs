@@ -164,7 +164,13 @@ impl Pmem {
     /// the pool handles go away.
     pub fn munmap(&mut self) -> Result<()> {
         let m = self.mounted.take().ok_or(PmemCpyError::NotMapped)?;
-        m.layout.checkpoint(&m.clock)?;
+        if let Err(e) = m.layout.checkpoint(&m.clock) {
+            // A failed drain must leave the handle mapped: the caller can
+            // retry, and the interned pool/write-behind registry state is
+            // only released on a successful unmap.
+            self.mounted = Some(m);
+            return Err(e);
+        }
         m.machine.charge_syscall(&m.clock);
         if let Some(device) = m.device_for_release {
             registry::release_pool(&device);

@@ -324,7 +324,21 @@ impl Layout for WriteBehindLayout {
         let record = encode_group(puts)?;
         if record.len() as u64 + 8 > self.state.log.capacity() / 2 {
             // A group too large for the ring takes the inline path: still
-            // durable, just not write-behind for this one group.
+            // durable, just not write-behind for this one group. Earlier
+            // not-yet-checkpointed records for these keys must not outlive
+            // the inline write — a later drain would replay them over the
+            // newer data (and recovery would rebuild the stale front) — so
+            // empty the log and the front index first. Eviction is
+            // unconditional: a lingering entry (inflated pending, see
+            // `run_checkpoint`) would survive the drain and mask the new
+            // inline data on front-first reads.
+            self.run_checkpoint()?;
+            {
+                let mut front = self.state.front.lock();
+                for p in puts {
+                    front.remove(p.key);
+                }
+            }
             machine.metric_counter_add("wal.bypass", 1);
             return self.inner.store_many(clock, puts);
         }
@@ -373,14 +387,22 @@ impl Layout for WriteBehindLayout {
     }
 
     /// Locations only exist in the inner layout; if any requested key is
-    /// still front-resident, drain first so the answer is authoritative.
+    /// still front-resident, drain first so the answer reflects the newest
+    /// drained value. Re-check after each drain: a concurrent put can
+    /// re-insert a front entry between the drain and the inner lookup. The
+    /// loop is bounded — if writers keep racing ahead of us (or a lingering
+    /// entry's value is already applied and the log is empty) the returned
+    /// location is the newest *drained* record, and may be superseded by a
+    /// concurrent in-flight put, exactly as in inline mode.
     fn locate_many(&self, clock: &Clock, keys: &[&str]) -> Result<Vec<Located>> {
-        let any_front = {
-            let front = self.state.front.lock();
-            keys.iter().any(|k| front.contains_key(*k))
-        };
-        if any_front {
-            self.run_checkpoint()?;
+        for _ in 0..4 {
+            let any_front = {
+                let front = self.state.front.lock();
+                keys.iter().any(|k| front.contains_key(*k))
+            };
+            if !any_front || self.run_checkpoint()? == 0 {
+                break;
+            }
         }
         self.inner.locate_many(clock, keys)
     }
@@ -500,9 +522,13 @@ impl Layout for WriteBehindLayout {
     }
 
     /// Removal must not resurrect on recovery: drain the WAL first, then
-    /// remove from the durable layout.
+    /// remove from the durable layout. The front eviction is unconditional
+    /// because a lingering entry (pending inflated by the append/drain
+    /// interleaving, see `run_checkpoint`) survives the drain and would
+    /// otherwise keep serving the deleted value.
     fn remove(&self, clock: &Clock, key: &str) -> Result<bool> {
         self.run_checkpoint()?;
+        self.state.front.lock().remove(key);
         self.inner.remove(clock, key)
     }
 
@@ -573,6 +599,95 @@ mod tests {
         assert_eq!(back[1].key, "b#block@4,0");
         assert_eq!(back[1].meta, meta_b);
         assert_eq!(back[1].payload, pb);
+    }
+
+    /// Builds a write-behind layout over a fresh device (unit-level twin of
+    /// the `api::mmap` wiring, so tests can reach the private front index).
+    fn test_layout() -> (Arc<pmem_sim::PmemDevice>, WriteBehindLayout) {
+        let machine = pmem_sim::Machine::chameleon();
+        let dev = pmem_sim::PmemDevice::new(machine, 8 << 20, pmem_sim::PersistenceMode::Fast);
+        let clock = Clock::new();
+        let shared = crate::registry::shared_pool(&clock, &dev, "pmemcpy", 4096).unwrap();
+        let state = WriteBehindState::attach(&clock, &shared, 1 << 20).unwrap();
+        let serializer = pserial::by_name("bp4").unwrap();
+        let inner = HashtableLayout::new(&clock, &dev, shared, serializer, false, true);
+        (dev, WriteBehindLayout::new(inner, state))
+    }
+
+    /// The append/drain interleaving can leave a front entry with an
+    /// inflated pending count that no drain ever releases ("lingering").
+    /// `remove` must evict it unconditionally or the key resurrects.
+    #[test]
+    fn remove_evicts_lingering_front_entries() {
+        let (dev, layout) = test_layout();
+        let clock = Clock::new();
+        let meta = VarMeta::scalar("k", Datatype::U64);
+        let payload = 7u64.to_le_bytes();
+        layout
+            .store_many(
+                &clock,
+                &[PutRequest {
+                    key: "k",
+                    meta: &meta,
+                    payload: &payload,
+                }],
+            )
+            .unwrap();
+        // Simulate the interleaving: a drain counted the record before the
+        // appender's front upsert, so the upsert's +1 is never released.
+        layout.state.front.lock().get_mut("k").unwrap().pending += 1;
+        layout.checkpoint(&clock).unwrap();
+        assert!(
+            layout.state.front.lock().contains_key("k"),
+            "setup: the entry must linger past the drain"
+        );
+        assert!(layout.remove(&clock, "k").unwrap());
+        assert!(
+            !layout.exists(&clock, "k"),
+            "removed key resurrected from a lingering front entry"
+        );
+        assert!(!layout.state.front.lock().contains_key("k"));
+        crate::registry::release_pool(&dev);
+    }
+
+    /// A lingering entry must also not mask an oversized-group bypass
+    /// write: the bypass path evicts the group's keys from the front.
+    #[test]
+    fn bypass_evicts_lingering_front_entries() {
+        let (dev, layout) = test_layout();
+        let clock = Clock::new();
+        let meta = VarMeta::scalar("k", Datatype::U64);
+        let old = 1u64.to_le_bytes();
+        layout
+            .store_many(
+                &clock,
+                &[PutRequest {
+                    key: "k",
+                    meta: &meta,
+                    payload: &old,
+                }],
+            )
+            .unwrap();
+        layout.state.front.lock().get_mut("k").unwrap().pending += 1;
+        // An oversized group updating the same key: > capacity/2 forces the
+        // inline bypass.
+        let big_meta = VarMeta::local_array("k", Datatype::U8, &[600 * 1024]);
+        let big = vec![0xabu8; 600 * 1024];
+        layout
+            .store_many(
+                &clock,
+                &[PutRequest {
+                    key: "k",
+                    meta: &big_meta,
+                    payload: &big,
+                }],
+            )
+            .unwrap();
+        let mut dst = vec![0u8; big.len()];
+        let hdr = layout.load_into(&clock, "k", &mut dst).unwrap();
+        assert_eq!(hdr.meta.dims, vec![600 * 1024]);
+        assert_eq!(dst, big, "stale lingering entry masked the bypass write");
+        crate::registry::release_pool(&dev);
     }
 
     #[test]

@@ -192,6 +192,87 @@ fn invalid_write_behind_options_fail_at_mmap() {
     assert!(!pmem.is_mapped());
 }
 
+/// The oversized-group bypass must not leave older WAL records behind: a
+/// small put followed by an oversized overwrite of the same key has to
+/// read back the new value before the next checkpoint, after it, and
+/// after a crash + reopen (a stale log record would otherwise be replayed
+/// over the newer inline data, or rebuilt into the front on recovery).
+#[test]
+fn oversized_bypass_never_loses_to_older_wal_records() {
+    let machine = Machine::chameleon();
+    let registry_m = MetricsRegistry::new();
+    assert!(machine.set_metrics(Arc::clone(&registry_m)));
+    let dev = PmemDevice::new(Arc::clone(&machine), 24 << 20, PersistenceMode::Tracked);
+    let comm = single_rank(&machine);
+    let mut pmem = Pmem::with_options(wb_opts());
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+
+    // WAL-resident put, then an oversized (> capacity/2) overwrite of the
+    // same key that takes the inline bypass path.
+    pmem.store_slice("k", &[1.0f64; 64]).unwrap();
+    let big: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+    pmem.store_slice("k", &big).unwrap();
+    assert_eq!(registry_m.snapshot().counter("wal.bypass"), 1);
+
+    assert_eq!(
+        pmem.load_slice::<f64>("k").unwrap(),
+        big,
+        "front index served the pre-bypass value"
+    );
+    pmem.checkpoint().unwrap();
+    assert_eq!(
+        pmem.load_slice::<f64>("k").unwrap(),
+        big,
+        "checkpoint replayed an older WAL record over the bypass write"
+    );
+
+    // Crash + reopen: recovery must not rebuild a stale front entry.
+    dev.crash();
+    drop(pmem);
+    registry::release_pool(&dev);
+    let mut pmem = Pmem::with_options(wb_opts());
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    assert_eq!(
+        pmem.load_slice::<f64>("k").unwrap(),
+        big,
+        "replay-on-open resurrected the pre-bypass value"
+    );
+    pmem.munmap().unwrap();
+}
+
+/// A drain failure at munmap must leave the handle mapped (and the
+/// interned pool state alive) so the unmap can be retried; the retry then
+/// drains and releases normally.
+#[test]
+fn failed_munmap_drain_is_retryable() {
+    let machine = Machine::chameleon();
+    let dev = PmemDevice::new(Arc::clone(&machine), 24 << 20, PersistenceMode::Fast);
+    let comm = single_rank(&machine);
+    let mut pmem = Pmem::with_options(wb_opts());
+    pmem.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    write_group(&pmem, 0).unwrap();
+
+    let shared = registry::shared_pool(&Clock::new(), &dev, "pmemcpy", 4096).unwrap();
+    shared.pool.fail_points.arm("wal::ckpt-drain", 1);
+    assert!(pmem.munmap().is_err(), "armed drain must fail the unmap");
+    assert!(
+        pmem.is_mapped(),
+        "failed unmap must leave the handle mapped for retry"
+    );
+    assert_unfired(&shared.pool, "munmap retry");
+    drop(shared);
+
+    // Retry: the fail point already fired, so the drain completes and an
+    // inline remap sees everything.
+    pmem.munmap().unwrap();
+    assert!(!pmem.is_mapped());
+    let (ref_keys, ref_records) = inline_reference(&[0]);
+    let mut inline = Pmem::new();
+    inline.mmap(MmapTarget::DevDax(&dev), &comm).unwrap();
+    assert_matches_reference(&inline, &ref_keys, &ref_records, "after retried munmap");
+    inline.munmap().unwrap();
+}
+
 /// Crash injection at every write-behind fail site, under both scheduler
 /// modes. After each crash + reopen, the contents must be byte-identical
 /// to an inline-mode run of the groups that committed successfully.
