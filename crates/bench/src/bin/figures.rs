@@ -15,8 +15,14 @@
 //!   ablate-fill        NetCDF fill vs NC_NOFILL
 //!   ablate-batching    group-commit write batches vs per-key commits
 //!   ablate-read-batching  batched reads + shadow index vs per-key gets
+//!   creation-storm     metadata storm: 8 ranks minting fresh keys; gates
+//!                      the resizable-hashtable chain-length bound
+//!   ablate-resize      incremental directory doubling vs fixed geometry
 //!   all                everything above; CSVs land in results/
 //! ```
+//!
+//! `--storm-keys <N>` sets keys-per-rank for `creation-storm` (default
+//! 131072, i.e. ~1M keys across the 8 ranks).
 //!
 //! Modelled volumes are always the paper's 40 GB; `--bytes` sets the *real*
 //! backing volume (default 64 MB), with the machine's `byte_scale` making up
@@ -33,6 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bytes_mb = 64u64;
     let mut procs: Vec<u64> = PAPER_PROCS.to_vec();
+    let mut storm_keys = 131_072u64;
     let mut commands = vec![];
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -52,6 +59,13 @@ fn main() {
                     .map(|s| s.parse().expect("numeric proc count"))
                     .collect()
             }
+            "--storm-keys" => {
+                storm_keys = it
+                    .next()
+                    .expect("--storm-keys <N>")
+                    .parse()
+                    .expect("numeric keys-per-rank")
+            }
             cmd => commands.push(cmd.to_string()),
         }
     }
@@ -61,14 +75,14 @@ fn main() {
     let real_bytes = bytes_mb << 20;
 
     for cmd in &commands {
-        if let Err(e) = run_command(cmd, &procs, real_bytes) {
+        if let Err(e) = run_command(cmd, &procs, real_bytes, storm_keys) {
             eprintln!("figures: {e}");
             std::process::exit(1);
         }
     }
 }
 
-fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()> {
+fn run_command(cmd: &str, procs: &[u64], real_bytes: u64, storm_keys: u64) -> std::io::Result<()> {
     match cmd {
         "fig6" => fig_cmd(Direction::Write, procs, real_bytes)?,
         "fig6-wb" => fig6_write_behind(real_bytes)?,
@@ -84,6 +98,8 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
         "ablate-drain" => ablate_drain(real_bytes)?,
         "ablate-batching" => ablate_batching(real_bytes)?,
         "ablate-read-batching" => ablate_read_batching(real_bytes)?,
+        "creation-storm" => creation_storm(storm_keys)?,
+        "ablate-resize" => ablate_resize()?,
         "tune" => tune_cmd(real_bytes)?,
         "volume" => volume_cmd()?,
         "all" => {
@@ -101,6 +117,8 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64) -> std::io::Result<()>
             ablate_drain(real_bytes)?;
             ablate_batching(real_bytes)?;
             ablate_read_batching(real_bytes)?;
+            creation_storm(storm_keys.min(16_384))?;
+            ablate_resize()?;
             tune_cmd(real_bytes)?;
             volume_cmd()?;
         }
@@ -662,6 +680,243 @@ fn ablate_read_batching(real_bytes: u64) -> std::io::Result<()> {
             times[0], times[3]
         )));
     }
+    println!();
+    Ok(())
+}
+
+/// Namespace shape of a finished storm, read back from the pool after the
+/// timed run (stats/metrics are snapshotted first, so the inspection walk
+/// never leaks into gated counters).
+struct StormShape {
+    len: u64,
+    max_chain: u64,
+    chain_p99: u64,
+    splits: u64,
+    contended: u64,
+}
+
+/// Drive one creation storm: `spec.ranks` ranks each mint
+/// `spec.keys_per_rank` fresh keys through the full batched put path under
+/// the deterministic scheduler, then read back a sample for verification.
+/// Bit-reproducible by construction, so every counter is CI-gateable.
+fn run_storm_cell(
+    label: &str,
+    opts: Options,
+    spec: workloads::StormSpec,
+) -> std::io::Result<(pmemcpy_bench::CellResult, StormShape)> {
+    use mpi_sim::{run_world_mode, SchedMode};
+    use pmem_sim::{Clock, Machine, MetricsRegistry, PersistenceMode, PmemDevice, SimTime};
+    use pmemcpy::{registry, MmapTarget, Pmem};
+    use std::sync::Arc;
+
+    let machine = Machine::new(pmem_sim::MachineConfig::chameleon_skylake());
+    let metrics = Arc::new(MetricsRegistry::new());
+    machine.set_metrics(Arc::clone(&metrics));
+    // Payloads are tiny; the device is sized by per-key metadata (entry
+    // header + key + serialized value + directory growth headroom).
+    let dev_size = (spec.total_keys() * 384 + (64 << 20)) as usize;
+    let device = PmemDevice::new(Arc::clone(&machine), dev_size, PersistenceMode::Fast);
+    let dev2 = Arc::clone(&device);
+    let opts2 = opts.clone();
+    let results = run_world_mode(
+        Arc::clone(&machine),
+        spec.ranks as usize,
+        SchedMode::Deterministic,
+        move |comm| {
+            let rank = comm.rank() as u64;
+            let mut pmem = Pmem::with_options(opts2.clone());
+            pmem.mmap(MmapTarget::DevDax(&dev2), &comm).unwrap();
+            let mut i = 0;
+            while i < spec.keys_per_rank {
+                // Group-commit in steps of 64 keys: one pool transaction,
+                // one allocator pass per step.
+                let n = (spec.keys_per_rank - i).min(64);
+                let keys: Vec<String> = (i..i + n).map(|k| spec.key(rank, k)).collect();
+                let vals: Vec<Vec<u8>> = (i..i + n).map(|k| spec.value(rank, k)).collect();
+                let mut batch = pmem.batch();
+                for (k, v) in keys.iter().zip(&vals) {
+                    batch.store_slice::<u8>(k, v).unwrap();
+                }
+                batch.commit().unwrap();
+                i += n;
+            }
+            // Sampled self-verification, staggered per rank so the sample
+            // covers different residues of the key space.
+            let mut mismatches = 0u64;
+            let mut k = rank % 97;
+            while k < spec.keys_per_rank {
+                let got: Vec<u8> = pmem.load_slice(&spec.key(rank, k)).unwrap();
+                mismatches += spec.verify(rank, k, &got);
+                k += 97;
+            }
+            comm.barrier();
+            let t = comm.now();
+            pmem.munmap().unwrap();
+            (t, mismatches)
+        },
+    );
+    let stats = machine.stats.snapshot();
+    let snap = metrics.snapshot();
+    let rank_times: Vec<SimTime> = results.iter().map(|(t, _)| *t).collect();
+    let time = rank_times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    let mismatches: u64 = results.iter().map(|(_, m)| *m).sum();
+
+    // Inspect the finished namespace straight from the pool.
+    let clock = Clock::new();
+    let shared = registry::shared_pool(&clock, &device, "pmemcpy", opts.hashtable_buckets)
+        .map_err(|e| std::io::Error::other(format!("storm reopen: {e}")))?;
+    let hist = shared.hashtable.chain_length_histogram(&clock);
+    let len = shared.hashtable.len(&clock);
+    registry::release_pool(&device);
+    let max_chain = (hist.len().saturating_sub(1)) as u64;
+    let buckets: u64 = hist.iter().sum();
+    let mut chain_p99 = 0u64;
+    let mut seen = 0u64;
+    for (l, n) in hist.iter().enumerate() {
+        seen += n;
+        if seen * 100 >= buckets * 99 {
+            chain_p99 = l as u64;
+            break;
+        }
+    }
+    let contended: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("stripe.") && k.ends_with(".contended"))
+        .map(|(_, v)| *v)
+        .sum();
+    let shape = StormShape {
+        len,
+        max_chain,
+        chain_p99,
+        splits: snap.counter("ht.splits"),
+        contended,
+    };
+    let cell = pmemcpy_bench::CellResult {
+        library: label.to_string(),
+        direction: Direction::Write,
+        nprocs: spec.ranks,
+        time,
+        rank_times,
+        stats,
+        metrics: snap,
+        mismatches: mismatches as usize,
+    };
+    Ok((cell, shape))
+}
+
+/// CI perf + correctness gate for the resizable metadata directory: an
+/// 8-rank key-creation storm must land every key (verified by sampled
+/// read-back), complete its incremental splits, and keep the longest
+/// persistent chain within the design bound. Emits `BENCH_storm.json` for
+/// the perfgate baseline comparison and exits nonzero on violation.
+fn creation_storm(keys_per_rank: u64) -> std::io::Result<()> {
+    /// With `SPLIT_FACTOR = 2` the settled load factor is at most ~1
+    /// entry per 2 buckets; at millions of keys the Poisson tail puts
+    /// P(max chain > 8) well under 1%.
+    const MAX_CHAIN_BOUND: u64 = 8;
+    let spec = workloads::StormSpec::new(8, keys_per_rank, 8);
+    println!(
+        "## Creation storm: {} ranks x {} fresh keys (resizable metadata directory)",
+        spec.ranks, spec.keys_per_rank
+    );
+    let (cell, shape) = run_storm_cell("PMCPY-A", Options::default(), spec)?;
+    println!(
+        "storm    write {:>8.3}s   keys={} splits={} chain_max={} chain_p99={} contended={}",
+        cell.time.as_secs_f64(),
+        shape.len,
+        shape.splits,
+        shape.max_chain,
+        shape.chain_p99,
+        shape.contended,
+    );
+    write_file(
+        "results/creation_storm.csv",
+        &format!(
+            "ranks,keys_per_rank,write_s,pool_txs,splits,chain_max,chain_p99,stripe_contended\n\
+             {},{},{:.6},{},{},{},{},{}\n",
+            spec.ranks,
+            spec.keys_per_rank,
+            cell.time.as_secs_f64(),
+            cell.stats.pool_txs,
+            shape.splits,
+            shape.max_chain,
+            shape.chain_p99,
+            shape.contended,
+        ),
+    )?;
+    let report = pmemcpy_bench::RunReport {
+        name: "creation_storm".into(),
+        real_bytes: spec.total_keys() * spec.value_bytes,
+        cells: vec![cell],
+    };
+    write_file("results/BENCH_storm.json", &report.to_json())?;
+    if shape.len != spec.total_keys() {
+        return Err(std::io::Error::other(format!(
+            "creation storm lost keys: {} stored, {} expected",
+            shape.len,
+            spec.total_keys()
+        )));
+    }
+    if report.cells[0].mismatches != 0 {
+        return Err(std::io::Error::other(format!(
+            "creation storm corrupted {} sampled bytes",
+            report.cells[0].mismatches
+        )));
+    }
+    if shape.max_chain > MAX_CHAIN_BOUND {
+        return Err(std::io::Error::other(format!(
+            "creation storm chain bound violated: max chain {} > {MAX_CHAIN_BOUND}",
+            shape.max_chain
+        )));
+    }
+    println!();
+    Ok(())
+}
+
+/// Ablation for the resizable directory: the same storm against a table
+/// pinned at its initial 4096 buckets. Fixed geometry degenerates into
+/// long chains (every lookup and unlink walk pays for them); incremental
+/// doubling holds chains flat for a bounded migration surcharge.
+fn ablate_resize() -> std::io::Result<()> {
+    println!("## Ablation: incremental directory doubling vs fixed geometry (8 ranks)");
+    let spec = workloads::StormSpec::new(8, 16_384, 8);
+    let rows = [
+        (
+            "fixed",
+            Options {
+                hashtable_resize: false,
+                ..Options::default()
+            },
+        ),
+        ("resizable", Options::default()),
+    ];
+    let mut csv =
+        String::from("mode,write_s,pool_txs,splits,chain_max,chain_p99,stripe_contended\n");
+    for (name, opts) in rows {
+        let (cell, shape) = run_storm_cell("PMCPY-A", opts, spec)?;
+        println!(
+            "{name:<10} write {:>8.3}s   pool_txs={:<6} splits={:<3} chain_max={:<5} \
+             chain_p99={:<4} contended={}",
+            cell.time.as_secs_f64(),
+            cell.stats.pool_txs,
+            shape.splits,
+            shape.max_chain,
+            shape.chain_p99,
+            shape.contended,
+        );
+        csv.push_str(&format!(
+            "{name},{:.6},{},{},{},{},{}\n",
+            cell.time.as_secs_f64(),
+            cell.stats.pool_txs,
+            shape.splits,
+            shape.max_chain,
+            shape.chain_p99,
+            shape.contended,
+        ));
+        assert_eq!(shape.len, spec.total_keys(), "{name} storm lost keys");
+    }
+    write_file("results/ablate_resize.csv", &csv)?;
     println!();
     Ok(())
 }

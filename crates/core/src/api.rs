@@ -111,6 +111,7 @@ impl Pmem {
                     serializer,
                     self.opts.map_sync,
                     self.opts.shadow_index,
+                    self.opts.hashtable_resize,
                 );
                 let layout: Box<dyn Layout> = match write_behind {
                     Some(state) => {
@@ -164,10 +165,14 @@ impl Pmem {
     /// the pool handles go away.
     pub fn munmap(&mut self) -> Result<()> {
         let m = self.mounted.take().ok_or(PmemCpyError::NotMapped)?;
-        if let Err(e) = m.layout.checkpoint(&m.clock) {
-            // A failed drain must leave the handle mapped: the caller can
-            // retry, and the interned pool/write-behind registry state is
-            // only released on a successful unmap.
+        if let Err(e) = m
+            .layout
+            .checkpoint(&m.clock)
+            .and_then(|_| m.layout.quiesce(&m.clock))
+        {
+            // A failed drain or count fold must leave the handle mapped:
+            // the caller can retry, and the interned pool/write-behind
+            // registry state is only released on a successful unmap.
             self.mounted = Some(m);
             return Err(e);
         }

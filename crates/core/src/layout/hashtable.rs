@@ -28,9 +28,11 @@ impl HashtableLayout {
         serializer: &'static dyn Serializer,
         map_sync: bool,
         shadow_index: bool,
+        hashtable_resize: bool,
     ) -> Self {
         let mapping = DaxMapping::new(clock, Arc::clone(device), 0, device.size(), map_sync);
         shared.hashtable.set_shadow_enabled(shadow_index);
+        shared.hashtable.set_auto_resize(hashtable_resize);
         HashtableLayout {
             machine: Arc::clone(device.machine()),
             shared,
@@ -111,6 +113,10 @@ impl Layout for HashtableLayout {
             // write-behind WAL location) and never listed.
             .filter(|k| !k.starts_with('\0'))
             .collect()
+    }
+
+    fn quiesce(&self, clock: &Clock) -> Result<()> {
+        Ok(self.shared.hashtable.quiesce(clock)?)
     }
 
     fn name(&self) -> &'static str {

@@ -364,6 +364,14 @@ pub trait Layout: Send + Sync {
         Ok(0)
     }
 
+    /// Fold volatile bookkeeping into persistent state at a quiesce point
+    /// (munmap, checkpoint boundaries): the hashtable layout folds its
+    /// sharded entry-count deltas into the table header. Free when nothing
+    /// changed; layouts without volatile counters have nothing to do.
+    fn quiesce(&self, _clock: &Clock) -> Result<()> {
+        Ok(())
+    }
+
     /// Layout name for diagnostics.
     fn name(&self) -> &'static str;
 }

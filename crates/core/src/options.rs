@@ -25,8 +25,15 @@ pub struct Options {
     pub map_sync: bool,
     /// Data layout policy.
     pub layout: DataLayout,
-    /// Buckets for the metadata hashtable (PmdkHashtable layout).
+    /// Buckets for the metadata hashtable (PmdkHashtable layout). With
+    /// `hashtable_resize` on this is only the starting size.
     pub hashtable_buckets: u64,
+    /// Incrementally double the hashtable directory as keys accumulate
+    /// (PmdkHashtable layout): every mutation helps migrate a chunk of
+    /// buckets, crash-safe at any intermediate point. Off pins the
+    /// directory at `hashtable_buckets` forever (the fixed-geometry
+    /// ablation).
+    pub hashtable_resize: bool,
     /// Group-commit multi-variable writes: collective `write()` paths stage
     /// a rank's variables in a [`crate::WriteBatch`] and commit them through
     /// one pool transaction / one allocator pass instead of one per key.
@@ -66,6 +73,7 @@ impl Default for Options {
             map_sync: false,
             layout: DataLayout::PmdkHashtable,
             hashtable_buckets: 4096,
+            hashtable_resize: true,
             batch_puts: true,
             batch_gets: true,
             shadow_index: true,

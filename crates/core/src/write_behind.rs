@@ -563,6 +563,10 @@ impl Layout for WriteBehindLayout {
         self.run_checkpoint()
     }
 
+    fn quiesce(&self, clock: &Clock) -> Result<()> {
+        self.inner.quiesce(clock)
+    }
+
     fn name(&self) -> &'static str {
         "write-behind(pmdk-hashtable)"
     }
@@ -610,7 +614,7 @@ mod tests {
         let shared = crate::registry::shared_pool(&clock, &dev, "pmemcpy", 4096).unwrap();
         let state = WriteBehindState::attach(&clock, &shared, 1 << 20).unwrap();
         let serializer = pserial::by_name("bp4").unwrap();
-        let inner = HashtableLayout::new(&clock, &dev, shared, serializer, false, true);
+        let inner = HashtableLayout::new(&clock, &dev, shared, serializer, false, true, true);
         (dev, WriteBehindLayout::new(inner, state))
     }
 

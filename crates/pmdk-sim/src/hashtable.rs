@@ -7,9 +7,33 @@
 //! On-pool layout:
 //!
 //! ```text
-//! header allocation:  [bucket_count u64][entry_count u64][heads: u64 × buckets]
-//! entry allocation:   [hash u64][key_len u32][val_len u32][next u64][key][value]
+//! header allocation: [bucket_count u64][entry_count u64][heads_off u64]
+//!                    [old_bucket_count u64][old_heads_off u64]
+//!                    [split_cursor u64][count_dirty u64]
+//! heads allocation:  [head u64 × bucket_count]        (separate alloc)
+//! entry allocation:  [hash u64][key_len u32][val_len u32][next u64][key][value]
 //! ```
+//!
+//! The directory is **online-resizable**: when the live-entry estimate
+//! crosses `bucket_count / SPLIT_FACTOR`, a split doubles the directory by
+//! allocating a fresh heads array and publishing both tables plus a
+//! persisted `split_cursor` in one transaction. Each subsequent mutation
+//! *helps* migrate one chunk of old buckets (relink lo/hi partitions, zero
+//! the old head, advance the cursor) inside a single pool transaction, so a
+//! crash at any intermediate point replays the undo log back to a
+//! consistent cursor + two consistent tables — resize never stops the
+//! world and is crash-safe at every step. Routing is derived from the
+//! persistent triple `(old_buckets, cursor, buckets)`: a key whose old
+//! bucket is at-or-past the cursor still lives in the old table; everything
+//! else lives in the new one. Because a split's old heads array *is* the
+//! previous table, beginning a split changes no key's physical slot — only
+//! migration does, and migration holds both affected stripes.
+//!
+//! The entry count is sharded: inserts and removes bump a volatile
+//! per-stripe delta (no cross-stripe RMW on the hot path) and set a
+//! persistent dirty flag once per session; [`PersistentHashtable::quiesce`]
+//! folds the deltas into the header under all stripe locks, and a reopen
+//! after a crash with the dirty flag set recounts by walking the heads.
 //!
 //! All structural mutations run in a pool transaction (pointer snapshots +
 //! alloc/free intents), so a crash at any point leaves a consistent table.
@@ -20,25 +44,34 @@
 //!
 //! The read path is lock-free. Each stripe carries a seqlock epoch (odd
 //! while a writer is splicing its chains): `get_ref`/`get_ref_many` walk a
-//! chain without taking the stripe mutex, validate the epoch afterwards, and
-//! retry (with a deterministic compute penalty) if a writer raced them.
-//! Chains are walked in a single pass — one 24-byte metadata read fetches an
-//! entry's whole `[hash][klen][vlen][next]` header — and a volatile DRAM
-//! shadow index (key → [`ValueRef`], write-through on every mutation,
-//! rebuildable via [`PersistentHashtable::rebuild_shadow`]) lets repeat
-//! lookups skip the PMEM walk entirely.
+//! chain without taking the stripe mutex, validate the epoch **and the
+//! route** afterwards, and retry (with a deterministic compute penalty) if
+//! a writer or a migration raced them. Chains are walked in a single pass —
+//! one 24-byte metadata read fetches an entry's whole
+//! `[hash][klen][vlen][next]` header — and a volatile DRAM shadow index
+//! (key → [`ValueRef`], write-through on every mutation, rebuildable via
+//! [`PersistentHashtable::rebuild_shadow`]) lets repeat lookups skip the
+//! PMEM walk entirely. The shadow invariant is that a cached entry lives
+//! only at its key's *current* route stripe; migration wholesale-clears
+//! source-stripe shadows whenever a bucket's stripe changes across the
+//! split.
 
 use crate::error::{PmdkError, Result};
 use crate::pool::PmemPool;
 use parking_lot::Mutex;
 use pmem_sim::{Clock, SimTime};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const HDR_BUCKETS: u64 = 0;
 const HDR_COUNT: u64 = 8;
 const HDR_HEADS: u64 = 16;
+const HDR_OLD_BUCKETS: u64 = 24;
+const HDR_OLD_HEADS: u64 = 32;
+const HDR_CURSOR: u64 = 40;
+const HDR_DIRTY: u64 = 48;
+const HDR_SIZE: u64 = 56;
 
 const ENT_HASH: u64 = 0;
 const ENT_KLEN: u64 = 8;
@@ -48,12 +81,21 @@ const ENT_KEY: u64 = 24;
 
 const STRIPES: usize = 64;
 
+/// A split begins once `SPLIT_FACTOR × live_estimate > bucket_count`, so a
+/// fully-migrated table sits at load factor ≤ 1/SPLIT_FACTOR. At 0.5 the
+/// Poisson tail keeps the max chain ≤ 8 w.h.p. even at 10⁶ keys (the
+/// creation-storm CI bound).
+const SPLIT_FACTOR: u64 = 2;
+
 /// Bound on unlocked chain walks: a torn `next` pointer may form a cycle,
 /// so hop counts beyond any plausible chain length are treated as torn.
 const MAX_PROBE_HOPS: u32 = 1 << 16;
 /// After this many seqlock retries a reader falls back to the stripe lock,
 /// so a busy writer cannot starve it indefinitely.
 const SEQLOCK_MAX_RETRIES: u32 = 8;
+/// After this many whole re-route passes a batched reader falls back to
+/// locked per-key resolution (cannot be starved by back-to-back splits).
+const MAX_ROUTE_PASSES: u32 = 8;
 /// Modelled cost of a DRAM shadow-index probe that hits (one cache-missy
 /// hash lookup). Charged unconditionally so virtual time is identical with
 /// metrics on or off.
@@ -79,6 +121,9 @@ struct Stripe {
     /// Seqlock epoch: odd while a writer is splicing, bumped twice per
     /// mutation. Lock-free readers validate it around their walks.
     epoch: AtomicU64,
+    /// Net live-entry delta since the last fold (inserts − removes on this
+    /// stripe). Summed into the persisted count by `quiesce`.
+    live: AtomicI64,
     /// This stripe's slice of the volatile shadow index: key → value
     /// location, write-through on every put/remove.
     shadow: Mutex<HashMap<Vec<u8>, ValueRef>>,
@@ -89,9 +134,73 @@ fn new_stripes() -> Vec<Stripe> {
         .map(|_| Stripe {
             lock: Mutex::new(()),
             epoch: AtomicU64::new(0),
+            live: AtomicI64::new(0),
             shadow: Mutex::new(HashMap::new()),
         })
         .collect()
+}
+
+/// Where a key lives *right now*: the device slot holding its chain head
+/// and the stripe guarding that chain. Compared for equality to detect a
+/// migration racing a lock acquisition or an unlocked walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Route {
+    head_slot: u64,
+    sid: usize,
+}
+
+/// Snapshot of the table geometry (both directories + split cursor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Geo {
+    buckets: u64,
+    heads: u64,
+    old_buckets: u64,
+    old_heads: u64,
+    cursor: u64,
+}
+
+impl Geo {
+    fn route(&self, hash: u64) -> Route {
+        if self.old_buckets != 0 {
+            let ob = hash % self.old_buckets;
+            if ob >= self.cursor {
+                return Route {
+                    head_slot: self.old_heads + ob * 8,
+                    sid: (ob % STRIPES as u64) as usize,
+                };
+            }
+        }
+        let b = hash % self.buckets;
+        Route {
+            head_slot: self.heads + b * 8,
+            sid: (b % STRIPES as u64) as usize,
+        }
+    }
+}
+
+/// Seqlock-published geometry: readers snapshot all five words without a
+/// lock; `geo_store` (always under `resize_lock`) flips the sequence odd
+/// around its stores so a reader never observes a half-updated geometry.
+struct GeoCell {
+    seq: AtomicU64,
+    buckets: AtomicU64,
+    heads: AtomicU64,
+    old_buckets: AtomicU64,
+    old_heads: AtomicU64,
+    cursor: AtomicU64,
+}
+
+impl GeoCell {
+    fn new(g: Geo) -> Self {
+        GeoCell {
+            seq: AtomicU64::new(0),
+            buckets: AtomicU64::new(g.buckets),
+            heads: AtomicU64::new(g.heads),
+            old_buckets: AtomicU64::new(g.old_buckets),
+            old_heads: AtomicU64::new(g.old_heads),
+            cursor: AtomicU64::new(g.cursor),
+        }
+    }
 }
 
 /// One entry's fixed-size header, fetched with a single 24-byte metadata
@@ -140,12 +249,20 @@ impl Drop for EpochWriteGuard<'_> {
 pub struct PersistentHashtable {
     pool: Arc<PmemPool>,
     header: u64,
-    bucket_count: u64,
+    /// Volatile mirror of the persistent geometry, published via seqlock.
+    geo: GeoCell,
     stripes: Vec<Stripe>,
-    /// The entry count is shared across all stripes; its read-modify-write
-    /// must be serialized separately or concurrent inserts on different
-    /// buckets lose increments.
-    count_lock: Mutex<()>,
+    /// Serializes split begin/advance; held across geometry publication.
+    resize_lock: Mutex<()>,
+    /// Serializes the first dirty-flag write of a session.
+    dirty_lock: Mutex<()>,
+    /// Volatile mirror of HDR_DIRTY (true ⇒ per-stripe deltas are live).
+    count_dirty: AtomicBool,
+    /// Volatile mirror of the last folded HDR_COUNT, so the split trigger
+    /// never charges a pool read on the insert hot path.
+    count_base: AtomicU64,
+    /// Gates incremental resize (ablations pin the geometry).
+    auto_resize: AtomicBool,
     /// Gates the volatile shadow index (ablations turn it off).
     shadow_enabled: AtomicBool,
 }
@@ -154,7 +271,7 @@ impl std::fmt::Debug for PersistentHashtable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistentHashtable")
             .field("header", &self.header)
-            .field("bucket_count", &self.bucket_count)
+            .field("bucket_count", &self.bucket_count())
             .finish()
     }
 }
@@ -171,40 +288,130 @@ impl PersistentHashtable {
     /// Allocate and initialize a fresh table with `bucket_count` buckets.
     pub fn create(clock: &Clock, pool: &Arc<PmemPool>, bucket_count: u64) -> Result<Self> {
         assert!(bucket_count > 0, "hashtable needs at least one bucket");
-        let size = HDR_HEADS + bucket_count * 8;
-        let header = pool.alloc(clock, size)?;
+        let header = pool.alloc(clock, HDR_SIZE)?;
+        let heads = pool.alloc(clock, bucket_count * 8)?;
         pool.device()
-            .zero_meta(clock, header as usize, size as usize);
-        pool.device().persist(clock, header as usize, size as usize);
+            .zero_meta(clock, header as usize, HDR_SIZE as usize);
+        pool.device()
+            .persist(clock, header as usize, HDR_SIZE as usize);
+        pool.device()
+            .zero_meta(clock, heads as usize, (bucket_count * 8) as usize);
+        pool.device()
+            .persist(clock, heads as usize, (bucket_count * 8) as usize);
+        pool.write_u64(clock, header + HDR_HEADS, heads);
         pool.write_u64(clock, header + HDR_BUCKETS, bucket_count);
-        Ok(PersistentHashtable {
-            pool: Arc::clone(pool),
+        Ok(Self::attach(
+            pool,
             header,
-            bucket_count,
-            stripes: new_stripes(),
-            count_lock: Mutex::new(()),
-            shadow_enabled: AtomicBool::new(true),
-        })
+            Geo {
+                buckets: bucket_count,
+                heads,
+                old_buckets: 0,
+                old_heads: 0,
+                cursor: 0,
+            },
+            0,
+        ))
     }
 
-    /// Attach to an existing table at `header`. The shadow index starts
-    /// cold (lookups repopulate it lazily); call
-    /// [`PersistentHashtable::rebuild_shadow`] to warm it eagerly.
+    /// Attach to an existing table at `header`, validating that the stored
+    /// geometry is plausible for this pool: a heads array (old or new) that
+    /// would run past the device, a cursor past the old table, or a new
+    /// table that is not the old one doubled all reject the header instead
+    /// of faulting later. If the table crashed with unfolded per-stripe
+    /// counts (dirty flag set), the count is recounted from the chains
+    /// here. The shadow index starts cold (lookups repopulate it lazily);
+    /// call [`PersistentHashtable::rebuild_shadow`] to warm it eagerly.
     pub fn open(clock: &Clock, pool: &Arc<PmemPool>, header: u64) -> Result<Self> {
-        let bucket_count = pool.read_u64(clock, header + HDR_BUCKETS);
-        if bucket_count == 0 || bucket_count > (1 << 32) {
+        let dev_size = pool.device().size() as u64;
+        if header
+            .checked_add(HDR_SIZE)
+            .is_none_or(|end| end > dev_size)
+        {
             return Err(PmdkError::BadPool(format!(
-                "implausible hashtable bucket count {bucket_count}"
+                "hashtable header at {header} runs past the device"
             )));
         }
-        Ok(PersistentHashtable {
+        let word = |off| pool.read_u64(clock, header + off);
+        let buckets = word(HDR_BUCKETS);
+        let heads = word(HDR_HEADS);
+        let old_buckets = word(HDR_OLD_BUCKETS);
+        let old_heads = word(HDR_OLD_HEADS);
+        let cursor = word(HDR_CURSOR);
+        let dirty = word(HDR_DIRTY);
+        let fits = |off: u64, n: u64| {
+            n.checked_mul(8)
+                .and_then(|sz| off.checked_add(sz))
+                .is_some_and(|end| end <= dev_size)
+        };
+        if buckets == 0 || !fits(heads, buckets) {
+            return Err(PmdkError::BadPool(format!(
+                "implausible hashtable bucket count {buckets} (heads at {heads}, device {dev_size})"
+            )));
+        }
+        if old_buckets != 0 {
+            if buckets != old_buckets.wrapping_mul(2)
+                || cursor > old_buckets
+                || !fits(old_heads, old_buckets)
+            {
+                return Err(PmdkError::BadPool(format!(
+                    "implausible hashtable split state: old_buckets={old_buckets} cursor={cursor} buckets={buckets}"
+                )));
+            }
+        } else if old_heads != 0 || cursor != 0 {
+            return Err(PmdkError::BadPool(format!(
+                "implausible hashtable split state: no old table but old_heads={old_heads} cursor={cursor}"
+            )));
+        }
+        if dirty > 1 {
+            return Err(PmdkError::BadPool(format!(
+                "implausible hashtable dirty flag {dirty}"
+            )));
+        }
+        let ht = Self::attach(
+            pool,
+            header,
+            Geo {
+                buckets,
+                heads,
+                old_buckets,
+                old_heads,
+                cursor,
+            },
+            word(HDR_COUNT),
+        );
+        if dirty == 1 {
+            // Crashed with unfolded per-stripe deltas: recount from the
+            // chains (cheap 8-byte next-pointer hops) and fold + clear in
+            // ordered single-word persisted writes.
+            let mut n = 0u64;
+            for (slot, _) in ht.head_slots(ht.geo()) {
+                let mut entry = pool.read_u64(clock, slot);
+                while entry != 0 {
+                    n += 1;
+                    entry = pool.read_u64(clock, entry + ENT_NEXT);
+                }
+            }
+            pool.write_u64(clock, header + HDR_COUNT, n);
+            pool.write_u64(clock, header + HDR_DIRTY, 0);
+            ht.count_base.store(n, Ordering::Relaxed);
+        }
+        Ok(ht)
+    }
+
+    fn attach(pool: &Arc<PmemPool>, header: u64, g: Geo, count: u64) -> Self {
+        PersistentHashtable {
             pool: Arc::clone(pool),
             header,
-            bucket_count,
+            geo: GeoCell::new(g),
             stripes: new_stripes(),
-            count_lock: Mutex::new(()),
+            resize_lock: Mutex::new(()),
+            dirty_lock: Mutex::new(()),
+            count_dirty: AtomicBool::new(false),
+            count_base: AtomicU64::new(count),
+            auto_resize: AtomicBool::new(true),
             shadow_enabled: AtomicBool::new(true),
-        })
+        }
     }
 
     /// Device offset of the table header (store it in your root object).
@@ -213,28 +420,91 @@ impl PersistentHashtable {
     }
 
     pub fn bucket_count(&self) -> u64 {
-        self.bucket_count
+        self.geo().buckets
     }
 
-    /// Number of live entries.
+    /// Whether a split is in flight (old table not fully migrated).
+    pub fn splitting(&self) -> bool {
+        self.geo().old_buckets != 0
+    }
+
+    /// Enable/disable incremental resize. Ablations and fixed-geometry
+    /// tests turn it off; the directory then behaves exactly like the old
+    /// fixed-bucket table.
+    pub fn set_auto_resize(&self, enabled: bool) {
+        self.auto_resize.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn auto_resize(&self) -> bool {
+        self.auto_resize.load(Ordering::Relaxed)
+    }
+
+    /// Number of live entries: the last folded count plus every stripe's
+    /// volatile delta.
     pub fn len(&self, clock: &Clock) -> u64 {
-        self.pool.read_u64(clock, self.header + HDR_COUNT)
+        let delta: i64 = self
+            .stripes
+            .iter()
+            .map(|s| s.live.load(Ordering::Relaxed))
+            .sum();
+        (self.pool.read_u64(clock, self.header + HDR_COUNT) as i64 + delta).max(0) as u64
     }
 
     pub fn is_empty(&self, clock: &Clock) -> bool {
         self.len(clock) == 0
     }
 
-    fn bucket_of(&self, hash: u64) -> u64 {
-        hash % self.bucket_count
+    /// Charge-free live-entry estimate for the split trigger (volatile
+    /// words only — the insert hot path must not pay a pool read here).
+    fn live_estimate(&self) -> u64 {
+        let delta: i64 = self
+            .stripes
+            .iter()
+            .map(|s| s.live.load(Ordering::Relaxed))
+            .sum();
+        (self.count_base.load(Ordering::Relaxed) as i64 + delta).max(0) as u64
     }
 
-    fn head_slot(&self, bucket: u64) -> u64 {
-        self.header + HDR_HEADS + bucket * 8
+    /// Seqlock snapshot of the geometry (never blocks, never tears).
+    fn geo(&self) -> Geo {
+        loop {
+            let s1 = self.geo.seq.load(Ordering::Acquire);
+            if s1 & 1 != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let g = Geo {
+                buckets: self.geo.buckets.load(Ordering::Acquire),
+                heads: self.geo.heads.load(Ordering::Acquire),
+                old_buckets: self.geo.old_buckets.load(Ordering::Acquire),
+                old_heads: self.geo.old_heads.load(Ordering::Acquire),
+                cursor: self.geo.cursor.load(Ordering::Acquire),
+            };
+            if self.geo.seq.load(Ordering::Acquire) == s1 {
+                return g;
+            }
+        }
     }
 
-    fn stripe_id(&self, bucket: u64) -> usize {
-        (bucket % STRIPES as u64) as usize
+    /// Publish a new geometry (caller holds `resize_lock`).
+    fn geo_store(&self, g: Geo) {
+        self.geo.seq.fetch_add(1, Ordering::AcqRel);
+        self.geo.buckets.store(g.buckets, Ordering::Release);
+        self.geo.heads.store(g.heads, Ordering::Release);
+        self.geo.old_buckets.store(g.old_buckets, Ordering::Release);
+        self.geo.old_heads.store(g.old_heads, Ordering::Release);
+        self.geo.cursor.store(g.cursor, Ordering::Release);
+        self.geo.seq.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Every chain-head slot a key could live in under geometry `g`:
+    /// unmigrated old buckets first, then the whole new directory. Yields
+    /// `(head_slot, stripe_id)`.
+    fn head_slots(&self, g: Geo) -> impl Iterator<Item = (u64, usize)> {
+        let old = (g.cursor..g.old_buckets)
+            .map(move |b| (g.old_heads + b * 8, (b % STRIPES as u64) as usize));
+        let new = (0..g.buckets).map(move |b| (g.heads + b * 8, (b % STRIPES as u64) as usize));
+        old.chain(new)
     }
 
     /// Acquire stripe `id`, feeding the per-stripe heat map when metrics
@@ -258,6 +528,261 @@ impl PersistentHashtable {
         self.stripes[id].lock.lock()
     }
 
+    // ---- sharded count: dirty flag + quiesce fold ----
+
+    /// Mark the persistent count stale before the first count-changing
+    /// mutation commits. A single persisted word (no transaction needed —
+    /// an 8-byte write is atomic on the device), so a crash at any point
+    /// after it forces the reopen recount and before it changed nothing.
+    fn ensure_dirty(&self, clock: &Clock) {
+        if self.count_dirty.load(Ordering::Acquire) {
+            return;
+        }
+        let _serial = self.dirty_lock.lock();
+        if self.count_dirty.load(Ordering::Acquire) {
+            return;
+        }
+        self.pool.write_u64(clock, self.header + HDR_DIRTY, 1);
+        self.count_dirty.store(true, Ordering::Release);
+    }
+
+    /// Fold the per-stripe live deltas into the persistent header and clear
+    /// the dirty flag, in one transaction under every stripe lock. Cheap
+    /// no-op (zero transactions, zero writes) when nothing changed the
+    /// count since the last fold — a read-only session stays at zero
+    /// pool transactions. Call at munmap/checkpoint boundaries.
+    pub fn quiesce(&self, clock: &Clock) -> Result<()> {
+        if !self.count_dirty.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let _atomic = pmem_sim::atomic_section();
+        let _guards: Vec<_> = (0..STRIPES).map(|i| self.lock_stripe(i)).collect();
+        let delta: i64 = self
+            .stripes
+            .iter()
+            .map(|s| s.live.load(Ordering::Relaxed))
+            .sum();
+        let folded = (self.count_base.load(Ordering::Relaxed) as i64 + delta).max(0) as u64;
+        self.pool.tx(clock, |tx| {
+            self.pool.fail_points.check("ht::count-fold")?;
+            tx.set(self.header + HDR_COUNT, &folded.to_le_bytes())?;
+            tx.set(self.header + HDR_DIRTY, &0u64.to_le_bytes())?;
+            Ok(())
+        })?;
+        for s in &self.stripes {
+            s.live.store(0, Ordering::Relaxed);
+        }
+        self.count_base.store(folded, Ordering::Relaxed);
+        self.count_dirty.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    // ---- incremental resize ----
+
+    /// Called at the top of every mutation (and batched lookups): advance
+    /// an in-flight split by one chunk, or begin one if the table is over
+    /// threshold. Injected failures propagate (they model a crash); any
+    /// other split error — e.g. the pool is too full to double the
+    /// directory — defers the split rather than failing the caller's
+    /// operation.
+    fn maybe_resize(&self, clock: &Clock) -> Result<()> {
+        if !self.auto_resize.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let g = self.geo();
+        if g.old_buckets != 0 {
+            return self.help_migrate(clock);
+        }
+        if self.live_estimate().saturating_mul(SPLIT_FACTOR) > g.buckets {
+            match self.begin_split(clock) {
+                Ok(()) => return self.help_migrate(clock),
+                Err(PmdkError::Injected(e)) => return Err(PmdkError::Injected(e)),
+                Err(_) => {
+                    self.pool
+                        .device()
+                        .machine()
+                        .metric_counter_add("ht.split.deferred", 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Double the directory: allocate + zero a new heads array and publish
+    /// `(old_buckets, old_heads, cursor=0, buckets×2, new_heads)` in one
+    /// transaction. The old heads array becomes the old table in place, so
+    /// no key's physical slot or stripe changes here — routing through the
+    /// new geometry is identical until migration moves a bucket.
+    fn begin_split(&self, clock: &Clock) -> Result<()> {
+        let Some(_resize) = self.resize_lock.try_lock() else {
+            return Ok(()); // someone else is already splitting
+        };
+        let g = self.geo();
+        if g.old_buckets != 0 || self.live_estimate().saturating_mul(SPLIT_FACTOR) <= g.buckets {
+            return Ok(());
+        }
+        let doubled = g
+            .buckets
+            .checked_mul(2)
+            .ok_or_else(|| PmdkError::TxFailure("bucket count overflow".into()))?;
+        let machine = self.pool.device().machine();
+        let _phase = machine.phase_scope("ht.resize");
+        let new_heads = self.pool.tx(clock, |tx| {
+            let new_heads = tx.alloc(doubled * 8)?;
+            // Fresh allocation: zero it without undo images, in bounded
+            // chunks so huge directories do not stage one giant buffer.
+            let total = doubled * 8;
+            let zeros = vec![0u8; total.min(1 << 20) as usize];
+            let mut off = 0u64;
+            while off < total {
+                let n = (total - off).min(zeros.len() as u64) as usize;
+                tx.write_new(new_heads + off, &zeros[..n]);
+                off += n as u64;
+            }
+            tx.set(self.header + HDR_OLD_BUCKETS, &g.buckets.to_le_bytes())?;
+            tx.set(self.header + HDR_OLD_HEADS, &g.heads.to_le_bytes())?;
+            tx.set(self.header + HDR_CURSOR, &0u64.to_le_bytes())?;
+            tx.set(self.header + HDR_BUCKETS, &doubled.to_le_bytes())?;
+            tx.set(self.header + HDR_HEADS, &new_heads.to_le_bytes())?;
+            Ok(new_heads)
+        })?;
+        self.geo_store(Geo {
+            buckets: doubled,
+            heads: new_heads,
+            old_buckets: g.buckets,
+            old_heads: g.heads,
+            cursor: 0,
+        });
+        machine.metric_counter_add("ht.splits.begun", 1);
+        Ok(())
+    }
+
+    /// Migrate one chunk of old buckets: partition each chain into lo
+    /// (`hash % new_buckets == b`) and hi (`== b + old_buckets`), relink
+    /// both partitions into the new directory, zero the old head (stale
+    /// unlocked walks then see an empty chain and re-route), and advance
+    /// the persisted cursor — all in one transaction under the affected
+    /// stripes' locks and epochs. The final chunk also retires the old
+    /// table and frees its heads array.
+    fn help_migrate(&self, clock: &Clock) -> Result<()> {
+        let Some(_resize) = self.resize_lock.try_lock() else {
+            return Ok(()); // another helper has this split chunk
+        };
+        let g = self.geo();
+        if g.old_buckets == 0 {
+            return Ok(());
+        }
+        let n = g.old_buckets;
+        let start = g.cursor;
+        // Chunk size is bounded by the transaction undo log: every bucket
+        // costs one old-head zeroing snapshot plus a snapshot per relinked
+        // entry and destination head (~20 bytes each against the ~15 KB
+        // lane). 128 buckets leaves multiples of headroom even for skewed
+        // chains at the split-trigger load factor.
+        let chunk = (n / STRIPES as u64).clamp(8, 128).min(n - start);
+        let end = start + chunk;
+        let machine = self.pool.device().machine();
+        let _phase = machine.phase_scope("ht.resize");
+        let t0 = machine.trace_start(clock);
+
+        // Source bucket b lives on stripe b%64; its lo half stays there,
+        // its hi half moves to (b+n)%64. Lock both for the whole chunk.
+        let mut sids: Vec<usize> = (start..end)
+            .flat_map(|b| {
+                [
+                    (b % STRIPES as u64) as usize,
+                    ((b + n) % STRIPES as u64) as usize,
+                ]
+            })
+            .collect();
+        sids.sort_unstable();
+        sids.dedup();
+        let _atomic = pmem_sim::atomic_section();
+        let _guards: Vec<_> = sids.iter().map(|&i| self.lock_stripe(i)).collect();
+        let _epoch = EpochWriteGuard::enter(sids.iter().map(|&i| &self.stripes[i]).collect());
+
+        let mut entries_moved = 0u64;
+        let complete = self.pool.tx(clock, |tx| {
+            self.pool.fail_points.check("ht::migrate")?;
+            for b in start..end {
+                let old_slot = g.old_heads + b * 8;
+                let mut lo: Vec<(u64, u64)> = Vec::new(); // (entry, current next)
+                let mut hi: Vec<(u64, u64)> = Vec::new();
+                let mut entry = self.pool.read_u64(clock, old_slot);
+                while entry != 0 {
+                    let hdr = self.read_entry_header(clock, entry);
+                    if hdr.hash % g.buckets == b {
+                        lo.push((entry, hdr.next));
+                    } else {
+                        hi.push((entry, hdr.next));
+                    }
+                    entries_moved += 1;
+                    entry = hdr.next;
+                }
+                // Both destination buckets are empty (nothing routes to
+                // new-table b or b+n until b is past the cursor), so each
+                // partition relinks in original order with a nul tail.
+                // Next pointers already correct (consecutive entries of the
+                // same partition) are left untouched.
+                for (slot, chain) in [(g.heads + b * 8, &lo), (g.heads + (b + n) * 8, &hi)] {
+                    let mut want = 0u64;
+                    for &(e, cur_next) in chain.iter().rev() {
+                        if cur_next != want {
+                            tx.set(e + ENT_NEXT, &want.to_le_bytes())?;
+                        }
+                        want = e;
+                    }
+                    if !chain.is_empty() {
+                        tx.set(slot, &want.to_le_bytes())?;
+                    }
+                }
+                tx.set(old_slot, &0u64.to_le_bytes())?;
+            }
+            self.pool.fail_points.check("ht::cursor-advance")?;
+            if end == n {
+                tx.set(self.header + HDR_CURSOR, &0u64.to_le_bytes())?;
+                tx.set(self.header + HDR_OLD_BUCKETS, &0u64.to_le_bytes())?;
+                tx.set(self.header + HDR_OLD_HEADS, &0u64.to_le_bytes())?;
+                tx.free(g.old_heads)?;
+                Ok(true)
+            } else {
+                tx.set(self.header + HDR_CURSOR, &end.to_le_bytes())?;
+                Ok(false)
+            }
+        })?;
+
+        if complete {
+            self.geo_store(Geo {
+                old_buckets: 0,
+                old_heads: 0,
+                cursor: 0,
+                ..g
+            });
+            machine.metric_counter_add("ht.splits", 1);
+        } else {
+            self.geo_store(Geo { cursor: end, ..g });
+        }
+        // Shadow invariant: a cached ref lives only at its key's current
+        // route stripe. When the old size is not a multiple of the stripe
+        // count, a migrated hi entry changes stripes — drop the source
+        // stripes' caches wholesale (volatile, charge-free) so no stale
+        // ref can resurface after a later remove + re-split.
+        if !n.is_multiple_of(STRIPES as u64) {
+            for b in start..end {
+                self.stripes[(b % STRIPES as u64) as usize]
+                    .shadow
+                    .lock()
+                    .clear();
+            }
+        }
+        machine.metric_counter_add("ht.buckets_migrated", chunk);
+        if entries_moved > 0 {
+            machine.metric_counter_add("ht.entries_migrated", entries_moved);
+        }
+        machine.trace_finish(clock, t0, "pmdk", "ht.migrate", Some(("buckets", chunk)));
+        Ok(())
+    }
+
     /// Fetch an entry's whole header with one charged metadata read.
     fn read_entry_header(&self, clock: &Clock, entry: u64) -> EntryHeader {
         let mut b = [0u8; ENT_KEY as usize];
@@ -270,32 +795,52 @@ impl PersistentHashtable {
         }
     }
 
-    /// Walk a chain looking for `key` (writer side, caller holds the
-    /// stripe). Returns (predecessor_next_slot, entry, header).
-    fn find(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64, EntryHeader)> {
+    /// Walk the chain at `head_slot` looking for `key` (writer side, caller
+    /// holds the stripe). Returns (predecessor_next_slot, entry, header).
+    fn find(
+        &self,
+        clock: &Clock,
+        head_slot: u64,
+        key: &[u8],
+        hash: u64,
+    ) -> Option<(u64, u64, EntryHeader)> {
         let machine = self.pool.device().machine();
         let t0 = machine.trace_start(clock);
-        let out = self.find_inner(clock, key, hash);
+        let out = self.find_inner(clock, head_slot, key, hash);
         machine.trace_finish(clock, t0, "pmdk", "ht.probe", None);
         out
     }
 
-    fn find_inner(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<(u64, u64, EntryHeader)> {
-        let mut slot = self.head_slot(self.bucket_of(hash));
+    fn find_inner(
+        &self,
+        clock: &Clock,
+        head_slot: u64,
+        key: &[u8],
+        hash: u64,
+    ) -> Option<(u64, u64, EntryHeader)> {
+        let mut slot = head_slot;
         let mut entry = self.pool.read_u64(clock, slot);
+        let mut hops = 0u64;
+        let mut out = None;
         while entry != 0 {
+            hops += 1;
             let hdr = self.read_entry_header(clock, entry);
             if hdr.hash == hash && hdr.klen as usize == key.len() {
                 let mut kbuf = vec![0u8; key.len()];
                 self.pool.read_bytes(clock, entry + ENT_KEY, &mut kbuf);
                 if kbuf == key {
-                    return Some((slot, entry, hdr));
+                    out = Some((slot, entry, hdr));
+                    break;
                 }
             }
             slot = entry + ENT_NEXT;
             entry = hdr.next;
         }
-        None
+        self.pool
+            .device()
+            .machine()
+            .metric_hist_record("ht.chain_len", SimTime::from_nanos(hops));
+        out
     }
 
     // ---- volatile shadow index ----
@@ -331,11 +876,13 @@ impl PersistentHashtable {
         }
         let _atomic = pmem_sim::atomic_section();
         let mut installed = 0u64;
-        for b in 0..self.bucket_count {
-            let sid = self.stripe_id(b);
+        // Snapshot the geometry under the resize lock so no bucket migrates
+        // (changing its stripe) while the scan installs entries.
+        let _resize = self.resize_lock.lock();
+        for (slot, sid) in self.head_slots(self.geo()) {
             let _guard = self.lock_stripe(sid);
             let mut shadow = self.stripes[sid].shadow.lock();
-            let mut entry = self.pool.read_u64(clock, self.head_slot(b));
+            let mut entry = self.pool.read_u64(clock, slot);
             while entry != 0 {
                 let hdr = self.read_entry_header(clock, entry);
                 let mut k = vec![0u8; hdr.klen as usize];
@@ -439,8 +986,8 @@ impl PersistentHashtable {
     /// Group-commit variant of [`PersistentHashtable::put_reserve`]: reserve
     /// space for every `(key, val_len)` in **one pool transaction** with
     /// **one allocator pass** (`Tx::alloc_many`), stripe-grouped chain
-    /// splices (one snapshotted head write per touched bucket), and a single
-    /// entry-count update for the whole group.
+    /// splices (one snapshotted head write per touched bucket), and
+    /// volatile per-stripe count updates for the whole group.
     ///
     /// Crash contract: the transaction is the atomicity boundary — a crash
     /// anywhere before the lane commit point rolls the *entire group* back
@@ -470,85 +1017,94 @@ impl PersistentHashtable {
             .iter()
             .map(|&(k, vlen)| ENT_KEY + k.len() as u64 + vlen)
             .collect();
-        // Group requests per bucket; an ordered map keeps the splice order
-        // (and thus every persisted byte) deterministic.
-        let mut by_bucket: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
-        for (i, &h) in hashes.iter().enumerate() {
-            by_bucket.entry(self.bucket_of(h)).or_default().push(i);
-        }
+        self.maybe_resize(clock)?;
 
+        let machine = self.pool.device().machine();
         let _atomic = pmem_sim::atomic_section();
-        // Lock every involved stripe in ascending index order so concurrent
-        // batches (and single puts, which hold exactly one stripe) cannot
-        // deadlock against each other.
-        let mut stripe_ids: Vec<usize> = by_bucket
-            .keys()
-            .map(|&b| (b % STRIPES as u64) as usize)
-            .collect();
-        stripe_ids.sort_unstable();
-        stripe_ids.dedup();
-        let _guards: Vec<_> = stripe_ids.iter().map(|&i| self.lock_stripe(i)).collect();
-        let _epoch = EpochWriteGuard::enter(stripe_ids.iter().map(|&i| &self.stripes[i]).collect());
-        for (i, &(key, _)) in reqs.iter().enumerate() {
-            let stripe = &self.stripes[self.stripe_id(self.bucket_of(hashes[i]))];
-            self.shadow_invalidate(stripe, key);
-        }
+        loop {
+            // Route every key, group per head slot (an ordered map keeps the
+            // splice order — and thus every persisted byte — deterministic),
+            // and lock the involved stripes in ascending index order so
+            // concurrent batches and single puts cannot deadlock.
+            let g = self.geo();
+            let routes: Vec<Route> = hashes.iter().map(|&h| g.route(h)).collect();
+            let mut by_slot: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+            for (i, r) in routes.iter().enumerate() {
+                by_slot.entry(r.head_slot).or_default().push(i);
+            }
+            let mut stripe_ids: Vec<usize> = routes.iter().map(|r| r.sid).collect();
+            stripe_ids.sort_unstable();
+            stripe_ids.dedup();
+            let _guards: Vec<_> = stripe_ids.iter().map(|&i| self.lock_stripe(i)).collect();
+            // A migration may have moved a bucket between routing and lock
+            // acquisition; holding the stripes pins the survivors, so one
+            // stable re-check suffices.
+            let g2 = self.geo();
+            if hashes.iter().zip(&routes).any(|(&h, r)| g2.route(h) != *r) {
+                machine.metric_counter_add("ht.route.retries", 1);
+                continue;
+            }
+            let _epoch =
+                EpochWriteGuard::enter(stripe_ids.iter().map(|&i| &self.stripes[i]).collect());
+            for (i, &(key, _)) in reqs.iter().enumerate() {
+                self.shadow_invalidate(&self.stripes[routes[i].sid], key);
+            }
+            self.ensure_dirty(clock);
 
-        let entries = self.pool.tx(clock, |tx| {
-            // One allocator pass for every entry in the group.
-            let entries = tx.alloc_many(&entry_sizes)?;
-            let mut net_new = 0u64;
-            for (&bucket, idxs) in &by_bucket {
-                let head_slot = self.head_slot(bucket);
-                // Unlink + free replaced entries first. Re-find before each
-                // unlink: an earlier unlink in the same chain may have moved
-                // this entry's predecessor.
-                for &i in idxs {
-                    let (key, _) = reqs[i];
-                    if let Some((pred_slot, old_entry, old_hdr)) = self.find(clock, key, hashes[i])
-                    {
-                        tx.set(pred_slot, &old_hdr.next.to_le_bytes())?;
-                        tx.free(old_entry)?;
-                    } else {
-                        net_new += 1;
+            let (entries, live_delta) = self.pool.tx(clock, |tx| {
+                // One allocator pass for every entry in the group.
+                let entries = tx.alloc_many(&entry_sizes)?;
+                let mut live_delta = vec![0i64; STRIPES];
+                for (&head_slot, idxs) in &by_slot {
+                    // Unlink + free replaced entries first. Re-find before
+                    // each unlink: an earlier unlink in the same chain may
+                    // have moved this entry's predecessor.
+                    for &i in idxs {
+                        let (key, _) = reqs[i];
+                        if let Some((pred_slot, old_entry, old_hdr)) =
+                            self.find(clock, head_slot, key, hashes[i])
+                        {
+                            tx.set(pred_slot, &old_hdr.next.to_le_bytes())?;
+                            tx.free(old_entry)?;
+                        } else {
+                            live_delta[routes[i].sid] += 1;
+                        }
                     }
+                    // Chain the group's new entries together off-list, then
+                    // make them all visible with one snapshotted head write.
+                    let mut head = self.pool.read_u64(clock, head_slot);
+                    for &i in idxs {
+                        let (key, val_len) = reqs[i];
+                        let entry = entries[i];
+                        tx.write_new(entry + ENT_HASH, &hashes[i].to_le_bytes());
+                        tx.write_new(entry + ENT_KLEN, &(key.len() as u32).to_le_bytes());
+                        tx.write_new(entry + ENT_VLEN, &(val_len as u32).to_le_bytes());
+                        tx.write_new(entry + ENT_KEY, key);
+                        tx.write_new(entry + ENT_NEXT, &head.to_le_bytes());
+                        head = entry;
+                    }
+                    tx.set(head_slot, &head.to_le_bytes())?;
                 }
-                // Chain the group's new entries together off-list, then make
-                // them all visible with one snapshotted head write.
-                let mut head = self.pool.read_u64(clock, head_slot);
-                for &i in idxs {
-                    let (key, val_len) = reqs[i];
-                    let entry = entries[i];
-                    tx.write_new(entry + ENT_HASH, &hashes[i].to_le_bytes());
-                    tx.write_new(entry + ENT_KLEN, &(key.len() as u32).to_le_bytes());
-                    tx.write_new(entry + ENT_VLEN, &(val_len as u32).to_le_bytes());
-                    tx.write_new(entry + ENT_KEY, key);
-                    tx.write_new(entry + ENT_NEXT, &head.to_le_bytes());
-                    head = entry;
+                Ok((entries, live_delta))
+            })?;
+            for (sid, d) in live_delta.iter().enumerate() {
+                if *d != 0 {
+                    self.stripes[sid].live.fetch_add(*d, Ordering::Relaxed);
                 }
-                tx.set(head_slot, &head.to_le_bytes())?;
             }
-            if net_new > 0 {
-                // One shared-counter update for the whole group.
-                let _count_guard = self.count_lock.lock();
-                let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
-                tx.set(self.header + HDR_COUNT, &(count + net_new).to_le_bytes())?;
+            let refs: Vec<ValueRef> = reqs
+                .iter()
+                .zip(&entries)
+                .map(|(&(key, val_len), &entry)| ValueRef {
+                    offset: entry + ENT_KEY + key.len() as u64,
+                    len: val_len,
+                })
+                .collect();
+            for (i, &(key, _)) in reqs.iter().enumerate() {
+                self.shadow_store(&self.stripes[routes[i].sid], key, refs[i]);
             }
-            Ok(entries)
-        })?;
-        let refs: Vec<ValueRef> = reqs
-            .iter()
-            .zip(&entries)
-            .map(|(&(key, val_len), &entry)| ValueRef {
-                offset: entry + ENT_KEY + key.len() as u64,
-                len: val_len,
-            })
-            .collect();
-        for (i, &(key, _)) in reqs.iter().enumerate() {
-            let stripe = &self.stripes[self.stripe_id(self.bucket_of(hashes[i]))];
-            self.shadow_store(stripe, key, refs[i]);
+            return Ok(refs);
         }
-        Ok(refs)
     }
 
     fn insert_impl(
@@ -560,58 +1116,69 @@ impl PersistentHashtable {
     ) -> Result<ValueRef> {
         assert!(val_len <= u32::MAX as u64, "values are capped at 4 GiB");
         let hash = fnv1a(key);
-        let bucket = self.bucket_of(hash);
+        self.maybe_resize(clock)?;
         // Charges happen under the stripe lock: the deterministic scheduler
         // must not park this thread while it holds the stripe.
         let _atomic = pmem_sim::atomic_section();
-        let sid = self.stripe_id(bucket);
-        let _guard = self.lock_stripe(sid);
-        let stripe = &self.stripes[sid];
-        let _epoch = EpochWriteGuard::enter(vec![stripe]);
-        self.shadow_invalidate(stripe, key);
-        let existing = self.find(clock, key, hash);
-        let head_slot = self.head_slot(bucket);
-        let entry_size = ENT_KEY + key.len() as u64 + val_len;
+        let machine = self.pool.device().machine();
+        loop {
+            let r = self.geo().route(hash);
+            let _guard = self.lock_stripe(r.sid);
+            // Holding the stripe pins the route (migration locks it too).
+            if self.geo().route(hash) != r {
+                machine.metric_counter_add("ht.route.retries", 1);
+                continue;
+            }
+            let stripe = &self.stripes[r.sid];
+            let _epoch = EpochWriteGuard::enter(vec![stripe]);
+            self.shadow_invalidate(stripe, key);
+            let existing = self.find(clock, r.head_slot, key, hash);
+            let head_slot = r.head_slot;
+            let entry_size = ENT_KEY + key.len() as u64 + val_len;
+            let is_new = existing.is_none();
+            if is_new {
+                self.ensure_dirty(clock);
+            }
 
-        let value_off = self.pool.tx(clock, |tx| {
-            let entry = tx.alloc(entry_size)?;
-            // Fresh allocation: write fields without undo images.
-            tx.write_new(entry + ENT_HASH, &hash.to_le_bytes());
-            tx.write_new(entry + ENT_KLEN, &(key.len() as u32).to_le_bytes());
-            tx.write_new(entry + ENT_VLEN, &(val_len as u32).to_le_bytes());
-            tx.write_new(entry + ENT_KEY, key);
-            if let Some(v) = value {
-                // Fully-atomic path: value bytes land before the commit point.
-                tx.write_new(entry + ENT_KEY + key.len() as u64, v);
+            let value_off = self.pool.tx(clock, |tx| {
+                let entry = tx.alloc(entry_size)?;
+                // Fresh allocation: write fields without undo images.
+                tx.write_new(entry + ENT_HASH, &hash.to_le_bytes());
+                tx.write_new(entry + ENT_KLEN, &(key.len() as u32).to_le_bytes());
+                tx.write_new(entry + ENT_VLEN, &(val_len as u32).to_le_bytes());
+                tx.write_new(entry + ENT_KEY, key);
+                if let Some(v) = value {
+                    // Fully-atomic path: value bytes land before the commit point.
+                    tx.write_new(entry + ENT_KEY + key.len() as u64, v);
+                }
+                let old_head = self.pool.read_u64(clock, head_slot);
+                tx.write_new(entry + ENT_NEXT, &old_head.to_le_bytes());
+                // Linking the head is the visible commit point.
+                tx.set(head_slot, &entry.to_le_bytes())?;
+                if let Some((pred_slot, old_entry, old_hdr)) = existing {
+                    // Unlink + free the replaced entry in the same transaction.
+                    // The predecessor slot may be the old head we just rewrote;
+                    // re-read through the new chain.
+                    let pred_slot = if pred_slot == head_slot {
+                        entry + ENT_NEXT
+                    } else {
+                        pred_slot
+                    };
+                    tx.set(pred_slot, &old_hdr.next.to_le_bytes())?;
+                    tx.free(old_entry)?;
+                }
+                Ok(entry + ENT_KEY + key.len() as u64)
+            })?;
+            if is_new {
+                stripe.live.fetch_add(1, Ordering::Relaxed);
             }
-            let old_head = self.pool.read_u64(clock, head_slot);
-            tx.write_new(entry + ENT_NEXT, &old_head.to_le_bytes());
-            // Linking the head is the visible commit point.
-            tx.set(head_slot, &entry.to_le_bytes())?;
-            if let Some((pred_slot, old_entry, old_hdr)) = existing {
-                // Unlink + free the replaced entry in the same transaction.
-                // The predecessor slot may be the old head we just rewrote;
-                // re-read through the new chain.
-                let pred_slot = if pred_slot == head_slot {
-                    entry + ENT_NEXT
-                } else {
-                    pred_slot
-                };
-                tx.set(pred_slot, &old_hdr.next.to_le_bytes())?;
-                tx.free(old_entry)?;
-            } else {
-                let _count_guard = self.count_lock.lock();
-                let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
-                tx.set(self.header + HDR_COUNT, &(count + 1).to_le_bytes())?;
-            }
-            Ok(entry + ENT_KEY + key.len() as u64)
-        })?;
-        let vref = ValueRef {
-            offset: value_off,
-            len: val_len,
-        };
-        self.shadow_store(stripe, key, vref);
-        Ok(vref)
+            let vref = ValueRef {
+                offset: value_off,
+                len: val_len,
+            };
+            self.shadow_store(stripe, key, vref);
+            return Ok(vref);
+        }
     }
 
     /// Insert (or replace) `key → value` atomically: on a crash at any point
@@ -624,52 +1191,115 @@ impl PersistentHashtable {
     /// Locate `key`'s value without copying it. Lock-free: probes the
     /// shadow index, then walks the chain under the stripe's seqlock
     /// without ever taking the stripe mutex (writers bump the epoch;
-    /// readers validate and retry).
+    /// readers validate and retry, re-routing if a migration moved the
+    /// bucket mid-walk).
     pub fn get_ref(&self, clock: &Clock, key: &[u8]) -> Option<ValueRef> {
         let hash = fnv1a(key);
         let mut out = [None];
-        self.get_group(clock, &[key], &[hash], self.bucket_of(hash), &[0], &mut out);
-        out[0]
+        let mut passes = 0u32;
+        loop {
+            passes += 1;
+            if passes > MAX_ROUTE_PASSES {
+                let _atomic = pmem_sim::atomic_section();
+                return self.get_ref_locked(clock, key, hash);
+            }
+            let r = self.geo().route(hash);
+            let stale = self.get_group(clock, &[key], &[hash], r, &[0], &mut out);
+            if stale.is_empty() {
+                return out[0];
+            }
+        }
     }
 
     /// Batched lookup: resolve every key with one chain walk per touched
-    /// bucket. Keys are grouped by (stripe, bucket) in sorted order — the
+    /// bucket. Keys are grouped by (stripe, head slot) in sorted order — the
     /// same deterministic grouping the write batches use for stripe
     /// acquisition — so keys sharing a bucket share its head/header reads.
-    /// Results are positionally parallel to `keys`.
+    /// Keys whose bucket migrates mid-walk come back as stale and re-route
+    /// on the next pass. Results are positionally parallel to `keys`.
     pub fn get_ref_many(&self, clock: &Clock, keys: &[&[u8]]) -> Vec<Option<ValueRef>> {
         let mut out = vec![None; keys.len()];
         let hashes: Vec<u64> = keys.iter().map(|k| fnv1a(k)).collect();
-        let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_by_key(|&i| {
-            let bucket = self.bucket_of(hashes[i]);
-            (self.stripe_id(bucket), bucket, i)
-        });
-        let mut i = 0;
-        while i < order.len() {
-            let bucket = self.bucket_of(hashes[order[i]]);
-            let mut j = i + 1;
-            while j < order.len() && self.bucket_of(hashes[order[j]]) == bucket {
-                j += 1;
+        // Lookups help an in-flight split along too (the tentpole contract:
+        // every operation migrates a chunk). A lookup must not fail, so
+        // split errors defer rather than propagate.
+        if self.auto_resize.load(Ordering::Relaxed)
+            && self.splitting()
+            && self.help_migrate(clock).is_err()
+        {
+            self.pool
+                .device()
+                .machine()
+                .metric_counter_add("ht.split.deferred", 1);
+        }
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        let mut passes = 0u32;
+        while !pending.is_empty() {
+            passes += 1;
+            if passes > MAX_ROUTE_PASSES {
+                let _atomic = pmem_sim::atomic_section();
+                for &i in &pending {
+                    out[i] = self.get_ref_locked(clock, keys[i], hashes[i]);
+                }
+                break;
             }
-            self.get_group(clock, keys, &hashes, bucket, &order[i..j], &mut out);
-            i = j;
+            let g = self.geo();
+            pending.sort_by_key(|&i| {
+                let r = g.route(hashes[i]);
+                (r.sid, r.head_slot, i)
+            });
+            let mut next_pending = Vec::new();
+            let mut a = 0;
+            while a < pending.len() {
+                let r = g.route(hashes[pending[a]]);
+                let mut b = a + 1;
+                while b < pending.len() && g.route(hashes[pending[b]]).head_slot == r.head_slot {
+                    b += 1;
+                }
+                next_pending.extend(self.get_group(
+                    clock,
+                    keys,
+                    &hashes,
+                    r,
+                    &pending[a..b],
+                    &mut out,
+                ));
+                a = b;
+            }
+            pending = next_pending;
         }
         out
     }
 
-    /// Resolve one bucket's worth of keys: shadow probes first, then a
-    /// single validated lock-free walk for the rest.
+    /// Locked single-key resolution (starvation fallback). Caller holds an
+    /// atomic section.
+    fn get_ref_locked(&self, clock: &Clock, key: &[u8], hash: u64) -> Option<ValueRef> {
+        loop {
+            let r = self.geo().route(hash);
+            let _guard = self.lock_stripe(r.sid);
+            if self.geo().route(hash) != r {
+                continue;
+            }
+            return self
+                .find_inner(clock, r.head_slot, key, hash)
+                .map(|(_, entry, hdr)| value_ref_of(entry, &hdr));
+        }
+    }
+
+    /// Resolve one route's worth of keys: shadow probes first, then a
+    /// single validated lock-free walk for the rest. Returns the indices
+    /// whose route diverged (their bucket migrated) — the caller re-routes
+    /// them; everything else lands in `out`.
     fn get_group(
         &self,
         clock: &Clock,
         keys: &[&[u8]],
         hashes: &[u64],
-        bucket: u64,
+        route: Route,
         group: &[usize],
         out: &mut [Option<ValueRef>],
-    ) {
-        let stripe = &self.stripes[self.stripe_id(bucket)];
+    ) -> Vec<usize> {
+        let stripe = &self.stripes[route.sid];
         let mut pending: Vec<usize> = Vec::with_capacity(group.len());
         for &i in group {
             match self.shadow_probe(clock, stripe, keys[i]) {
@@ -678,26 +1308,44 @@ impl PersistentHashtable {
             }
         }
         if pending.is_empty() {
-            return;
+            return Vec::new();
         }
         let machine = self.pool.device().machine();
         let t0 = machine.trace_start(clock);
         let mut pool_reads = 0u64;
         let mut retries = 0u32;
-        loop {
+        let stale = loop {
             let e1 = stripe.epoch.load(Ordering::Acquire);
             if e1 & 1 == 0 {
-                if let Some(found) =
-                    self.probe_chain_group(clock, keys, hashes, bucket, &pending, &mut pool_reads)
-                {
+                if let Some(found) = self.probe_chain_group(
+                    clock,
+                    keys,
+                    hashes,
+                    route.head_slot,
+                    &pending,
+                    &mut pool_reads,
+                ) {
                     if stripe.epoch.load(Ordering::Acquire) == e1 {
+                        // The chain was quiescent for the whole walk — but a
+                        // completed migration could have emptied this bucket
+                        // before we even read the epoch. Any key that no
+                        // longer routes here walks its new bucket instead.
+                        let g = self.geo();
+                        let mut diverged = Vec::new();
                         for (&i, vref) in pending.iter().zip(&found) {
-                            out[i] = *vref;
-                            if let Some(vref) = vref {
-                                self.shadow_publish(stripe, keys[i], *vref, e1);
+                            if g.route(hashes[i]) == route {
+                                out[i] = *vref;
+                                if let Some(vref) = vref {
+                                    self.shadow_publish(stripe, keys[i], *vref, e1);
+                                }
+                            } else {
+                                diverged.push(i);
                             }
                         }
-                        break;
+                        if !diverged.is_empty() {
+                            machine.metric_counter_add("ht.route.retries", diverged.len() as u64);
+                        }
+                        break diverged;
                     }
                 }
             }
@@ -713,17 +1361,24 @@ impl PersistentHashtable {
             retries += 1;
             if retries >= SEQLOCK_MAX_RETRIES {
                 // A busy writer must not starve readers: fall back to the
-                // mutex and walk a quiescent chain.
+                // mutex and walk a quiescent chain. Keys whose bucket moved
+                // re-route like in the lock-free path.
                 let _atomic = pmem_sim::atomic_section();
-                let _guard = self.lock_stripe(self.stripe_id(bucket));
+                let _guard = self.lock_stripe(route.sid);
+                let g = self.geo();
+                let mut diverged = Vec::new();
                 for &i in &pending {
-                    out[i] = self
-                        .find_inner(clock, keys[i], hashes[i])
-                        .map(|(_, entry, hdr)| value_ref_of(entry, &hdr));
+                    if g.route(hashes[i]) == route {
+                        out[i] = self
+                            .find_inner(clock, route.head_slot, keys[i], hashes[i])
+                            .map(|(_, entry, hdr)| value_ref_of(entry, &hdr));
+                    } else {
+                        diverged.push(i);
+                    }
                 }
-                break;
+                break diverged;
             }
-        }
+        };
         machine.trace_finish(
             clock,
             t0,
@@ -734,6 +1389,7 @@ impl PersistentHashtable {
         if pool_reads > 0 {
             machine.metric_counter_add("get.lookup.pool_reads", pool_reads);
         }
+        stale
     }
 
     /// One unlocked chain walk resolving a whole bucket group in a single
@@ -746,7 +1402,7 @@ impl PersistentHashtable {
         clock: &Clock,
         keys: &[&[u8]],
         hashes: &[u64],
-        bucket: u64,
+        head_slot: u64,
         group: &[usize],
         pool_reads: &mut u64,
     ) -> Option<Vec<Option<ValueRef>>> {
@@ -754,7 +1410,7 @@ impl PersistentHashtable {
         let mut found: Vec<Option<ValueRef>> = vec![None; group.len()];
         let mut unresolved = group.len();
         *pool_reads += 1;
-        let mut entry = self.pool.read_u64(clock, self.head_slot(bucket));
+        let mut entry = self.pool.read_u64(clock, head_slot);
         let mut hops = 0u32;
         while entry != 0 && unresolved > 0 {
             // A concurrent writer may have recycled this pointer: bound
@@ -799,20 +1455,25 @@ impl PersistentHashtable {
             entry = hdr.next;
             hops += 1;
         }
+        self.pool
+            .device()
+            .machine()
+            .metric_hist_record("ht.chain_len", SimTime::from_nanos(hops as u64));
         Some(found)
     }
 
     /// Copy out `key`'s value. The byte copy sits *inside* the seqlock
     /// window: resolving a ref and then reading the bytes unvalidated would
     /// race a concurrent replace/remove that frees and recycles the value
-    /// region between the two (a torn read of reused memory).
+    /// region between the two (a torn read of reused memory). The route is
+    /// revalidated with the epoch so a migration mid-copy retries too.
     pub fn get(&self, clock: &Clock, key: &[u8]) -> Option<Vec<u8>> {
         let hash = fnv1a(key);
-        let sid = self.stripe_id(self.bucket_of(hash));
-        let stripe = &self.stripes[sid];
         let machine = self.pool.device().machine();
         let mut retries = 0u32;
         loop {
+            let r = self.geo().route(hash);
+            let stripe = &self.stripes[r.sid];
             let e1 = stripe.epoch.load(Ordering::Acquire);
             if e1 & 1 == 0 {
                 let copied = self.get_ref(clock, key).map(|vref| {
@@ -820,7 +1481,7 @@ impl PersistentHashtable {
                     self.pool.read_bytes(clock, vref.offset, &mut buf);
                     buf
                 });
-                if stripe.epoch.load(Ordering::Acquire) == e1 {
+                if stripe.epoch.load(Ordering::Acquire) == e1 && self.geo().route(hash) == r {
                     return copied;
                 }
             }
@@ -835,13 +1496,21 @@ impl PersistentHashtable {
                 // A busy writer must not starve readers: fall back to the
                 // mutex and copy from a quiescent chain.
                 let _atomic = pmem_sim::atomic_section();
-                let _guard = self.lock_stripe(sid);
-                return self.find_inner(clock, key, hash).map(|(_, entry, hdr)| {
-                    let vref = value_ref_of(entry, &hdr);
-                    let mut buf = vec![0u8; vref.len as usize];
-                    self.pool.read_bytes(clock, vref.offset, &mut buf);
-                    buf
-                });
+                loop {
+                    let r = self.geo().route(hash);
+                    let _guard = self.lock_stripe(r.sid);
+                    if self.geo().route(hash) != r {
+                        continue;
+                    }
+                    return self.find_inner(clock, r.head_slot, key, hash).map(
+                        |(_, entry, hdr)| {
+                            let vref = value_ref_of(entry, &hdr);
+                            let mut buf = vec![0u8; vref.len as usize];
+                            self.pool.read_bytes(clock, vref.offset, &mut buf);
+                            buf
+                        },
+                    );
+                }
             }
         }
     }
@@ -853,32 +1522,38 @@ impl PersistentHashtable {
     /// Remove `key`; returns whether it was present.
     pub fn remove(&self, clock: &Clock, key: &[u8]) -> Result<bool> {
         let hash = fnv1a(key);
-        let bucket = self.bucket_of(hash);
+        self.maybe_resize(clock)?;
         let _atomic = pmem_sim::atomic_section();
-        let sid = self.stripe_id(bucket);
-        let _guard = self.lock_stripe(sid);
-        let stripe = &self.stripes[sid];
-        let _epoch = EpochWriteGuard::enter(vec![stripe]);
-        self.shadow_invalidate(stripe, key);
-        let Some((pred_slot, entry, hdr)) = self.find(clock, key, hash) else {
-            return Ok(false);
-        };
-        self.pool.tx(clock, |tx| {
-            tx.set(pred_slot, &hdr.next.to_le_bytes())?;
-            tx.free(entry)?;
-            let _count_guard = self.count_lock.lock();
-            let count = self.pool.read_u64(clock, self.header + HDR_COUNT);
-            tx.set(self.header + HDR_COUNT, &(count - 1).to_le_bytes())?;
-            Ok(())
-        })?;
-        Ok(true)
+        let machine = self.pool.device().machine();
+        loop {
+            let r = self.geo().route(hash);
+            let _guard = self.lock_stripe(r.sid);
+            if self.geo().route(hash) != r {
+                machine.metric_counter_add("ht.route.retries", 1);
+                continue;
+            }
+            let stripe = &self.stripes[r.sid];
+            let _epoch = EpochWriteGuard::enter(vec![stripe]);
+            self.shadow_invalidate(stripe, key);
+            let Some((pred_slot, entry, hdr)) = self.find(clock, r.head_slot, key, hash) else {
+                return Ok(false);
+            };
+            self.ensure_dirty(clock);
+            self.pool.tx(clock, |tx| {
+                tx.set(pred_slot, &hdr.next.to_le_bytes())?;
+                tx.free(entry)?;
+                Ok(())
+            })?;
+            stripe.live.fetch_sub(1, Ordering::Relaxed);
+            return Ok(true);
+        }
     }
 
     /// All keys, in unspecified order. Not synchronized with writers.
     pub fn keys(&self, clock: &Clock) -> Vec<Vec<u8>> {
         let mut out = vec![];
-        for b in 0..self.bucket_count {
-            let mut entry = self.pool.read_u64(clock, self.head_slot(b));
+        for (slot, _) in self.head_slots(self.geo()) {
+            let mut entry = self.pool.read_u64(clock, slot);
             while entry != 0 {
                 let hdr = self.read_entry_header(clock, entry);
                 let mut k = vec![0u8; hdr.klen as usize];
@@ -890,19 +1565,30 @@ impl PersistentHashtable {
         out
     }
 
-    /// Length of the longest chain (load-factor diagnostics / benches).
-    pub fn max_chain_len(&self, clock: &Clock) -> u64 {
-        let mut max = 0;
-        for b in 0..self.bucket_count {
-            let mut len = 0;
-            let mut entry = self.pool.read_u64(clock, self.head_slot(b));
+    /// Chain-length distribution: `hist[len]` = number of buckets whose
+    /// chain holds exactly `len` entries (load-factor diagnostics — the
+    /// storm workload's p99 comes from here). Not synchronized with
+    /// writers.
+    pub fn chain_length_histogram(&self, clock: &Clock) -> Vec<u64> {
+        let mut hist = vec![0u64];
+        for (slot, _) in self.head_slots(self.geo()) {
+            let mut len = 0usize;
+            let mut entry = self.pool.read_u64(clock, slot);
             while entry != 0 {
                 len += 1;
                 entry = self.pool.read_u64(clock, entry + ENT_NEXT);
             }
-            max = max.max(len);
+            if hist.len() <= len {
+                hist.resize(len + 1, 0);
+            }
+            hist[len] += 1;
         }
-        max
+        hist
+    }
+
+    /// Length of the longest chain (load-factor diagnostics / benches).
+    pub fn max_chain_len(&self, clock: &Clock) -> u64 {
+        (self.chain_length_histogram(clock).len() - 1) as u64
     }
 }
 
@@ -917,6 +1603,19 @@ mod tests {
         let pool = PmemPool::create(&clock, dev, "ht").unwrap();
         let ht = PersistentHashtable::create(&clock, &pool, buckets).unwrap();
         (ht, pool, clock)
+    }
+
+    fn reopen(
+        ht: PersistentHashtable,
+        pool: Arc<PmemPool>,
+        clock: &Clock,
+    ) -> (PersistentHashtable, Arc<PmemPool>) {
+        let header = ht.header_offset();
+        let dev = Arc::clone(pool.device());
+        drop((ht, pool));
+        let pool = PmemPool::open(clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::open(clock, &pool, header).unwrap();
+        (ht, pool)
     }
 
     #[test]
@@ -952,12 +1651,14 @@ mod tests {
         assert!(ht.get(&clock, b"key7").is_none());
         assert_eq!(ht.get(&clock, b"key8").unwrap(), 8u32.to_le_bytes());
         assert_eq!(ht.len(&clock), 19);
+        ht.quiesce(&clock).unwrap();
         pool.check_heap().unwrap();
     }
 
     #[test]
     fn chains_handle_collisions() {
         let (ht, _pool, clock) = table(1 << 22, 1); // everything collides
+        ht.set_auto_resize(false); // pin the single bucket
         for i in 0..50u32 {
             ht.put(&clock, format!("k{i}").as_bytes(), &i.to_le_bytes())
                 .unwrap();
@@ -986,12 +1687,140 @@ mod tests {
     fn survives_reopen() {
         let (ht, pool, clock) = table(1 << 22, 16);
         ht.put(&clock, b"persisted", b"yes").unwrap();
-        let header = ht.header_offset();
-        let dev = Arc::clone(pool.device());
-        drop((ht, pool));
-        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
-        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        let (ht, _pool) = reopen(ht, pool, &clock);
         assert_eq!(ht.get(&clock, b"persisted").unwrap(), b"yes");
+        assert_eq!(ht.len(&clock), 1);
+    }
+
+    #[test]
+    fn resize_grows_the_directory_and_preserves_contents() {
+        let (ht, pool, clock) = table(1 << 23, 4);
+        let mut expect = std::collections::BTreeMap::new();
+        for i in 0..300u32 {
+            let k = format!("grow-{i}");
+            ht.put(&clock, k.as_bytes(), &i.to_le_bytes()).unwrap();
+            expect.insert(k.into_bytes(), i.to_le_bytes().to_vec());
+        }
+        // Drive any in-flight migration to completion.
+        while ht.splitting() {
+            ht.get_ref_many(&clock, &[b"grow-0"]);
+        }
+        assert!(
+            ht.bucket_count() > 300,
+            "4 buckets must double past the live count, got {}",
+            ht.bucket_count()
+        );
+        assert_eq!(ht.len(&clock), 300);
+        for (k, v) in &expect {
+            assert_eq!(&ht.get(&clock, k).unwrap(), v, "key {:?}", k);
+        }
+        let mut keys = ht.keys(&clock);
+        keys.sort();
+        assert_eq!(keys, expect.keys().cloned().collect::<Vec<_>>());
+        assert!(
+            ht.max_chain_len(&clock) <= 8,
+            "post-split chains stay short"
+        );
+        ht.quiesce(&clock).unwrap();
+        pool.check_heap().unwrap(); // retired heads arrays were freed
+    }
+
+    #[test]
+    fn resized_table_survives_reopen_mid_split_and_after() {
+        let (ht, pool, clock) = table(1 << 23, 64);
+        // Insert until a split is actually in flight (the triggering put
+        // migrates only the first chunk of the 64-bucket old table).
+        let mut total = 0u32;
+        while !ht.splitting() {
+            ht.put(&clock, format!("k{total}").as_bytes(), &total.to_le_bytes())
+                .unwrap();
+            total += 1;
+        }
+        // Reopen mid-split: the persisted two-table state must route every
+        // key correctly.
+        let (ht, pool) = reopen(ht, pool, &clock);
+        assert!(ht.splitting(), "split state survives reopen");
+        assert_eq!(ht.len(&clock), total as u64);
+        for i in 0..total {
+            assert_eq!(
+                ht.get(&clock, format!("k{i}").as_bytes()).unwrap(),
+                i.to_le_bytes()
+            );
+        }
+        // Finish the split and reopen once more.
+        while ht.splitting() {
+            ht.put(&clock, b"nudge", b"v").unwrap();
+        }
+        let (ht, _pool) = reopen(ht, pool, &clock);
+        assert_eq!(ht.len(&clock), total as u64 + 1);
+        assert_eq!(ht.get(&clock, b"k20").unwrap(), 20u32.to_le_bytes());
+    }
+
+    #[test]
+    fn quiesce_folds_sharded_count_and_clean_open_skips_recount() {
+        let (ht, pool, clock) = table(1 << 22, 64);
+        ht.set_auto_resize(false);
+        for i in 0..10u32 {
+            ht.put(&clock, format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        // Mid-session: header still holds the last fold, deltas are live.
+        assert_eq!(pool.read_u64(&clock, ht.header_offset() + HDR_COUNT), 0);
+        assert_eq!(ht.len(&clock), 10);
+        ht.quiesce(&clock).unwrap();
+        assert_eq!(pool.read_u64(&clock, ht.header_offset() + HDR_COUNT), 10);
+        assert_eq!(pool.read_u64(&clock, ht.header_offset() + HDR_DIRTY), 0);
+        // A second quiesce with nothing dirty is free: no transaction.
+        let machine = Arc::clone(pool.device().machine());
+        let before = machine.stats.snapshot();
+        ht.quiesce(&clock).unwrap();
+        assert_eq!(machine.stats.snapshot().delta_since(&before).pool_txs, 0);
+        let (ht, _pool) = reopen(ht, pool, &clock);
+        assert_eq!(ht.len(&clock), 10);
+    }
+
+    #[test]
+    fn dirty_crash_reopen_recounts_from_chains() {
+        let (ht, pool, clock) = table(1 << 22, 64);
+        for i in 0..7u32 {
+            ht.put(&clock, format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        // Crash without quiesce: dirty flag is set, header count stale.
+        pool.device().crash();
+        let (ht, pool) = reopen(ht, pool, &clock);
+        assert_eq!(ht.len(&clock), 7);
+        // The recount folded + cleared the flag with plain persisted writes.
+        assert_eq!(pool.read_u64(&clock, ht.header_offset() + HDR_COUNT), 7);
+        assert_eq!(pool.read_u64(&clock, ht.header_offset() + HDR_DIRTY), 0);
+    }
+
+    #[test]
+    fn open_rejects_implausible_headers() {
+        let (ht, pool, clock) = table(1 << 22, 16);
+        ht.put(&clock, b"k", b"v").unwrap();
+        let header = ht.header_offset();
+        // Heads array past the device: bucket count huge but < 1<<32, which
+        // the old check accepted.
+        pool.write_u64(&clock, header + HDR_BUCKETS, 1 << 30);
+        assert!(matches!(
+            PersistentHashtable::open(&clock, &pool, header),
+            Err(PmdkError::BadPool(_))
+        ));
+        pool.write_u64(&clock, header + HDR_BUCKETS, 16);
+        // Split state that is not old×2.
+        pool.write_u64(&clock, header + HDR_OLD_BUCKETS, 7);
+        assert!(matches!(
+            PersistentHashtable::open(&clock, &pool, header),
+            Err(PmdkError::BadPool(_))
+        ));
+        pool.write_u64(&clock, header + HDR_OLD_BUCKETS, 0);
+        // Cursor with no old table.
+        pool.write_u64(&clock, header + HDR_CURSOR, 3);
+        assert!(matches!(
+            PersistentHashtable::open(&clock, &pool, header),
+            Err(PmdkError::BadPool(_))
+        ));
+        pool.write_u64(&clock, header + HDR_CURSOR, 0);
+        assert!(PersistentHashtable::open(&clock, &pool, header).is_ok());
     }
 
     #[test]
@@ -1027,6 +1856,7 @@ mod tests {
     #[test]
     fn put_reserve_many_replaces_and_inserts_mixed() {
         let (ht, pool, clock) = table(1 << 22, 1); // everything chains
+        ht.set_auto_resize(false);
         ht.put(&clock, b"a", b"old-a").unwrap();
         ht.put(&clock, b"b", b"old-b").unwrap();
         ht.put(&clock, b"keep", b"kept").unwrap();
@@ -1069,11 +1899,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PmdkError::Injected(_)));
         pool.device().crash();
-        let header = ht.header_offset();
-        let dev = Arc::clone(pool.device());
-        drop((ht, pool));
-        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
-        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        let (ht, pool) = reopen(ht, pool, &clock);
         // None of the batch's keys are visible; replaced keeps its old value.
         assert!(ht.get(&clock, b"n1").is_none());
         assert!(ht.get(&clock, b"n2").is_none());
@@ -1093,11 +1919,7 @@ mod tests {
         let err = ht.put(&clock, b"k", b"doomed").unwrap_err();
         assert!(matches!(err, PmdkError::Injected(_)));
         pool.device().crash();
-        let header = ht.header_offset();
-        let dev = Arc::clone(pool.device());
-        drop((ht, pool));
-        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
-        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        let (ht, pool) = reopen(ht, pool, &clock);
         assert_eq!(ht.get(&clock, b"k").unwrap(), b"stable");
         assert_eq!(ht.len(&clock), 1);
         pool.check_heap().unwrap();
@@ -1117,12 +1939,60 @@ mod tests {
         // Injected tx failures skip in-process rollback (they model a
         // crash); recover through reopen before reading.
         pool.device().crash();
-        let header = ht.header_offset();
-        let dev = Arc::clone(pool.device());
-        drop((ht, pool));
-        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
-        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        let (ht, _pool) = reopen(ht, pool, &clock);
         assert_eq!(ht.get(&clock, b"k").unwrap(), b"stable");
+    }
+
+    #[test]
+    fn crash_mid_migration_rolls_back_to_the_cursor() {
+        let (ht, pool, clock) = table(1 << 23, 64);
+        for i in 0..33u32 {
+            ht.put(&clock, format!("m{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        // The next insert crosses the threshold (2·33 > 64): it begins the
+        // split and the first migration chunk fires the fail point.
+        pool.fail_points.arm("ht::migrate", 1);
+        let err = ht.put(&clock, b"m33", &33u32.to_le_bytes()).unwrap_err();
+        assert!(matches!(err, PmdkError::Injected(_)));
+        pool.device().crash();
+        let (ht, pool) = reopen(ht, pool, &clock);
+        assert!(
+            ht.splitting(),
+            "split begin committed, migration rolled back"
+        );
+        assert_eq!(ht.len(&clock), 33);
+        for i in 0..33u32 {
+            assert_eq!(
+                ht.get(&clock, format!("m{i}").as_bytes()).unwrap(),
+                i.to_le_bytes()
+            );
+        }
+        // The interrupted migration resumes and completes.
+        while ht.splitting() {
+            ht.put(&clock, b"m33", &33u32.to_le_bytes()).unwrap();
+        }
+        assert_eq!(ht.len(&clock), 34);
+        ht.quiesce(&clock).unwrap();
+        pool.check_heap().unwrap();
+    }
+
+    #[test]
+    fn crash_at_count_fold_keeps_dirty_recount_path() {
+        let (ht, pool, clock) = table(1 << 22, 64);
+        ht.set_auto_resize(false);
+        for i in 0..5u32 {
+            ht.put(&clock, format!("f{i}").as_bytes(), b"v").unwrap();
+        }
+        pool.fail_points.arm("ht::count-fold", 1);
+        assert!(matches!(
+            ht.quiesce(&clock).unwrap_err(),
+            PmdkError::Injected(_)
+        ));
+        pool.device().crash();
+        let (ht, pool) = reopen(ht, pool, &clock);
+        assert_eq!(ht.len(&clock), 5);
+        assert_eq!(pool.read_u64(&clock, ht.header_offset() + HDR_DIRTY), 0);
     }
 
     #[test]
@@ -1156,7 +2026,8 @@ mod tests {
     #[test]
     fn concurrent_readers_and_writers_always_see_consistent_values() {
         // Seqlock stress: writers repeatedly overwrite the same keys while
-        // lock-free readers get them. Every read must return either a
+        // lock-free readers get them — with resize enabled, so splits and
+        // migrations race the readers too. Every read must return either a
         // complete old or complete new value — never torn bytes, never a
         // panic from chasing a recycled pointer.
         let (ht, _pool, clock) = table(1 << 24, 4); // few buckets: long chains
@@ -1289,17 +2160,34 @@ mod tests {
     }
 
     #[test]
+    fn chain_len_histogram_records_probe_depths() {
+        let dev = PmemDevice::new(Machine::chameleon(), 1 << 22, PersistenceMode::Fast);
+        let registry = MetricsRegistry::new();
+        dev.machine().set_metrics(Arc::clone(&registry));
+        let clock = Clock::new();
+        let pool = PmemPool::create(&clock, dev, "ht").unwrap();
+        let ht = PersistentHashtable::create(&clock, &pool, 1).unwrap();
+        ht.set_auto_resize(false);
+        ht.set_shadow_enabled(false);
+        for i in 0..4u32 {
+            ht.put(&clock, format!("c{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..4u32 {
+            assert!(ht.get_ref(&clock, format!("c{i}").as_bytes()).is_some());
+        }
+        let snap = registry.snapshot();
+        let total = snap.hists.get("ht.chain_len").map(|h| h.count).unwrap_or(0);
+        assert!(total >= 8, "writer finds + reader walks must record depths");
+    }
+
+    #[test]
     fn rebuild_shadow_warms_the_cache_from_the_persistent_table() {
         let (ht, pool, clock) = table(1 << 22, 16);
         for i in 0..8u32 {
             ht.put(&clock, format!("k{i}").as_bytes(), &i.to_le_bytes())
                 .unwrap();
         }
-        let header = ht.header_offset();
-        let dev = Arc::clone(pool.device());
-        drop((ht, pool));
-        let pool = PmemPool::open(&clock, dev, "ht").unwrap();
-        let ht = PersistentHashtable::open(&clock, &pool, header).unwrap();
+        let (ht, _pool) = reopen(ht, pool, &clock);
         assert_eq!(ht.shadow_len(), 0, "reopened tables start cold");
         assert_eq!(ht.rebuild_shadow(&clock), 8);
         assert_eq!(ht.shadow_len(), 8);

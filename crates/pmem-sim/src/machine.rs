@@ -283,6 +283,16 @@ impl Machine {
         }
     }
 
+    /// Record a sample into a named log₂ histogram; no-op when metrics are
+    /// disabled. Dimensionless samples (hop counts, batch sizes) ride the
+    /// same nanosecond-typed buckets as latencies.
+    #[inline]
+    pub fn metric_hist_record(&self, name: &str, v: SimTime) {
+        if let Some(m) = self.metrics.get() {
+            m.hist_record(name, v);
+        }
+    }
+
     /// Begin measuring a wait (a clock jump not driven by a `charge_*`
     /// primitive, e.g. a receiver synchronizing to a message's delivery
     /// instant). Returns `None` when metrics are disabled.

@@ -11,9 +11,11 @@
 pub mod decomp;
 pub mod domain3d;
 pub mod particles;
+pub mod storm;
 
 pub use decomp::{balanced_grid, BlockDecomp};
 pub use domain3d::{
     as_bytes, as_bytes_mut, element_value, generate_block, verify_block, Domain3dSpec,
 };
 pub use particles::{generate_particles, verify_particles, Particle, ParticleSpec};
+pub use storm::StormSpec;

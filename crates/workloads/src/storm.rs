@@ -1,0 +1,122 @@
+//! Key-creation storm — a metadata-heavy workload where N ranks each mint
+//! M *fresh* variables (timestep outputs, per-rank diagnostics, checkpoint
+//! shards). Unlike the stencil and particle workloads, the payloads are
+//! tiny; the cost is entirely in namespace growth, so this is the workload
+//! that exercises incremental hashtable resizing and per-stripe counters.
+//!
+//! Everything is a pure function of `(rank, index)`, so a run under the
+//! deterministic scheduler is bit-reproducible: chain-length histograms,
+//! split counts, and stripe-contention counters can be gated in CI.
+
+/// Specification of a creation storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Number of ranks minting keys.
+    pub ranks: u64,
+    /// Fresh keys created by each rank.
+    pub keys_per_rank: u64,
+    /// Payload bytes per key (small by design — this is a metadata storm).
+    pub value_bytes: u64,
+}
+
+impl StormSpec {
+    pub fn new(ranks: u64, keys_per_rank: u64, value_bytes: u64) -> Self {
+        assert!(ranks > 0 && keys_per_rank > 0 && value_bytes > 0);
+        StormSpec {
+            ranks,
+            keys_per_rank,
+            value_bytes,
+        }
+    }
+
+    /// Total keys across all ranks.
+    pub fn total_keys(&self) -> u64 {
+        self.ranks * self.keys_per_rank
+    }
+
+    /// The `i`-th key minted by `rank`. Fixed-width fields keep every key
+    /// the same length, so hashtable load is uniform in count, not size.
+    pub fn key(&self, rank: u64, i: u64) -> String {
+        debug_assert!(rank < self.ranks && i < self.keys_per_rank);
+        format!("storm/r{rank:03}/k{i:08}")
+    }
+
+    /// Deterministic payload for `(rank, i)`: an FNV-1a keystream seeded by
+    /// the pair, so any byte of any value can be recomputed for verification
+    /// without storing a reference copy.
+    pub fn value(&self, rank: u64, i: u64) -> Vec<u8> {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in [rank, i] {
+            for byte in b.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        let mut out = Vec::with_capacity(self.value_bytes as usize);
+        while out.len() < self.value_bytes as usize {
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            let take = (self.value_bytes as usize - out.len()).min(8);
+            out.extend_from_slice(&h.to_le_bytes()[..take]);
+        }
+        out
+    }
+
+    /// Check a read-back payload against the generator. Returns the number
+    /// of mismatched bytes (0 = verified).
+    pub fn verify(&self, rank: u64, i: u64, got: &[u8]) -> u64 {
+        let want = self.value(rank, i);
+        if got.len() != want.len() {
+            return want.len().max(got.len()) as u64;
+        }
+        got.iter().zip(&want).filter(|(a, b)| a != b).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_and_fixed_width() {
+        let spec = StormSpec::new(4, 16, 8);
+        let mut seen = std::collections::HashSet::new();
+        let width = spec.key(0, 0).len();
+        for r in 0..spec.ranks {
+            for i in 0..spec.keys_per_rank {
+                let k = spec.key(r, i);
+                assert_eq!(k.len(), width, "variable-width key {k}");
+                assert!(seen.insert(k), "duplicate key at ({r}, {i})");
+            }
+        }
+        assert_eq!(seen.len() as u64, spec.total_keys());
+    }
+
+    #[test]
+    fn values_are_deterministic_and_rank_distinct() {
+        let spec = StormSpec::new(2, 4, 24);
+        assert_eq!(spec.value(1, 2), spec.value(1, 2));
+        assert_ne!(spec.value(0, 2), spec.value(1, 2));
+        assert_ne!(spec.value(1, 2), spec.value(1, 3));
+        assert_eq!(spec.value(1, 2).len(), 24);
+    }
+
+    #[test]
+    fn verify_counts_corrupted_bytes() {
+        let spec = StormSpec::new(1, 1, 32);
+        let mut v = spec.value(0, 0);
+        assert_eq!(spec.verify(0, 0, &v), 0);
+        v[5] ^= 0xff;
+        v[17] ^= 0x01;
+        assert_eq!(spec.verify(0, 0, &v), 2);
+        assert_eq!(spec.verify(0, 0, &v[..10]), 32);
+    }
+
+    #[test]
+    fn odd_value_sizes_fill_exactly() {
+        for n in [1, 7, 9, 63] {
+            let spec = StormSpec::new(1, 1, n);
+            assert_eq!(spec.value(0, 0).len() as u64, n);
+        }
+    }
+}
