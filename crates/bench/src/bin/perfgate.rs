@@ -148,8 +148,10 @@ fn main() -> ExitCode {
             .unwrap_or(0.0);
         if c_ns > b_ns * allowed {
             regressions.push(format!(
-                "{label}: virtual_time_ns {c_ns:.0} > baseline {b_ns:.0} (+{:.2}%)",
-                (c_ns / b_ns - 1.0) * 100.0
+                "{label}: virtual_time_ns observed {c_ns:.0} vs baseline {b_ns:.0} \
+                 (+{:.2}%, exceeds {:.1}% tolerance)",
+                (c_ns / b_ns - 1.0) * 100.0,
+                args.tolerance_pct
             ));
         } else if c_ns < b_ns {
             notes.push(format!(
@@ -167,7 +169,19 @@ fn main() -> ExitCode {
                 let c = cs.get(name).and_then(Json::as_f64).unwrap_or(0.0);
                 let ok = if b == 0.0 { c == 0.0 } else { c <= b * allowed };
                 if !ok {
-                    regressions.push(format!("{label}: stats.{name} {c:.0} > baseline {b:.0}"));
+                    regressions.push(if b == 0.0 {
+                        format!(
+                            "{label}: stats.{name} observed {c:.0} vs baseline 0 \
+                             (a zero baseline must stay zero)"
+                        )
+                    } else {
+                        format!(
+                            "{label}: stats.{name} observed {c:.0} vs baseline {b:.0} \
+                             (+{:.2}%, exceeds {:.1}% tolerance)",
+                            (c / b - 1.0) * 100.0,
+                            args.tolerance_pct
+                        )
+                    });
                 } else if c < b {
                     notes.push(format!("{label}: stats.{name} improved {b:.0} -> {c:.0}"));
                 }

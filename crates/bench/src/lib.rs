@@ -16,6 +16,7 @@
 
 pub mod api_complexity;
 pub mod autotune;
+pub mod doctor;
 pub mod json;
 pub mod report;
 pub mod sweep;

@@ -43,6 +43,9 @@ struct Mounted {
     clock: Arc<Clock>,
     machine: Arc<Machine>,
     device_for_release: Option<Arc<PmemDevice>>,
+    /// Kept only to stamp flight-recorder mount/unmount events; `None` for
+    /// filesystem layouts (no pool, no recorder).
+    pool_for_flight: Option<Arc<pmdk_sim::PmemPool>>,
 }
 
 /// The pMEMCPY handle: a key-value view of node-local persistent memory.
@@ -104,6 +107,14 @@ impl Pmem {
                     None
                 };
                 comm.barrier();
+                let pool = Arc::clone(&shared.pool);
+                pool.flight().record(
+                    &clock,
+                    pmem_sim::EventCode::Mount,
+                    0,
+                    pool.generation(),
+                    comm.rank() as u64,
+                );
                 let inner = HashtableLayout::new(
                     &clock,
                     device,
@@ -124,6 +135,7 @@ impl Pmem {
                     machine: Arc::clone(device.machine()),
                     clock,
                     device_for_release: Some(Arc::clone(device)),
+                    pool_for_flight: Some(pool),
                 }
             }
             (MmapTarget::Fs { fs, dir }, DataLayout::HierarchicalFiles) => {
@@ -141,6 +153,7 @@ impl Pmem {
                     machine: Arc::clone(fs.device().machine()),
                     clock,
                     device_for_release: None,
+                    pool_for_flight: None,
                 }
             }
             (MmapTarget::DevDax(_), DataLayout::HierarchicalFiles) => {
@@ -177,6 +190,12 @@ impl Pmem {
             return Err(e);
         }
         m.machine.charge_syscall(&m.clock);
+        if let Some(pool) = &m.pool_for_flight {
+            // Recorded after the drain + quiesce succeed: a trailing Unmount
+            // event is the doctor's "clean shutdown" witness.
+            pool.flight()
+                .record(&m.clock, pmem_sim::EventCode::Unmount, 0, 0, 0);
+        }
         if let Some(device) = m.device_for_release {
             registry::release_pool(&device);
         }

@@ -38,8 +38,9 @@ use std::sync::Arc;
 /// Reserved hashtable key holding the WAL's `(header, ring)` offsets: the
 /// pool root is a fixed 8 bytes (the hashtable header), so the log roots
 /// itself as an out-of-band metadata entry. The `\0` prefix keeps it out of
-/// every key listing.
-pub(crate) const WAL_KEY: &[u8] = b"\0wal";
+/// every key listing. Public so offline diagnostics (pmemcpy-doctor) can
+/// find the WAL without mounting.
+pub const WAL_KEY: &[u8] = b"\0wal";
 
 struct FrontEntry {
     meta: VarMeta,
@@ -92,7 +93,7 @@ impl WriteBehindState {
         for rec in &records {
             // Crash-during-replay-on-open injection site: recovery itself
             // must be re-runnable (nothing above was mutated).
-            pool.fail_points.check("wal::replay")?;
+            pool.fail_check(clock, "wal::replay")?;
             for put in decode_group(rec)? {
                 let entry = front.entry(put.key).or_insert_with(|| FrontEntry {
                     meta: put.meta.clone(),
@@ -103,6 +104,15 @@ impl WriteBehindState {
                 entry.payload = Arc::new(put.payload);
                 entry.pending += 1;
             }
+        }
+        if !records.is_empty() {
+            pool.flight().record(
+                clock,
+                pmem_sim::EventCode::WalReplay,
+                0,
+                records.len() as u64,
+                0,
+            );
         }
         Ok(Arc::new(WriteBehindState {
             log,
@@ -139,6 +149,16 @@ fn encode_group(puts: &[PutRequest<'_>]) -> Result<Vec<u8>> {
         out.extend_from_slice(p.payload);
     }
     Ok(out)
+}
+
+/// Decode a WAL record into `(key, payload bytes)` pairs — lets offline
+/// diagnostics (pmemcpy-doctor) render pending records without mounting the
+/// pool or holding the full payloads.
+pub fn describe_group(record: &[u8]) -> Result<Vec<(String, u64)>> {
+    Ok(decode_group(record)?
+        .into_iter()
+        .map(|p| (p.key, p.payload.len() as u64))
+        .collect())
 }
 
 fn decode_group(record: &[u8]) -> Result<Vec<DecodedPut>> {
@@ -228,6 +248,13 @@ impl WriteBehindLayout {
             return Ok(0);
         }
         let pool = &self.inner.shared().pool;
+        pool.flight().record(
+            &ckpt_clock,
+            pmem_sim::EventCode::CkptBegin,
+            0,
+            records.len() as u64,
+            0,
+        );
         let mut applied: HashMap<String, usize> = HashMap::new();
         for rec in &records {
             let group = decode_group(rec)?;
@@ -237,9 +264,16 @@ impl WriteBehindLayout {
             }
             // Mid-drain crash site: some groups are applied (harmlessly —
             // they re-apply on the next drain), the watermark is unmoved.
-            pool.fail_points.check("wal::ckpt-drain")?;
+            pool.fail_check(&ckpt_clock, "wal::ckpt-drain")?;
         }
         let drained = self.state.log.truncate_front(&ckpt_clock, records.len())?;
+        pool.flight().record(
+            &ckpt_clock,
+            pmem_sim::EventCode::CkptEnd,
+            0,
+            drained as u64,
+            0,
+        );
         let mut front = self.state.front.lock();
         for (key, count) in applied {
             if let Some(entry) = front.get_mut(&key) {

@@ -59,27 +59,30 @@
 use crate::error::{PmdkError, Result};
 use crate::pool::PmemPool;
 use parking_lot::Mutex;
+use pmem_sim::flight::EventCode;
 use pmem_sim::{Clock, SimTime};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-const HDR_BUCKETS: u64 = 0;
-const HDR_COUNT: u64 = 8;
-const HDR_HEADS: u64 = 16;
-const HDR_OLD_BUCKETS: u64 = 24;
-const HDR_OLD_HEADS: u64 = 32;
-const HDR_CURSOR: u64 = 40;
-const HDR_DIRTY: u64 = 48;
-const HDR_SIZE: u64 = 56;
+// On-device geometry is public so offline diagnostics (pmemcpy-doctor) can
+// walk a raw pool image without mounting it.
+pub const HDR_BUCKETS: u64 = 0;
+pub const HDR_COUNT: u64 = 8;
+pub const HDR_HEADS: u64 = 16;
+pub const HDR_OLD_BUCKETS: u64 = 24;
+pub const HDR_OLD_HEADS: u64 = 32;
+pub const HDR_CURSOR: u64 = 40;
+pub const HDR_DIRTY: u64 = 48;
+pub const HDR_SIZE: u64 = 56;
 
-const ENT_HASH: u64 = 0;
-const ENT_KLEN: u64 = 8;
-const ENT_VLEN: u64 = 12;
-const ENT_NEXT: u64 = 16;
-const ENT_KEY: u64 = 24;
+pub const ENT_HASH: u64 = 0;
+pub const ENT_KLEN: u64 = 8;
+pub const ENT_VLEN: u64 = 12;
+pub const ENT_NEXT: u64 = 16;
+pub const ENT_KEY: u64 = 24;
 
-const STRIPES: usize = 64;
+pub const STRIPES: usize = 64;
 
 /// A split begins once `SPLIT_FACTOR × live_estimate > bucket_count`, so a
 /// fully-migrated table sits at load factor ≤ 1/SPLIT_FACTOR. At 0.5 the
@@ -564,7 +567,7 @@ impl PersistentHashtable {
             .sum();
         let folded = (self.count_base.load(Ordering::Relaxed) as i64 + delta).max(0) as u64;
         self.pool.tx(clock, |tx| {
-            self.pool.fail_points.check("ht::count-fold")?;
+            self.pool.fail_check(clock, "ht::count-fold")?;
             tx.set(self.header + HDR_COUNT, &folded.to_le_bytes())?;
             tx.set(self.header + HDR_DIRTY, &0u64.to_le_bytes())?;
             Ok(())
@@ -574,6 +577,9 @@ impl PersistentHashtable {
         }
         self.count_base.store(folded, Ordering::Relaxed);
         self.count_dirty.store(false, Ordering::Release);
+        self.pool
+            .flight()
+            .record(clock, EventCode::CountFold, 0, folded, 0);
         Ok(())
     }
 
@@ -654,6 +660,9 @@ impl PersistentHashtable {
             cursor: 0,
         });
         machine.metric_counter_add("ht.splits.begun", 1);
+        self.pool
+            .flight()
+            .record(clock, EventCode::SplitBegin, 0, g.buckets, doubled);
         Ok(())
     }
 
@@ -703,7 +712,7 @@ impl PersistentHashtable {
 
         let mut entries_moved = 0u64;
         let complete = self.pool.tx(clock, |tx| {
-            self.pool.fail_points.check("ht::migrate")?;
+            self.pool.fail_check(clock, "ht::migrate")?;
             for b in start..end {
                 let old_slot = g.old_heads + b * 8;
                 let mut lo: Vec<(u64, u64)> = Vec::new(); // (entry, current next)
@@ -738,7 +747,7 @@ impl PersistentHashtable {
                 }
                 tx.set(old_slot, &0u64.to_le_bytes())?;
             }
-            self.pool.fail_points.check("ht::cursor-advance")?;
+            self.pool.fail_check(clock, "ht::cursor-advance")?;
             if end == n {
                 tx.set(self.header + HDR_CURSOR, &0u64.to_le_bytes())?;
                 tx.set(self.header + HDR_OLD_BUCKETS, &0u64.to_le_bytes())?;
@@ -759,8 +768,14 @@ impl PersistentHashtable {
                 ..g
             });
             machine.metric_counter_add("ht.splits", 1);
+            self.pool
+                .flight()
+                .record(clock, EventCode::SplitRetire, 0, n, 0);
         } else {
             self.geo_store(Geo { cursor: end, ..g });
+            self.pool
+                .flight()
+                .record(clock, EventCode::SplitChunk, 0, end, entries_moved);
         }
         // Shadow invariant: a cached ref lives only at its key's current
         // route stripe. When the old size is not a multiple of the stripe

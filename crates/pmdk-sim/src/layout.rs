@@ -3,7 +3,8 @@
 //! ```text
 //! offset 0        SUPERBLOCK (one page)
 //! offset 4096     LANE TABLE: LANES × LANE_SIZE transaction lanes
-//! lanes end       HEAP: block-header-prefixed allocations
+//! lanes end       FLIGHT RECORDER: bounded crash-safe event ring
+//! flight end      HEAP: block-header-prefixed allocations
 //! ```
 //!
 //! All multi-byte integers are little-endian. The superblock is written once
@@ -86,9 +87,20 @@ pub const fn lane_offset(i: u64) -> u64 {
     lane_table_start() + i * LANE_SIZE
 }
 
+/// Bytes reserved for the flight-recorder event ring (header + slots, see
+/// `pmem_sim::flight`). Page-aligned so inserting the region between the
+/// lane table and the heap shifts every heap offset by whole pages — page
+/// fault counts and all charge-accounted byte totals are unchanged.
+pub const FLIGHT_SIZE: u64 = 64 * 1024;
+
+/// Start of the flight-recorder region.
+pub const fn flight_start() -> u64 {
+    lane_table_start() + LANES * LANE_SIZE
+}
+
 /// Start of the heap.
 pub const fn heap_start() -> u64 {
-    lane_table_start() + LANES * LANE_SIZE
+    flight_start() + FLIGHT_SIZE
 }
 
 /// Round `n` up to heap alignment.
@@ -109,7 +121,11 @@ mod tests {
     fn layout_regions_do_not_overlap() {
         assert!(lane_table_start() >= SUPERBLOCK_SIZE);
         assert_eq!(lane_offset(0), lane_table_start());
-        assert_eq!(lane_offset(LANES - 1) + LANE_SIZE, heap_start());
+        assert_eq!(lane_offset(LANES - 1) + LANE_SIZE, flight_start());
+        assert_eq!(flight_start() + FLIGHT_SIZE, heap_start());
+        // Page-aligned flight region: heap offsets shift by whole pages.
+        assert_eq!(flight_start() % 4096, 0);
+        assert_eq!(FLIGHT_SIZE % 4096, 0);
     }
 
     #[test]

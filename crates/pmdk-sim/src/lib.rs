@@ -24,6 +24,7 @@
 //! free lists are reconstructed at `open`, exactly as PMDK does.
 
 pub mod alloc;
+pub mod doctor;
 pub mod error;
 pub mod hashtable;
 pub mod inspect;
@@ -40,6 +41,6 @@ pub use hashtable::PersistentHashtable;
 pub use list::PersistentList;
 pub use locks::PersistentMutex;
 pub use log::PersistentLog;
-pub use pool::{FailPoints, PmemPool};
+pub use pool::{FailPointGuard, FailPoints, PmemPool};
 pub use ptr::{PPtr, PersistentValue};
 pub use tx::Tx;

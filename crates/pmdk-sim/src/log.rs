@@ -20,16 +20,19 @@
 use crate::error::{PmdkError, Result};
 use crate::pool::PmemPool;
 use parking_lot::Mutex;
+use pmem_sim::flight::EventCode;
 use pmem_sim::Clock;
 use std::sync::Arc;
 
-const HDR_CAPACITY: u64 = 0;
-const HDR_HEAD: u64 = 8;
-const HDR_TAIL: u64 = 16;
-const HDR_LEN: u64 = 24;
+// Header geometry is public so offline diagnostics (pmemcpy-doctor) can walk
+// a log ring without mounting the pool.
+pub const HDR_CAPACITY: u64 = 0;
+pub const HDR_HEAD: u64 = 8;
+pub const HDR_TAIL: u64 = 16;
+pub const HDR_LEN: u64 = 24;
 
-const REC_HDR: u64 = 8; // len u32 + crc u32
-const WRAP: u32 = u32::MAX;
+pub const REC_HDR: u64 = 8; // len u32 + crc u32
+pub const WRAP: u32 = u32::MAX;
 
 /// CRC-32 (IEEE, bitwise) — small and dependency-free; the log's records
 /// carry it so recovery can reject torn bytes defensively.
@@ -167,9 +170,16 @@ impl PersistentLog {
         self.write_body(clock, rec + REC_HDR, record);
         // Crash window: the body is durable but the tail never moves, so
         // the record simply does not exist after recovery.
-        self.pool.fail_points.check("wal::append")?;
+        self.pool.fail_check(clock, "wal::append")?;
         self.pool
             .write_u64(clock, self.header + HDR_TAIL, tail + need);
+        self.pool.flight().record(
+            clock,
+            EventCode::WalAppend,
+            0,
+            record.len() as u64,
+            tail + need,
+        );
         Ok(())
     }
 
@@ -267,9 +277,12 @@ impl PersistentLog {
         }
         // Crash window: everything walked, watermark not yet advanced — the
         // records stay in the log and recovery re-applies them.
-        self.pool.fail_points.check("wal::truncate")?;
+        self.pool.fail_check(clock, "wal::truncate")?;
         if dropped > 0 {
             self.pool.write_u64(clock, self.header + HDR_HEAD, cursor);
+            self.pool
+                .flight()
+                .record(clock, EventCode::WalTruncate, 0, dropped as u64, cursor);
         }
         Ok(dropped)
     }

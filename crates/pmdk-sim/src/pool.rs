@@ -5,7 +5,8 @@ use crate::error::{PmdkError, Result};
 use crate::layout::*;
 use crate::tx::{LaneTable, Tx};
 use parking_lot::Mutex;
-use pmem_sim::{Clock, PmemDevice};
+use pmem_sim::flight::EventCode;
+use pmem_sim::{Clock, FlightRecorder, PmemDevice};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -52,6 +53,42 @@ impl FailPoints {
         sites.sort_unstable();
         sites
     }
+
+    /// Scopeguard for crash tests: clears leftover armed sites when dropped
+    /// — including on panic, so one test's early assertion failure cannot
+    /// leave fail points poisoning the next scenario on a shared pool.
+    pub fn guard(&self) -> FailPointGuard<'_> {
+        FailPointGuard { points: self }
+    }
+}
+
+/// RAII fail-point hygiene for tests (see [`FailPoints::guard`]).
+///
+/// Dropping the guard disarms everything still armed; call
+/// [`FailPointGuard::assert_unfired`] at the end of the happy path to also
+/// *assert* that every armed site actually fired — an unfired site means
+/// the scenario never reached the code path it meant to crash.
+#[derive(Debug)]
+pub struct FailPointGuard<'a> {
+    points: &'a FailPoints,
+}
+
+impl FailPointGuard<'_> {
+    /// Assert no armed-but-unfired sites remain.
+    pub fn assert_unfired(&self, context: &str) {
+        let armed = self.points.armed_sites();
+        assert!(
+            armed.is_empty(),
+            "{context}: fail points armed but never fired: {armed:?}"
+        );
+    }
+}
+
+impl Drop for FailPointGuard<'_> {
+    fn drop(&mut self) {
+        // No asserts in drop (we may already be unwinding): just defuse.
+        self.points.clear();
+    }
 }
 
 impl Drop for PmemPool {
@@ -75,6 +112,10 @@ pub struct PmemPool {
     layout: String,
     generation: u64,
     pub fail_points: FailPoints,
+    /// Always-on crash forensics ring (see `pmem_sim::flight`): lives in the
+    /// pool's reserved flight region, records structural transitions with
+    /// virtual-time stamps, and costs nothing in modelled time.
+    flight: FlightRecorder,
 }
 
 impl PmemPool {
@@ -112,6 +153,9 @@ impl PmemPool {
         Heap::format(clock, &device, heap_start(), size);
         let heap = Heap::rebuild(Arc::clone(&device), heap_start(), size)?;
 
+        // Flight recorder (untimed: formatting charges nothing).
+        let flight = FlightRecorder::format(Arc::clone(&device), flight_start(), FLIGHT_SIZE);
+
         Ok(Arc::new(PmemPool {
             lanes: LaneTable::new(),
             heap: Mutex::new(heap),
@@ -119,6 +163,7 @@ impl PmemPool {
             layout: layout.to_string(),
             generation: 1,
             fail_points: FailPoints::default(),
+            flight,
         }))
     }
 
@@ -150,6 +195,8 @@ impl PmemPool {
 
         let generation =
             u64::from_le_bytes(sblk[sb::GENERATION as usize..][..8].try_into().unwrap()) + 1;
+        let flight =
+            FlightRecorder::attach_or_format(Arc::clone(&device), flight_start(), FLIGHT_SIZE);
         let pool = Arc::new(PmemPool {
             lanes: LaneTable::new(),
             heap: Mutex::new(Heap::rebuild(Arc::clone(&device), heap_start(), size)?),
@@ -157,12 +204,15 @@ impl PmemPool {
             layout: layout.to_string(),
             generation,
             fail_points: FailPoints::default(),
+            flight,
         });
         pool.write_u64(clock, sb::GENERATION, generation);
         // Roll back / complete interrupted transactions, then re-sync the
         // allocator (recovery may have freed intent allocations).
         let recovered = pool.lanes.recover(clock, &pool)?;
         if recovered > 0 {
+            pool.flight
+                .record(clock, EventCode::Recovery, 0, recovered, 0);
             let heap = Heap::rebuild(
                 Arc::clone(&pool.device),
                 heap_start(),
@@ -184,6 +234,25 @@ impl PmemPool {
     /// Pool generation: 1 at create, +1 per open. Robust-lock epochs.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The pool's flight recorder (always attached; recording default-on).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Check a fail-point site *and* record a firing in the flight recorder
+    /// — the recorded event marks the simulated power-cut moment, so a
+    /// crashed image names the site that killed it. All crash-injectable
+    /// code paths route through this instead of `fail_points.check`.
+    pub fn fail_check(&self, clock: &Clock, site: &'static str) -> Result<()> {
+        match self.fail_points.check(site) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.flight.record_failpoint(clock, site);
+                Err(e)
+            }
+        }
     }
 
     // ---- allocation ----

@@ -22,6 +22,7 @@ use crate::error::{PmdkError, Result};
 use crate::layout::*;
 use crate::pool::PmemPool;
 use parking_lot::Mutex;
+use pmem_sim::flight::EventCode;
 use pmem_sim::Clock;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -185,6 +186,7 @@ impl<'a> Tx<'a> {
             let _p = machine.phase_scope("tx.begin");
             pool.write_u32(clock, lane_base + lane::STATE, LANE_ACTIVE);
         }
+        pool.flight().record(clock, EventCode::TxBegin, 0, lane, 0);
         let mut tx = Tx {
             pool,
             clock,
@@ -205,6 +207,7 @@ impl<'a> Tx<'a> {
                 machine.trace_finish(clock, tc, "pmdk", "tx.commit", None);
                 match committed {
                     Ok(()) => {
+                        pool.flight().record(clock, EventCode::TxCommit, 0, lane, 0);
                         pool.lanes.release(lane);
                         Ok(v)
                     }
@@ -224,6 +227,7 @@ impl<'a> Tx<'a> {
                     return Err(e);
                 }
                 tx.abort()?;
+                pool.flight().record(clock, EventCode::TxAbort, 0, lane, 0);
                 pool.lanes.release(lane);
                 Err(e)
             }
@@ -237,7 +241,7 @@ impl<'a> Tx<'a> {
     /// Record the pre-image of `[off, off+len)` so a rollback can restore it.
     /// Call before overwriting existing persistent data.
     pub fn snapshot(&mut self, off: u64, len: u64) -> Result<()> {
-        self.pool.fail_points.check("tx::snapshot")?;
+        self.pool.fail_check(self.clock, "tx::snapshot")?;
         let capacity = LANE_SIZE - LANE_HEADER_SIZE - LANE_INTENT_BYTES;
         if self.undo_used + 12 + len > capacity {
             return Err(PmdkError::TxFailure(format!(
@@ -279,7 +283,7 @@ impl<'a> Tx<'a> {
 
     /// Transactionally allocate `size` bytes; rolled back if the tx aborts.
     pub fn alloc(&mut self, size: u64) -> Result<u64> {
-        self.pool.fail_points.check("tx::alloc")?;
+        self.pool.fail_check(self.clock, "tx::alloc")?;
         if self.intents_used >= LANE_INTENTS {
             return Err(PmdkError::TxFailure("intent table overflow".into()));
         }
@@ -299,7 +303,7 @@ impl<'a> Tx<'a> {
         debug_assert_eq!(off & 1, 0, "heap payloads are aligned");
         self.pool
             .write_bytes(self.clock, slot_off, &off.to_le_bytes());
-        self.pool.fail_points.check("tx::alloc-after")?;
+        self.pool.fail_check(self.clock, "tx::alloc-after")?;
         Ok(off)
     }
 
@@ -307,7 +311,7 @@ impl<'a> Tx<'a> {
     /// are rolled back together if the tx aborts. Offsets come back in
     /// request order.
     pub fn alloc_many(&mut self, sizes: &[u64]) -> Result<Vec<u64>> {
-        self.pool.fail_points.check("tx::alloc")?;
+        self.pool.fail_check(self.clock, "tx::alloc")?;
         if sizes.is_empty() {
             return Ok(Vec::new());
         }
@@ -333,7 +337,7 @@ impl<'a> Tx<'a> {
             self.pool
                 .write_bytes(self.clock, first_slot + i as u64 * 8, &off.to_le_bytes());
         }
-        self.pool.fail_points.check("tx::alloc-after")?;
+        self.pool.fail_check(self.clock, "tx::alloc-after")?;
         Ok(offs)
     }
 
@@ -357,11 +361,11 @@ impl<'a> Tx<'a> {
     }
 
     fn commit(&mut self) -> Result<()> {
-        self.pool.fail_points.check("tx::commit-before")?;
+        self.pool.fail_check(self.clock, "tx::commit-before")?;
         // Durable commit point.
         self.pool
             .write_u32(self.clock, self.lane_base + lane::STATE, LANE_COMMITTING);
-        self.pool.fail_points.check("tx::commit-during")?;
+        self.pool.fail_check(self.clock, "tx::commit-during")?;
         // Execute deferred frees.
         for slot in 0..self.intents_used {
             let entry = self

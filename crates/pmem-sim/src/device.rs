@@ -81,6 +81,17 @@ impl PmemDevice {
         self.buf.read_vec(off, len)
     }
 
+    /// Make `[off, off+len)` durable without charging virtual time or
+    /// touching the machine stats. Used by layers whose persistence must be
+    /// invisible to the cost model (the flight recorder): in `Tracked` mode
+    /// the covered lines move to the shadow image exactly as a charged
+    /// [`PmemDevice::persist`] would, in `Fast` mode it is a no-op.
+    pub fn persist_untimed(&self, off: usize, len: usize) {
+        if let Some(t) = &self.tracker {
+            t.flush(&self.buf, off, len);
+        }
+    }
+
     // ---- timed data plane ----
 
     /// Store bytes, charging PMEM write latency + contended bandwidth.

@@ -33,6 +33,7 @@
 
 pub mod buffer;
 pub mod device;
+pub mod flight;
 pub mod machine;
 pub mod metrics;
 pub mod mmap;
@@ -45,6 +46,7 @@ pub mod trace;
 
 pub use buffer::SharedBuffer;
 pub use device::{PersistenceMode, PmemDevice};
+pub use flight::{scan_ring, EventCode, FlightEvent, FlightRecorder};
 pub use machine::{Machine, MachineConfig};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, PhaseScope};
 pub use mmap::DaxMapping;

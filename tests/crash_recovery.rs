@@ -16,15 +16,19 @@ fn reopen(dev: &Arc<PmemDevice>, clock: &Clock) -> Arc<PmemPool> {
     PmemPool::open(clock, Arc::clone(dev), "crash").unwrap()
 }
 
-/// Every armed fail point must have fired by the time a scenario finishes:
-/// an unfired site means the test never reached the code path it meant to
-/// crash, and would silently pass while testing nothing.
-fn assert_unfired(pool: &PmemPool, context: &str) {
-    let armed = pool.fail_points.armed_sites();
-    assert!(
-        armed.is_empty(),
-        "{context}: fail points armed but never fired: {armed:?}"
-    );
+/// Arm `site` under an RAII [`pmdk_sim::FailPointGuard`]: the guard asserts
+/// that every armed site fired (an unfired site means the test never reached
+/// the code path it meant to crash, and would silently pass while testing
+/// nothing), and disarms whatever remains on drop so a panicking assert
+/// can't leave a live fail point behind.
+fn arm_guarded<'a>(
+    pool: &'a PmemPool,
+    site: &'static str,
+    nth: u32,
+) -> pmdk_sim::FailPointGuard<'a> {
+    let guard = pool.fail_points.guard();
+    pool.fail_points.arm(site, nth);
+    guard
 }
 
 /// Fail-point hygiene: armed sites are visible, and dropping the pool (the
@@ -41,7 +45,18 @@ fn fail_points_disarm_when_the_pool_drops() {
     );
     drop(pool);
     let pool = reopen(&dev, &clock);
-    assert_unfired(&pool, "reopened pool");
+    pool.fail_points.guard().assert_unfired("reopened pool");
+    // The RAII guard gives the same hygiene without dropping the pool:
+    // leaving its scope (even by panic) disarms whatever never fired.
+    {
+        let _fp = pool.fail_points.guard();
+        pool.fail_points.arm("tx::commit-before", 1);
+    }
+    assert_eq!(
+        pool.fail_points.armed_sites(),
+        Vec::<&str>::new(),
+        "dropping the guard must disarm"
+    );
     // A put that would have crashed under the stale arm succeeds.
     let ht = pmdk_sim::PersistentHashtable::create(&clock, &pool, 16).unwrap();
     ht.put(&clock, b"key", b"value").unwrap();
@@ -62,10 +77,11 @@ fn hashtable_replace_is_crash_atomic_at_every_site() {
         ht.put(&clock, b"key", b"stable-value").unwrap();
         let header = ht.header_offset();
 
-        pool.fail_points.arm(site, 1);
+        let fp = arm_guarded(&pool, site, 1);
         let err = ht.put(&clock, b"key", b"doomed-value").unwrap_err();
         assert!(matches!(err, PmdkError::Injected(_)), "site {site}: {err}");
-        assert_unfired(&pool, site);
+        fp.assert_unfired(site);
+        drop(fp);
         dev.crash();
         drop((ht, pool));
 
@@ -90,9 +106,10 @@ fn committed_replacement_survives_crash_during_cleanup() {
     ht.put(&clock, b"key", b"old").unwrap();
     let header = ht.header_offset();
 
-    pool.fail_points.arm("tx::commit-during", 1);
+    let fp = arm_guarded(&pool, "tx::commit-during", 1);
     let _ = ht.put(&clock, b"key", b"new");
-    assert_unfired(&pool, "commit-during");
+    fp.assert_unfired("commit-during");
+    drop(fp);
     dev.crash();
     drop((ht, pool));
 
@@ -119,9 +136,10 @@ fn repeated_crash_cycles_do_not_leak() {
         ht.put(&clock, format!("k{round}").as_bytes(), b"v")
             .unwrap();
         // ...then a crashed replace of the same key.
-        pool.fail_points.arm("tx::commit-before", 1);
+        let fp = arm_guarded(&pool, "tx::commit-before", 1);
         let _ = ht.put(&clock, format!("k{round}").as_bytes(), b"doomed");
-        assert_unfired(&pool, "crash cycle");
+        fp.assert_unfired("crash cycle");
+        drop(fp);
         dev.crash();
         drop(ht);
         pool = reopen(&dev, &clock);
@@ -189,7 +207,7 @@ fn crash_mid_write_batch_rolls_back_the_whole_group() {
     // before the batch's transaction commits.
     let clock = Clock::new();
     let shared = registry::shared_pool(&clock, &dev, "pmemcpy", 4096).unwrap();
-    shared.pool.fail_points.arm("tx::commit-before", 1);
+    let fp = arm_guarded(&shared.pool, "tx::commit-before", 1);
 
     let doomed: Vec<f64> = vec![-1.0; 128];
     let mut batch = pmem.batch();
@@ -197,7 +215,8 @@ fn crash_mid_write_batch_rolls_back_the_whole_group() {
     batch.store_slice("stable", &doomed).unwrap();
     batch.store_scalar("n2", 9u64).unwrap();
     assert!(batch.commit().is_err(), "armed fail point must abort");
-    assert_unfired(&shared.pool, "batch commit");
+    fp.assert_unfired("batch commit");
+    drop(fp);
     dev.crash();
     drop(pmem);
     drop(shared);

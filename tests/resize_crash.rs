@@ -52,14 +52,19 @@ fn put(pmem: &Pmem, i: u64) -> pmemcpy::Result<()> {
     pmem.store_slice(&key(i), &v)
 }
 
-/// No armed-but-unfired fail points may outlive a test step: an unfired
-/// site means the scenario never reached the code path it meant to crash.
-fn assert_unfired(pool: &PmemPool, context: &str) {
-    let armed = pool.fail_points.armed_sites();
-    assert!(
-        armed.is_empty(),
-        "{context}: fail points armed but never fired: {armed:?}"
-    );
+/// Arm `site` under an RAII [`pmdk_sim::FailPointGuard`]: the guard asserts
+/// that every armed site fired (an unfired site means the scenario never
+/// reached the code path it meant to crash), and — because tests share
+/// interned pools — disarms on drop, so a panicking assert can't leave a
+/// live fail point behind for an unrelated later scenario.
+fn arm_guarded<'a>(
+    pool: &'a PmemPool,
+    site: &'static str,
+    nth: u32,
+) -> pmdk_sim::FailPointGuard<'a> {
+    let guard = pool.fail_points.guard();
+    pool.fail_points.arm(site, nth);
+    guard
 }
 
 /// Keys 0..n through a never-resizing table: the byte-level reference any
@@ -139,7 +144,7 @@ fn crash_mid_split_scenario(site: &'static str, mode: SchedMode) {
         let clock = Clock::new();
         let shared = registry::shared_pool(&clock, dev, "pmemcpy", BUCKETS).unwrap();
         assert!(!shared.hashtable.splitting(), "{ctx}: split began early");
-        shared.pool.fail_points.arm(site, 1);
+        let fp = arm_guarded(&shared.pool, site, 1);
         let err = put(&pmem, 33).unwrap_err();
         assert!(
             matches!(
@@ -148,7 +153,8 @@ fn crash_mid_split_scenario(site: &'static str, mode: SchedMode) {
             ),
             "{ctx}: {err}"
         );
-        assert_unfired(&shared.pool, ctx);
+        fp.assert_unfired(ctx);
+        drop(fp);
 
         // Power failure mid-split; DRAM state evaporates.
         dev.crash();
@@ -223,10 +229,11 @@ fn crash_at_count_fold_scenario(mode: SchedMode) {
 
         // The fold happens inside munmap's quiesce; a failure must leave
         // the handle mapped for retry.
-        shared.pool.fail_points.arm("ht::count-fold", 1);
+        let fp = arm_guarded(&shared.pool, "ht::count-fold", 1);
         assert!(pmem.munmap().is_err(), "{ctx}: quiesce must abort");
         assert!(pmem.is_mapped(), "{ctx}: failed unmap must keep the handle");
-        assert_unfired(&shared.pool, ctx);
+        fp.assert_unfired(ctx);
+        drop(fp);
 
         dev.crash();
         drop(pmem);
@@ -293,9 +300,10 @@ fn wal_replay_scenario(mode: SchedMode) {
         }
         let shared = registry::shared_pool(&Clock::new(), dev, "pmemcpy", BUCKETS).unwrap();
         assert!(!shared.hashtable.splitting(), "{ctx}: split began early");
-        shared.pool.fail_points.arm("ht::migrate", 1);
+        let fp = arm_guarded(&shared.pool, "ht::migrate", 1);
         assert!(pmem.checkpoint().is_err(), "{ctx}: drain must abort");
-        assert_unfired(&shared.pool, ctx);
+        fp.assert_unfired(ctx);
+        drop(fp);
 
         dev.crash();
         drop(pmem);

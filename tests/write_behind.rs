@@ -29,14 +29,19 @@ fn wb_opts() -> Options {
     }
 }
 
-/// No armed-but-unfired fail points may outlive a test step: an unfired
-/// site means the scenario never reached the code path it meant to crash.
-fn assert_unfired(pool: &PmemPool, context: &str) {
-    let armed = pool.fail_points.armed_sites();
-    assert!(
-        armed.is_empty(),
-        "{context}: fail points armed but never fired: {armed:?}"
-    );
+/// Arm `site` under an RAII [`pmdk_sim::FailPointGuard`]: the guard asserts
+/// that every armed site fired (an unfired site means the scenario never
+/// reached the code path it meant to crash), and — because tests share
+/// interned pools — disarms on drop, so a panicking assert can't leave a
+/// live fail point behind for an unrelated later scenario.
+fn arm_guarded<'a>(
+    pool: &'a PmemPool,
+    site: &'static str,
+    nth: u32,
+) -> pmdk_sim::FailPointGuard<'a> {
+    let guard = pool.fail_points.guard();
+    pool.fail_points.arm(site, nth);
+    guard
 }
 
 fn single_rank(machine: &Arc<Machine>) -> Comm {
@@ -253,13 +258,14 @@ fn failed_munmap_drain_is_retryable() {
     write_group(&pmem, 0).unwrap();
 
     let shared = registry::shared_pool(&Clock::new(), &dev, "pmemcpy", 4096).unwrap();
-    shared.pool.fail_points.arm("wal::ckpt-drain", 1);
+    let fp = arm_guarded(&shared.pool, "wal::ckpt-drain", 1);
     assert!(pmem.munmap().is_err(), "armed drain must fail the unmap");
     assert!(
         pmem.is_mapped(),
         "failed unmap must leave the handle mapped for retry"
     );
-    assert_unfired(&shared.pool, "munmap retry");
+    fp.assert_unfired("munmap retry");
+    drop(fp);
     drop(shared);
 
     // Retry: the fail point already fired, so the drain completes and an
@@ -312,6 +318,7 @@ fn crash_site_scenario(site: &'static str, mode: SchedMode) {
         // Reach under the API for the interned pool's fail points.
         let clock = Clock::new();
         let shared = registry::shared_pool(&clock, dev, "pmemcpy", 4096).unwrap();
+        let fp = shared.pool.fail_points.guard();
         match site {
             "wal::append" => {
                 shared.pool.fail_points.arm(site, 1);
@@ -334,7 +341,8 @@ fn crash_site_scenario(site: &'static str, mode: SchedMode) {
             }
             other => panic!("unknown site {other}"),
         }
-        assert_unfired(&shared.pool, ctx);
+        fp.assert_unfired(ctx);
+        drop(fp);
 
         // Power failure; the DRAM front index and shadow evaporate.
         dev.crash();
@@ -347,13 +355,14 @@ fn crash_site_scenario(site: &'static str, mode: SchedMode) {
             // the remap interns the write-behind state, watch open fail,
             // crash again, and recover from scratch.
             let shared = registry::shared_pool(&Clock::new(), dev, "pmemcpy", 4096).unwrap();
-            shared.pool.fail_points.arm("wal::replay", 1);
+            let fp = arm_guarded(&shared.pool, "wal::replay", 1);
             let mut doomed = Pmem::with_options(wb_opts());
             assert!(
                 doomed.mmap(MmapTarget::DevDax(dev), &comm).is_err(),
                 "{ctx}: replay must abort"
             );
-            assert_unfired(&shared.pool, ctx);
+            fp.assert_unfired(ctx);
+            drop(fp);
             dev.crash();
             drop(shared);
             registry::release_pool(dev);
