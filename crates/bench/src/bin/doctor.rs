@@ -1,14 +1,18 @@
 //! pmemcpy-doctor — offline diagnosis of pool images.
 //!
 //! ```text
-//! pmemcpy-doctor examine <image> [--json] [--timeline] [--expect pass|fail]
+//! pmemcpy-doctor examine <image> [--profile <name>] [--json] [--timeline] [--expect pass|fail]
 //! pmemcpy-doctor demo-clean --image <path> [--write-behind] [--resizable] [--json]
 //! pmemcpy-doctor demo-crash <site> --image <path> [--json]
 //! ```
 //!
 //! `examine` opens an image read-only — the pool is never mounted, no
 //! recovery runs — and prints geometry, histograms, pending WAL records,
-//! the flight-recorder timeline, and an fsck-style verdict list.
+//! the flight-recorder timeline, and an fsck-style verdict list, including
+//! the device profile and autotuned flush strategy recorded in the
+//! superblock. `--profile` names the device profile the image is expected
+//! to come from (default `optane-gen1`); a superblock/profile mismatch is
+//! a FAIL verdict.
 //!
 //! The `demo-*` subcommands exist for CI and for exploring the tool: they
 //! build a small pool (cleanly unmounted, or crashed at a named fail site),
@@ -19,12 +23,13 @@
 use mpi_sim::{Comm, World};
 use pmem_sim::{Machine, PersistenceMode, PmemDevice};
 use pmemcpy::{registry, MmapTarget, Options, Pmem};
-use pmemcpy_bench::doctor::{diagnose, dump_image, load_image, render_json, render_text};
+use pmemcpy_bench::doctor::{diagnose, dump_image, load_image_on, render_json, render_text};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> String {
-    "usage: pmemcpy-doctor examine <image> [--json] [--timeline] [--expect pass|fail]\n\
+    "usage: pmemcpy-doctor examine <image> [--profile <name>] [--json] [--timeline] \
+     [--expect pass|fail]\n\
      \x20      pmemcpy-doctor demo-clean --image <path> [--write-behind] [--resizable] [--json]\n\
      \x20      pmemcpy-doctor demo-crash <site> --image <path> [--json]\n\
      sites: wal::append wal::ckpt-drain wal::truncate wal::replay \
@@ -41,6 +46,7 @@ struct Args {
     write_behind: bool,
     resizable: bool,
     expect: Option<String>,
+    profile: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         write_behind: false,
         resizable: false,
         expect: None,
+        profile: "optane-gen1".into(),
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -63,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--write-behind" => a.write_behind = true,
             "--resizable" => a.resizable = true,
             "--image" => a.image = Some(it.next().ok_or("--image needs a path")?),
+            "--profile" => a.profile = it.next().ok_or("--profile needs a name")?,
             "--expect" => {
                 let v = it.next().ok_or("--expect needs pass|fail")?;
                 if v != "pass" && v != "fail" {
@@ -274,7 +282,15 @@ fn main() -> ExitCode {
                 eprintln!("{}", usage());
                 return ExitCode::FAILURE;
             };
-            load_image(path).and_then(|dev| examine(&dev, a.json, a.timeline))
+            match pmem_sim::profile::by_name(&a.profile) {
+                Some(p) => load_image_on(path, Machine::new(p.config()))
+                    .and_then(|dev| examine(&dev, a.json, a.timeline)),
+                None => Err(format!(
+                    "unknown device profile {:?}; valid profiles: {}",
+                    a.profile,
+                    pmem_sim::profile::profile_names().join(", ")
+                )),
+            }
         }
         "demo-clean" => demo_clean(&a),
         "demo-crash" => demo_crash(&a),

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--bytes <MB>] [--procs 8,16,24,32,48] <command>
+//! figures [--bytes <MB>] [--procs 8,16,24,32,48] [--profile <name>] <command>
 //!
 //! commands:
 //!   fig6               Figure 6: write performance sweep
@@ -18,28 +18,57 @@
 //!   creation-storm     metadata storm: 8 ranks minting fresh keys; gates
 //!                      the resizable-hashtable chain-length bound
 //!   ablate-resize      incremental directory doubling vs fixed geometry
+//!   sweep-profiles     device-profile x flush-strategy grid: autotuned vs
+//!                      pinned clwb/ntstore per profile; gates that the
+//!                      autotuner always matches the best pinned strategy
 //!   all                everything above; CSVs land in results/
 //! ```
 //!
 //! `--storm-keys <N>` sets keys-per-rank for `creation-storm` (default
 //! 131072, i.e. ~1M keys across the 8 ranks).
 //!
+//! `--profile <name>` selects the modelled device profile (default
+//! `optane-gen1`, the paper's testbed; see `pmem_sim::profile`). Unknown
+//! names exit nonzero listing the valid profiles. `--profiles <a,b,...>`
+//! sets the grid for `sweep-profiles` (default: every built-in profile).
+//!
 //! Modelled volumes are always the paper's 40 GB; `--bytes` sets the *real*
 //! backing volume (default 64 MB), with the machine's `byte_scale` making up
 //! the difference.
 
 use baselines::{Netcdf4Like, PioLibrary, PmemcpyLib, Target};
+use pmem_sim::MachineConfig;
 use pmemcpy::{DataLayout, Options};
 use pmemcpy_bench::{
     api_complexity, check_fig6_shape, check_fig7_shape, render_checks, render_phase_breakdown,
-    render_waterfall, run_cell, run_cell_traced, run_figure_reported, CellConfig, Direction,
+    render_waterfall, run_cell, run_cell_traced, run_figure_reported_on, CellConfig, Direction,
     PAPER_PROCS,
 };
+
+/// Resolve a device-profile name or exit nonzero listing the valid ones.
+fn resolve_profile(name: &str) -> &'static dyn pmem_sim::DeviceProfile {
+    match pmem_sim::profile::by_name(name) {
+        Some(p) => p,
+        None => {
+            eprintln!(
+                "figures: unknown device profile {name:?}; valid profiles: {}",
+                pmem_sim::profile::profile_names().join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bytes_mb = 64u64;
     let mut procs: Vec<u64> = PAPER_PROCS.to_vec();
     let mut storm_keys = 131_072u64;
+    let mut profile_name = "optane-gen1".to_string();
+    let mut profile_list: Vec<String> = pmem_sim::profile::profile_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut commands = vec![];
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,6 +95,15 @@ fn main() {
                     .parse()
                     .expect("numeric keys-per-rank")
             }
+            "--profile" => profile_name = it.next().expect("--profile <name>").to_string(),
+            "--profiles" => {
+                profile_list = it
+                    .next()
+                    .expect("--profiles <a,b,...>")
+                    .split(',')
+                    .map(|s| s.to_string())
+                    .collect()
+            }
             cmd => commands.push(cmd.to_string()),
         }
     }
@@ -73,54 +111,66 @@ fn main() {
         commands.push("all".to_string());
     }
     let real_bytes = bytes_mb << 20;
+    let mc = resolve_profile(&profile_name).config();
+    let grid: Vec<&'static dyn pmem_sim::DeviceProfile> =
+        profile_list.iter().map(|n| resolve_profile(n)).collect();
 
     for cmd in &commands {
-        if let Err(e) = run_command(cmd, &procs, real_bytes, storm_keys) {
+        if let Err(e) = run_command(cmd, &procs, real_bytes, storm_keys, &mc, &grid) {
             eprintln!("figures: {e}");
             std::process::exit(1);
         }
     }
 }
 
-fn run_command(cmd: &str, procs: &[u64], real_bytes: u64, storm_keys: u64) -> std::io::Result<()> {
+fn run_command(
+    cmd: &str,
+    procs: &[u64],
+    real_bytes: u64,
+    storm_keys: u64,
+    mc: &MachineConfig,
+    grid: &[&'static dyn pmem_sim::DeviceProfile],
+) -> std::io::Result<()> {
     match cmd {
-        "fig6" => fig_cmd(Direction::Write, procs, real_bytes)?,
-        "fig6-wb" => fig6_write_behind(real_bytes)?,
-        "fig7" => fig_cmd(Direction::Read, procs, real_bytes)?,
+        "fig6" => fig_cmd(Direction::Write, procs, real_bytes, mc)?,
+        "fig6-wb" => fig6_write_behind(real_bytes, mc)?,
+        "fig7" => fig_cmd(Direction::Read, procs, real_bytes, mc)?,
         "api" => print!("{}", api_complexity::render_api_table()),
-        "machine" => machine_cmd(),
-        "ablate-serializer" => ablate_serializer(real_bytes)?,
-        "ablate-layout" => ablate_layout(real_bytes)?,
-        "ablate-staging" => ablate_staging(real_bytes)?,
-        "ablate-fill" => ablate_fill(real_bytes)?,
-        "ablate-chunked" => ablate_chunked(real_bytes)?,
-        "ablate-buckets" => ablate_buckets(real_bytes)?,
-        "ablate-drain" => ablate_drain(real_bytes)?,
-        "ablate-batching" => ablate_batching(real_bytes)?,
-        "ablate-read-batching" => ablate_read_batching(real_bytes)?,
-        "creation-storm" => creation_storm(storm_keys)?,
-        "ablate-resize" => ablate_resize()?,
+        "machine" => machine_cmd(mc),
+        "ablate-serializer" => ablate_serializer(real_bytes, mc)?,
+        "ablate-layout" => ablate_layout(real_bytes, mc)?,
+        "ablate-staging" => ablate_staging(real_bytes, mc)?,
+        "ablate-fill" => ablate_fill(real_bytes, mc)?,
+        "ablate-chunked" => ablate_chunked(real_bytes, mc)?,
+        "ablate-buckets" => ablate_buckets(real_bytes, mc)?,
+        "ablate-drain" => ablate_drain(real_bytes, mc)?,
+        "ablate-batching" => ablate_batching(real_bytes, mc)?,
+        "ablate-read-batching" => ablate_read_batching(real_bytes, mc)?,
+        "creation-storm" => creation_storm(storm_keys, mc)?,
+        "ablate-resize" => ablate_resize(mc)?,
+        "sweep-profiles" => sweep_profiles(procs, real_bytes, grid)?,
         "tune" => tune_cmd(real_bytes)?,
-        "volume" => volume_cmd()?,
+        "volume" => volume_cmd(mc)?,
         "all" => {
-            machine_cmd();
+            machine_cmd(mc);
             print!("{}", api_complexity::render_api_table());
-            fig_cmd(Direction::Write, procs, real_bytes)?;
-            fig6_write_behind(real_bytes)?;
-            fig_cmd(Direction::Read, procs, real_bytes)?;
-            ablate_serializer(real_bytes)?;
-            ablate_layout(real_bytes)?;
-            ablate_staging(real_bytes)?;
-            ablate_fill(real_bytes)?;
-            ablate_chunked(real_bytes)?;
-            ablate_buckets(real_bytes)?;
-            ablate_drain(real_bytes)?;
-            ablate_batching(real_bytes)?;
-            ablate_read_batching(real_bytes)?;
-            creation_storm(storm_keys.min(16_384))?;
-            ablate_resize()?;
+            fig_cmd(Direction::Write, procs, real_bytes, mc)?;
+            fig6_write_behind(real_bytes, mc)?;
+            fig_cmd(Direction::Read, procs, real_bytes, mc)?;
+            ablate_serializer(real_bytes, mc)?;
+            ablate_layout(real_bytes, mc)?;
+            ablate_staging(real_bytes, mc)?;
+            ablate_fill(real_bytes, mc)?;
+            ablate_chunked(real_bytes, mc)?;
+            ablate_buckets(real_bytes, mc)?;
+            ablate_drain(real_bytes, mc)?;
+            ablate_batching(real_bytes, mc)?;
+            ablate_read_batching(real_bytes, mc)?;
+            creation_storm(storm_keys.min(16_384), mc)?;
+            ablate_resize(mc)?;
+            sweep_profiles(&[8], real_bytes.min(8 << 20), grid)?;
             tune_cmd(real_bytes)?;
-            volume_cmd()?;
+            volume_cmd(mc)?;
         }
         other => {
             eprintln!("unknown command {other:?}");
@@ -130,8 +180,13 @@ fn run_command(cmd: &str, procs: &[u64], real_bytes: u64, storm_keys: u64) -> st
     Ok(())
 }
 
-fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Result<()> {
-    let (fig, report) = run_figure_reported(direction, procs, real_bytes);
+fn fig_cmd(
+    direction: Direction,
+    procs: &[u64],
+    real_bytes: u64,
+    mc: &MachineConfig,
+) -> std::io::Result<()> {
+    let (fig, report) = run_figure_reported_on(direction, procs, real_bytes, mc);
     println!("{}", fig.table());
     println!("{}", fig.ascii_chart());
     let checks = match direction {
@@ -168,7 +223,7 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Res
     // goes inside PMCPY-A at 24 ranks. Tracing never changes the numbers.
     use pmem_sim::{chrome_trace_json, CollectingSink, TraceSummary, DRAIN_LANE};
     let sink = CollectingSink::new();
-    let cfg = CellConfig::paper(24, real_bytes.min(16 << 20));
+    let cfg = CellConfig::paper_on(24, real_bytes.min(16 << 20), mc.clone());
     run_cell_traced(&PmemcpyLib::variant_a(), direction, &cfg, sink.clone());
     let spans = sink.take();
     let summary = TraceSummary::from_spans(&spans);
@@ -194,7 +249,7 @@ fn fig_cmd(direction: Direction, procs: &[u64], real_bytes: u64) -> std::io::Res
 /// slower than inline commits on the paper's headline write cell. Emits a
 /// BENCH report for the perfgate baseline comparison and exits nonzero on
 /// regression.
-fn fig6_write_behind(real_bytes: u64) -> std::io::Result<()> {
+fn fig6_write_behind(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     use pmem_sim::MetricsRegistry;
     use pmemcpy_bench::{run_cell_observed, RunReport};
     println!("## Figure 6 ablation: write-behind WAL puts vs inline commits (24 procs)");
@@ -215,7 +270,7 @@ fn fig6_write_behind(real_bytes: u64) -> std::io::Result<()> {
     let mut times = [0f64; 2];
     for (i, (name, opts)) in rows.into_iter().enumerate() {
         let lib = PmemcpyLib::custom(name, opts);
-        let cfg = CellConfig::paper(24, real_bytes);
+        let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
         let w = run_cell_observed(
             &lib,
             Direction::Write,
@@ -255,9 +310,9 @@ fn fig6_write_behind(real_bytes: u64) -> std::io::Result<()> {
     Ok(())
 }
 
-fn machine_cmd() {
-    let c = pmem_sim::MachineConfig::chameleon_skylake();
+fn machine_cmd(c: &MachineConfig) {
     println!("## §4 testbed: emulated-PMEM constants (Strata method)");
+    println!("device profile           {}", c.profile_name);
     println!("cores / SMT threads      {} / {}", c.cores, c.smt_threads);
     println!("PMEM read latency        {}", c.pmem_read_latency);
     println!("PMEM write latency       {}", c.pmem_write_latency);
@@ -275,10 +330,149 @@ fn machine_cmd() {
     );
     println!("syscall / page fault     {} / {}", c.syscall, c.page_fault);
     println!("MAP_SYNC page penalty    {}", c.map_sync_page);
+    println!(
+        "flush primitive cost     clwb {}+{}/line, ntstore {}+{}/line{}",
+        c.flush_base,
+        c.flush_per_line,
+        c.ntstore_base,
+        c.ntstore_per_line,
+        if c.needs_flush {
+            ""
+        } else {
+            " (eADR: flushes free)"
+        }
+    );
+    println!(
+        "autotuned put strategy   {}",
+        pmem_sim::autotune_flush(c).name()
+    );
     println!();
 }
 
-fn ablate_serializer(real_bytes: u64) -> std::io::Result<()> {
+/// Device-profile × flush-strategy grid on the write path. For every
+/// profile in `grid` the autotuned configuration races both pinned
+/// strategies; the run fails if the autotuner ever loses to a pinned
+/// strategy, or if no non-default profile shows a measurable win over the
+/// worst pinned choice (the whole point of tuning per device). Also
+/// re-asks the paper's MAP_SYNC question (PMCPY-A vs PMCPY-B) per profile.
+fn sweep_profiles(
+    procs: &[u64],
+    real_bytes: u64,
+    grid: &[&'static dyn pmem_sim::DeviceProfile],
+) -> std::io::Result<()> {
+    use pmem_sim::FlushStrategy;
+    use pmemcpy_bench::RunReport;
+    println!("## Device-profile x flush-strategy sweep (write path)");
+    let mut csv = String::from("profile,strategy,nprocs,write_s,autotuned\n");
+    let mut cells = Vec::new();
+    // Best (profile, worst_pinned/auto) margin seen on a non-default profile.
+    let mut best_margin: Option<(&'static str, f64)> = None;
+    for profile in grid {
+        let mc = profile.config();
+        let auto = pmem_sim::autotune_flush(&mc);
+        for &p in procs {
+            let cfg = CellConfig::paper_on(p, real_bytes, mc.clone());
+            let modes: [(&str, Option<FlushStrategy>); 3] = [
+                ("auto", None),
+                ("clwb", Some(FlushStrategy::Clwb)),
+                ("ntstore", Some(FlushStrategy::Ntstore)),
+            ];
+            let mut auto_s = f64::NAN;
+            let mut pinned: Vec<(&str, f64)> = vec![];
+            for (mode, pin) in modes {
+                let label: &'static str =
+                    Box::leak(format!("PMCPY/{}/{mode}", profile.name()).into_boxed_str());
+                let lib = PmemcpyLib::custom(
+                    label,
+                    Options {
+                        flush_strategy: pin,
+                        ..Options::default()
+                    },
+                );
+                let mut cell = run_cell(&lib, Direction::Write, &cfg);
+                let resolved = pin.unwrap_or(auto);
+                cell.flush_strategy = resolved.name().to_string();
+                let secs = cell.time.as_secs_f64();
+                println!(
+                    "{label:<26} p={p:<3} write {secs:>10.6}s ({})",
+                    resolved.name()
+                );
+                csv.push_str(&format!(
+                    "{},{},{p},{secs:.6},{}\n",
+                    profile.name(),
+                    mode,
+                    resolved.name()
+                ));
+                if mode == "auto" {
+                    auto_s = secs;
+                } else {
+                    pinned.push((mode, secs));
+                }
+                cells.push(cell);
+            }
+            let min_pinned = pinned.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+            let worst_pinned = pinned.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+            if auto_s > min_pinned {
+                return Err(std::io::Error::other(format!(
+                    "autotuner lost on {} p={p}: auto {auto_s:.6}s > best pinned {min_pinned:.6}s",
+                    profile.name()
+                )));
+            }
+            if profile.name() != "optane-gen1" {
+                let margin = worst_pinned / auto_s;
+                if best_margin.is_none_or(|(_, m)| margin > m) {
+                    best_margin = Some((profile.name(), margin));
+                }
+            }
+        }
+    }
+    write_file("results/sweep_profiles.csv", &csv)?;
+    let report = RunReport {
+        name: "sweep_profiles".into(),
+        real_bytes,
+        cells,
+    };
+    write_file("results/BENCH_profiles.json", &report.to_json())?;
+    // The tuner must matter somewhere: on at least one non-default profile
+    // the worst pinned strategy has to trail the autotuned choice by a
+    // measurable virtual-time margin.
+    if !grid.iter().all(|p| p.name() == "optane-gen1") {
+        match best_margin {
+            Some((name, margin)) if margin >= 1.005 => println!(
+                "\nautotuning margin: {name} worst-pinned/auto = {margin:.4}x (gate >= 1.005x: OK)"
+            ),
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "no non-default profile showed a measurable autotuning win \
+                     (best worst-pinned/auto margin: {other:?}, need >= 1.005x)"
+                )))
+            }
+        }
+    }
+
+    // The paper's MAP_SYNC question, re-asked on every profile.
+    println!("\n### MAP_SYNC across profiles (PMCPY-A vs PMCPY-B, write)");
+    let mut ms_csv = String::from("profile,variant,nprocs,write_s\n");
+    let p = procs.first().copied().unwrap_or(8);
+    for profile in grid {
+        let cfg = CellConfig::paper_on(p, real_bytes, profile.config());
+        let a = run_cell(&PmemcpyLib::variant_a(), Direction::Write, &cfg);
+        let b = run_cell(&PmemcpyLib::variant_b(), Direction::Write, &cfg);
+        let (a_s, b_s) = (a.time.as_secs_f64(), b.time.as_secs_f64());
+        println!(
+            "{:<12} p={p:<3} A {a_s:>10.6}s  B {b_s:>10.6}s  B/A = {:.3}x",
+            profile.name(),
+            b_s / a_s
+        );
+        ms_csv.push_str(&format!("{},A,{p},{a_s:.6}\n", profile.name()));
+        ms_csv.push_str(&format!("{},B,{p},{b_s:.6}\n", profile.name()));
+    }
+    write_file("results/sweep_profiles_mapsync.csv", &ms_csv)?;
+    println!();
+    Ok(())
+}
+
+fn ablate_serializer(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: serialization backend (PMCPY-A, 24 procs)");
     let mut csv = String::from("serializer,write_s,read_s\n");
     for ser in ["bp4", "cereal", "capnp-lite", "raw"] {
@@ -289,7 +483,7 @@ fn ablate_serializer(real_bytes: u64) -> std::io::Result<()> {
                 ..Options::default()
             },
         );
-        let cfg = CellConfig::paper(24, real_bytes);
+        let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
         let w = run_cell(&lib, Direction::Write, &cfg);
         let r = run_cell(&lib, Direction::Read, &cfg);
         println!(
@@ -309,7 +503,7 @@ fn ablate_serializer(real_bytes: u64) -> std::io::Result<()> {
     Ok(())
 }
 
-fn ablate_layout(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_layout(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: data layout (PMCPY-A, 24 procs)");
     let mut csv = String::from("layout,write_s,read_s\n");
     for (name, layout) in [
@@ -323,7 +517,7 @@ fn ablate_layout(real_bytes: u64) -> std::io::Result<()> {
                 ..Options::default()
             },
         );
-        let cfg = CellConfig::paper(24, real_bytes);
+        let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
         let (w, r) = run_layout_cell(&lib, &cfg, layout);
         println!("{name:<16} write {w:>8.3}s   read {r:>8.3}s");
         csv.push_str(&format!("{name},{w:.6},{r:.6}\n"));
@@ -415,9 +609,9 @@ fn run_layout_cell(lib: &PmemcpyLib, cfg: &CellConfig, layout: DataLayout) -> (f
     )
 }
 
-fn ablate_staging(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_staging(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: direct-to-PMEM (pMEMCPY) vs DRAM-staged (ADIOS) writes");
-    let cfg = CellConfig::paper(24, real_bytes);
+    let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
     let direct = run_cell(&PmemcpyLib::variant_a(), Direction::Write, &cfg);
     let staged = run_cell(&baselines::AdiosLike::default(), Direction::Write, &cfg);
     println!(
@@ -444,9 +638,9 @@ fn ablate_staging(real_bytes: u64) -> std::io::Result<()> {
     Ok(())
 }
 
-fn ablate_fill(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_fill(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: NetCDF fill vs NC_NOFILL (the paper disables fill)");
-    let cfg = CellConfig::paper(24, real_bytes);
+    let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
     let nofill = run_cell(&Netcdf4Like::default(), Direction::Write, &cfg);
     let fill = run_cell(
         &Netcdf4Like {
@@ -470,7 +664,7 @@ fn ablate_fill(real_bytes: u64) -> std::io::Result<()> {
     Ok(())
 }
 
-fn ablate_chunked(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_chunked(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: HDF5 layout — contiguous vs chunked vs chunked+filter (24 procs)");
     let mut csv = String::from("layout,write_s,read_s\n");
     let configs: [(&str, Netcdf4Like); 4] = [
@@ -480,7 +674,7 @@ fn ablate_chunked(real_bytes: u64) -> std::io::Result<()> {
         ("chunked+gorilla", Netcdf4Like::chunked(Some("gorilla"))),
     ];
     for (name, lib) in configs {
-        let cfg = CellConfig::paper(24, real_bytes);
+        let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
         let w = run_cell(&lib, Direction::Write, &cfg);
         let r = run_cell(&lib, Direction::Read, &cfg);
         assert_eq!(r.mismatches, 0, "corruption in {name}");
@@ -501,7 +695,7 @@ fn ablate_chunked(real_bytes: u64) -> std::io::Result<()> {
     Ok(())
 }
 
-fn ablate_buckets(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_buckets(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: metadata hashtable buckets (PMCPY-A, 24 procs)");
     println!("   (§3: the flat hashtable exploits PMEM's random-access parallelism)");
     let mut csv = String::from("buckets,write_s,read_s\n");
@@ -513,7 +707,7 @@ fn ablate_buckets(real_bytes: u64) -> std::io::Result<()> {
                 ..Options::default()
             },
         );
-        let cfg = CellConfig::paper(24, real_bytes);
+        let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
         let w = run_cell(&lib, Direction::Write, &cfg);
         let r = run_cell(&lib, Direction::Read, &cfg);
         println!(
@@ -532,14 +726,14 @@ fn ablate_buckets(real_bytes: u64) -> std::io::Result<()> {
     Ok(())
 }
 
-fn ablate_drain(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_drain(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     use mpi_sim::{Comm, World};
     use pmem_sim::{Machine, PersistenceMode, PmemDevice};
     use pmemcpy::{MmapTarget, Pmem};
     use simfs::{MountMode, SimFs};
     use std::sync::Arc;
     println!("## Ablation: burst-buffer drain (Fig. 1: PMEM -> shared burst buffer)");
-    let mut mc = pmem_sim::MachineConfig::chameleon_skylake();
+    let mut mc = mc.clone();
     let spec = workloads::Domain3dSpec {
         total_bytes: real_bytes,
         nvars: 10,
@@ -596,7 +790,7 @@ fn ablate_drain(real_bytes: u64) -> std::io::Result<()> {
 
 /// CI smoke gate: group-commit batching must never be slower than per-key
 /// commits on the paper's headline write cell. Exits nonzero on regression.
-fn ablate_batching(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_batching(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: group-commit write batches vs per-key commits (PMCPY-A, 24 procs)");
     let mut csv = String::from("mode,write_s,pool_txs,alloc_passes\n");
     let mut times = [0f64; 2];
@@ -608,7 +802,7 @@ fn ablate_batching(real_bytes: u64) -> std::io::Result<()> {
                 ..Options::default()
             },
         );
-        let cfg = CellConfig::paper(24, real_bytes);
+        let cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
         let w = run_cell(&lib, Direction::Write, &cfg);
         times[i] = w.time.as_secs_f64();
         println!(
@@ -638,7 +832,7 @@ fn ablate_batching(real_bytes: u64) -> std::io::Result<()> {
 /// CI smoke gate: grouped read lookups (and the shadow index) must never be
 /// slower than per-key gets on the paper's headline read cell. Exits
 /// nonzero on regression.
-fn ablate_read_batching(real_bytes: u64) -> std::io::Result<()> {
+fn ablate_read_batching(real_bytes: u64, mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: batched reads + shadow index vs per-key gets (PMCPY-A, 24 procs)");
     let mut csv = String::from("mode,read_s,pmem_bytes_read\n");
     let mut times = [0f64; 4];
@@ -657,7 +851,7 @@ fn ablate_read_batching(real_bytes: u64) -> std::io::Result<()> {
                 ..Options::default()
             },
         );
-        let mut cfg = CellConfig::paper(24, real_bytes);
+        let mut cfg = CellConfig::paper_on(24, real_bytes, mc.clone());
         cfg.verify = true;
         let r = run_cell(&lib, Direction::Read, &cfg);
         assert_eq!(r.mismatches, 0, "{name} read back corrupted data");
@@ -703,13 +897,14 @@ fn run_storm_cell(
     label: &str,
     opts: Options,
     spec: workloads::StormSpec,
+    mc: &MachineConfig,
 ) -> std::io::Result<(pmemcpy_bench::CellResult, StormShape)> {
     use mpi_sim::{run_world_mode, SchedMode};
     use pmem_sim::{Clock, Machine, MetricsRegistry, PersistenceMode, PmemDevice, SimTime};
     use pmemcpy::{registry, MmapTarget, Pmem};
     use std::sync::Arc;
 
-    let machine = Machine::new(pmem_sim::MachineConfig::chameleon_skylake());
+    let machine = Machine::new(mc.clone());
     let metrics = Arc::new(MetricsRegistry::new());
     machine.set_metrics(Arc::clone(&metrics));
     // Payloads are tiny; the device is sized by per-key metadata (entry
@@ -796,6 +991,8 @@ fn run_storm_cell(
         library: label.to_string(),
         direction: Direction::Write,
         nprocs: spec.ranks,
+        device_profile: mc.profile_name.to_string(),
+        flush_strategy: pmem_sim::autotune_flush(mc).name().to_string(),
         time,
         rank_times,
         stats,
@@ -810,7 +1007,7 @@ fn run_storm_cell(
 /// read-back), complete its incremental splits, and keep the longest
 /// persistent chain within the design bound. Emits `BENCH_storm.json` for
 /// the perfgate baseline comparison and exits nonzero on violation.
-fn creation_storm(keys_per_rank: u64) -> std::io::Result<()> {
+fn creation_storm(keys_per_rank: u64, mc: &MachineConfig) -> std::io::Result<()> {
     /// With `SPLIT_FACTOR = 2` the settled load factor is at most ~1
     /// entry per 2 buckets; at millions of keys the Poisson tail puts
     /// P(max chain > 8) well under 1%.
@@ -820,7 +1017,7 @@ fn creation_storm(keys_per_rank: u64) -> std::io::Result<()> {
         "## Creation storm: {} ranks x {} fresh keys (resizable metadata directory)",
         spec.ranks, spec.keys_per_rank
     );
-    let (cell, shape) = run_storm_cell("PMCPY-A", Options::default(), spec)?;
+    let (cell, shape) = run_storm_cell("PMCPY-A", Options::default(), spec, mc)?;
     println!(
         "storm    write {:>8.3}s   keys={} splits={} chain_max={} chain_p99={} contended={}",
         cell.time.as_secs_f64(),
@@ -878,7 +1075,7 @@ fn creation_storm(keys_per_rank: u64) -> std::io::Result<()> {
 /// pinned at its initial 4096 buckets. Fixed geometry degenerates into
 /// long chains (every lookup and unlink walk pays for them); incremental
 /// doubling holds chains flat for a bounded migration surcharge.
-fn ablate_resize() -> std::io::Result<()> {
+fn ablate_resize(mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Ablation: incremental directory doubling vs fixed geometry (8 ranks)");
     let spec = workloads::StormSpec::new(8, 16_384, 8);
     let rows = [
@@ -894,7 +1091,7 @@ fn ablate_resize() -> std::io::Result<()> {
     let mut csv =
         String::from("mode,write_s,pool_txs,splits,chain_max,chain_p99,stripe_contended\n");
     for (name, opts) in rows {
-        let (cell, shape) = run_storm_cell("PMCPY-A", opts, spec)?;
+        let (cell, shape) = run_storm_cell("PMCPY-A", opts, spec, mc)?;
         println!(
             "{name:<10} write {:>8.3}s   pool_txs={:<6} splits={:<3} chain_max={:<5} \
              chain_p99={:<4} contended={}",
@@ -948,12 +1145,12 @@ fn tune_cmd(real_bytes: u64) -> std::io::Result<()> {
     Ok(())
 }
 
-fn volume_cmd() -> std::io::Result<()> {
+fn volume_cmd(mc: &MachineConfig) -> std::io::Result<()> {
     println!("## Volume scaling: PMCPY-A write/read vs modelled volume (24 procs)");
     let mut csv = String::from("modelled_gb,write_s,read_s\n");
     for gb in [5u64, 10, 20, 40, 80] {
         // Fix the real volume; scale the model.
-        let mut cfg = CellConfig::paper(24, 16 << 20);
+        let mut cfg = CellConfig::paper_on(24, 16 << 20, mc.clone());
         let spec = workloads::Domain3dSpec {
             total_bytes: 16 << 20,
             nvars: 10,

@@ -11,6 +11,8 @@
 //! Every baseline cell must exist in the fresh report (matched on
 //! library × direction × nprocs) with:
 //!
+//! * the same `device_profile` — comparing runs from different modelled
+//!   devices is meaningless, so a mismatch is a hard error;
 //! * `virtual_time_ns` within `tolerance` above the baseline (the runs are
 //!   deterministic, so any drift is a real model change);
 //! * every `stats` counter within `tolerance` above the baseline — a
@@ -136,6 +138,19 @@ fn main() -> ExitCode {
             regressions.push(format!("{label}: missing from fresh report"));
             continue;
         };
+
+        // Device profile: a baseline/fresh mismatch means the comparison
+        // spans different modelled hardware — always a hard error, never
+        // a tolerance question.
+        let b_prof = base.get("device_profile").and_then(Json::as_str);
+        let c_prof = cur.get("device_profile").and_then(Json::as_str);
+        if b_prof != c_prof {
+            regressions.push(format!(
+                "{label}: device_profile observed {c_prof:?} vs baseline {b_prof:?} \
+                 (profile mismatch is a hard error)"
+            ));
+            continue;
+        }
 
         // Virtual job time.
         let b_ns = base

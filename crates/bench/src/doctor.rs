@@ -175,6 +175,36 @@ pub fn diagnose(dev: &PmemDevice) -> Result<Diagnosis, String> {
             sb.layout_name, sb.generation, sb.pool_size
         ),
     );
+    // The profile recorded at the last mount must be a known one and must
+    // match the device this examination models — a mismatch means the image
+    // is being read on (or was produced by) different modelled hardware.
+    let examining = pmem_sim::profile::profile_id(dev.machine().profile_name());
+    let profile_known = pmem_sim::profile::profile_name_by_id(sb.device_profile_id).is_some();
+    push(
+        &mut verdicts,
+        "profile",
+        profile_known && sb.device_profile_id == examining,
+        "pool",
+        if !profile_known {
+            format!(
+                "superblock records unknown device profile id {} \
+                 (pre-profile pool or torn superblock)",
+                sb.device_profile_id
+            )
+        } else if sb.device_profile_id != examining {
+            format!(
+                "superblock records profile \"{}\" but the image is examined as \"{}\"",
+                sb.device_profile_name(),
+                dev.machine().profile_name()
+            )
+        } else {
+            format!(
+                "device profile \"{}\", flush strategy {}",
+                sb.device_profile_name(),
+                sb.flush_strategy_name()
+            )
+        },
+    );
     push(
         &mut verdicts,
         "lanes",
@@ -368,6 +398,12 @@ pub fn render_text(d: &Diagnosis, timeline: bool) -> String {
     );
     let _ = writeln!(
         out,
+        "device profile \"{}\"  put flush strategy {}",
+        sb.device_profile_name(),
+        sb.flush_strategy_name()
+    );
+    let _ = writeln!(
+        out,
         "lanes: {} idle / {} active / {} committing",
         d.lanes.idle, d.lanes.active, d.lanes.committing
     );
@@ -509,6 +545,12 @@ pub fn render_json(d: &Diagnosis) -> String {
     );
     let _ = writeln!(
         out,
+        "  \"device_profile\": \"{}\",\n  \"flush_strategy\": \"{}\",",
+        json_escape(sb.device_profile_name()),
+        json_escape(sb.flush_strategy_name())
+    );
+    let _ = writeln!(
+        out,
         "  \"lanes\": {{\"idle\": {}, \"active\": {}, \"committing\": {}}},",
         d.lanes.idle, d.lanes.active, d.lanes.committing
     );
@@ -593,6 +635,13 @@ pub fn dump_image(dev: &PmemDevice, path: &str) -> Result<(), String> {
 /// Load a raw image into a fresh device for read-only examination. The
 /// device is never mounted, so the machine attached to it is inert.
 pub fn load_image(path: &str) -> Result<Arc<PmemDevice>, String> {
+    load_image_on(path, Machine::chameleon())
+}
+
+/// [`load_image`] on an explicit machine — the doctor's `--profile` flag,
+/// so the profile verdict compares the image against the device profile the
+/// operator says it came from.
+pub fn load_image_on(path: &str, machine: Arc<Machine>) -> Result<Arc<PmemDevice>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     if bytes.len() < pmdk_sim::layout::min_pool_size() as usize {
         return Err(format!(
@@ -601,7 +650,7 @@ pub fn load_image(path: &str) -> Result<Arc<PmemDevice>, String> {
             pmdk_sim::layout::min_pool_size()
         ));
     }
-    let dev = PmemDevice::new(Machine::chameleon(), bytes.len(), PersistenceMode::Fast);
+    let dev = PmemDevice::new(machine, bytes.len(), PersistenceMode::Fast);
     dev.write_untimed(0, &bytes);
     Ok(dev)
 }

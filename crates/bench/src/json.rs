@@ -285,6 +285,8 @@ mod tests {
                 library: "PMCPY-A".into(),
                 direction: Direction::Write,
                 nprocs: 2,
+                device_profile: "optane-gen1".into(),
+                flush_strategy: "clwb".into(),
                 time: SimTime(1000),
                 rank_times: vec![SimTime(900), SimTime(1000)],
                 stats: StatsSnapshot::default(),
@@ -293,7 +295,10 @@ mod tests {
             }],
         };
         let v = Json::parse(&report.to_json()).unwrap();
-        assert_eq!(v.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("schema").unwrap().as_u64(),
+            Some(crate::REPORT_SCHEMA)
+        );
         let cells = v.get("cells").unwrap().as_arr().unwrap();
         assert_eq!(cells[0].get("library").unwrap().as_str(), Some("PMCPY-A"));
         assert_eq!(

@@ -47,10 +47,26 @@ pub fn run_figure_reported(
     procs: &[u64],
     real_bytes: u64,
 ) -> (Figure, RunReport) {
+    run_figure_reported_on(
+        direction,
+        procs,
+        real_bytes,
+        &pmem_sim::MachineConfig::chameleon_skylake(),
+    )
+}
+
+/// [`run_figure_reported`] on an explicit machine template (device-profile
+/// sweeps; see `pmem_sim::profile`).
+pub fn run_figure_reported_on(
+    direction: Direction,
+    procs: &[u64],
+    real_bytes: u64,
+    machine: &pmem_sim::MachineConfig,
+) -> (Figure, RunReport) {
     let libs = figure_lineup();
     let mut cells = vec![];
     for &p in procs {
-        let cfg = CellConfig::paper(p, real_bytes);
+        let cfg = CellConfig::paper_on(p, real_bytes, machine.clone());
         for lib in &libs {
             let registry = MetricsRegistry::new();
             cells.push(run_cell_observed(

@@ -229,7 +229,9 @@ pub fn render_phase_breakdown(title: &str, summary: &TraceSummary) -> String {
 /// Schema version stamped into every BENCH JSON report. Bump it whenever a
 /// field is renamed, removed, or changes meaning; `perfgate` refuses to
 /// compare reports across schema versions.
-pub const REPORT_SCHEMA: u64 = 1;
+///
+/// Schema 2 added `device_profile` and `flush_strategy` per cell.
+pub const REPORT_SCHEMA: u64 = 2;
 
 /// A machine-readable run report: one figure's cells with their virtual
 /// times, media counters, and metrics snapshots merged into a
@@ -277,10 +279,12 @@ fn cell_json(c: &CellResult) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"library\":\"{}\",\"direction\":\"{}\",\"nprocs\":{},\"virtual_time_ns\":{}",
+        "{{\"library\":\"{}\",\"direction\":\"{}\",\"nprocs\":{},\"device_profile\":\"{}\",\"flush_strategy\":\"{}\",\"virtual_time_ns\":{}",
         json_escape(&c.library),
         c.direction.as_str(),
         c.nprocs,
+        json_escape(&c.device_profile),
+        json_escape(&c.flush_strategy),
         c.time.as_nanos()
     );
     out.push_str(",\"rank_time_ns\":[");
@@ -437,6 +441,8 @@ mod tests {
             library: lib.into(),
             direction: Direction::Write,
             nprocs: p,
+            device_profile: "optane-gen1".into(),
+            flush_strategy: "clwb".into(),
             time: SimTime::from_secs_f64(secs),
             rank_times: vec![SimTime::from_secs_f64(secs); p as usize],
             stats: StatsSnapshot::default(),

@@ -75,6 +75,16 @@ impl CellConfig {
             sched: SchedMode::Deterministic,
         }
     }
+
+    /// [`CellConfig::paper`] on an explicit machine template — the
+    /// device-profile sweeps. The byte scale is still recomputed from the
+    /// real volume; only the hardware constants change.
+    pub fn paper_on(nprocs: u64, real_bytes: u64, machine: MachineConfig) -> Self {
+        CellConfig {
+            machine,
+            ..Self::paper(nprocs, real_bytes)
+        }
+    }
 }
 
 /// Result of one cell.
@@ -83,6 +93,11 @@ pub struct CellResult {
     pub library: String,
     pub direction: Direction,
     pub nprocs: u64,
+    /// Device profile the cell's machine modelled (`MachineConfig::profile_name`).
+    pub device_profile: String,
+    /// Put-path flush strategy: the autotuner's verdict for the cell's
+    /// profile, unless the harness pinned one and overrode this field.
+    pub flush_strategy: String,
     /// Job time (slowest rank), averaged over repeats.
     pub time: SimTime,
     /// Per-rank end times of the last repetition (index = rank).
@@ -108,6 +123,8 @@ pub fn run_cell(lib: &dyn PioLibrary, direction: Direction, cfg: &CellConfig) ->
         library: lib.name().to_string(),
         direction,
         nprocs: cfg.nprocs,
+        device_profile: cfg.machine.profile_name.to_string(),
+        flush_strategy: pmem_sim::autotune_flush(&cfg.machine).name().to_string(),
         time: total / cfg.repeats.max(1) as u64,
         rank_times: last.rank_times,
         stats: last.stats, // keep the last repetition's counters
@@ -148,6 +165,8 @@ pub fn run_cell_observed(
         library: lib.name().to_string(),
         direction,
         nprocs: cfg.nprocs,
+        device_profile: cfg.machine.profile_name.to_string(),
+        flush_strategy: pmem_sim::autotune_flush(&cfg.machine).name().to_string(),
         time: once.time,
         rank_times: once.rank_times,
         stats: once.stats,

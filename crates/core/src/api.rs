@@ -115,6 +115,19 @@ impl Pmem {
                     pool.generation(),
                     comm.rank() as u64,
                 );
+                // Put-path flush strategy: an explicit options pin wins,
+                // otherwise the pool's superblock-cached autotuner verdict.
+                let flush_strategy = self
+                    .opts
+                    .flush_strategy
+                    .unwrap_or_else(|| pool.flush_strategy());
+                pool.flight().record(
+                    &clock,
+                    pmem_sim::EventCode::ProfileMount,
+                    0,
+                    pool.device_profile_id() as u64,
+                    flush_strategy.code() as u64,
+                );
                 let inner = HashtableLayout::new(
                     &clock,
                     device,
@@ -123,6 +136,7 @@ impl Pmem {
                     self.opts.map_sync,
                     self.opts.shadow_index,
                     self.opts.hashtable_resize,
+                    flush_strategy,
                 );
                 let layout: Box<dyn Layout> = match write_behind {
                     Some(state) => {

@@ -6,7 +6,7 @@
 use crate::error::{PmemCpyError, Result};
 use crate::layout::{Layout, Located, Reservation, ReserveRequest};
 use crate::registry::SharedPool;
-use pmem_sim::{Clock, DaxMapping, Machine, PmemDevice};
+use pmem_sim::{Clock, DaxMapping, FlushStrategy, Machine, PmemDevice};
 use pserial::Serializer;
 use std::sync::Arc;
 
@@ -15,12 +15,16 @@ pub struct HashtableLayout {
     mapping: Arc<DaxMapping>,
     serializer: &'static dyn Serializer,
     machine: Arc<Machine>,
+    flush_strategy: FlushStrategy,
 }
 
 impl HashtableLayout {
     /// Build over an already-interned pool. `map_sync` configures the data
     /// mapping (the PMCPY-A/B switch); `shadow_index` toggles the DRAM
-    /// shadow of the persistent hashtable (see `Options::shadow_index`).
+    /// shadow of the persistent hashtable (see `Options::shadow_index`);
+    /// `flush_strategy` is the resolved put-path persist primitive (the
+    /// pool's autotuned verdict or an options pin).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         clock: &Clock,
         device: &Arc<PmemDevice>,
@@ -29,6 +33,7 @@ impl HashtableLayout {
         map_sync: bool,
         shadow_index: bool,
         hashtable_resize: bool,
+        flush_strategy: FlushStrategy,
     ) -> Self {
         let mapping = DaxMapping::new(clock, Arc::clone(device), 0, device.size(), map_sync);
         shared.hashtable.set_shadow_enabled(shadow_index);
@@ -38,6 +43,7 @@ impl HashtableLayout {
             shared,
             mapping,
             serializer,
+            flush_strategy,
         }
     }
 
@@ -57,6 +63,10 @@ impl Layout for HashtableLayout {
 
     fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    fn flush_strategy(&self) -> FlushStrategy {
+        self.flush_strategy
     }
 
     fn reserve_many(&self, clock: &Clock, reqs: &[ReserveRequest<'_>]) -> Result<Vec<Reservation>> {

@@ -21,7 +21,7 @@ pub mod hierarchical;
 
 use crate::error::{PmemCpyError, Result};
 use crate::sink::{MappingSink, MappingSource};
-use pmem_sim::{Clock, DaxMapping, Machine};
+use pmem_sim::{Clock, DaxMapping, FlushStrategy, Machine};
 use pserial::{Serializer, VarHeader, VarMeta};
 use std::sync::Arc;
 
@@ -119,6 +119,13 @@ pub trait Layout: Send + Sync {
     /// The simulated machine charges land on.
     fn machine(&self) -> &Arc<Machine>;
 
+    /// Flush strategy for record persists on the put path — the pool's
+    /// autotuned verdict, or an [`crate::Options::flush_strategy`] pin.
+    /// `Clwb` reproduces the classic flush+fence persist exactly.
+    fn flush_strategy(&self) -> FlushStrategy {
+        FlushStrategy::Clwb
+    }
+
     /// Reserve record space for a whole group of keys through the layout's
     /// bulk seam. The group is atomic where the layout can make it so: the
     /// hashtable layout commits every reservation in one pool transaction
@@ -189,7 +196,8 @@ pub trait Layout: Send + Sync {
             let t3 = machine.trace_start(clock);
             {
                 let _p = machine.phase_scope("put.persist");
-                resv.mapping.persist(clock, resv.offset, resv.len);
+                resv.mapping
+                    .persist_with(clock, resv.offset, resv.len, self.flush_strategy());
                 if resv.unmap_after_persist {
                     resv.mapping.unmap(clock);
                 }

@@ -1,6 +1,7 @@
 //! Configuration of a pMEMCPY handle.
 
 use crate::error::{PmemCpyError, Result};
+use pmem_sim::FlushStrategy;
 use pserial::Serializer;
 
 /// Where variable data and metadata live on the PMEM (§3 "Data Layout").
@@ -60,6 +61,11 @@ pub struct Options {
     /// Ring capacity in bytes of the write-behind WAL (ignored unless
     /// `write_behind` is on). One commit group must fit in half the ring.
     pub wal_capacity: u64,
+    /// Pin the put-path flush strategy instead of using the pool's
+    /// autotuned verdict (see `pmem_sim::profile`). `None` (default)
+    /// defers to the superblock-cached autotuner choice for the device
+    /// profile the pool was mounted on.
+    pub flush_strategy: Option<FlushStrategy>,
 }
 
 /// Smallest accepted [`Options::wal_capacity`] — below this a single batched
@@ -79,6 +85,7 @@ impl Default for Options {
             shadow_index: true,
             write_behind: false,
             wal_capacity: 8 << 20,
+            flush_strategy: None,
         }
     }
 }

@@ -344,6 +344,10 @@ impl Layout for WriteBehindLayout {
         self.inner.machine()
     }
 
+    fn flush_strategy(&self) -> pmem_sim::FlushStrategy {
+        self.inner.flush_strategy()
+    }
+
     /// Only reachable through the overridden `store_many` during a
     /// checkpoint apply; delegate.
     fn reserve_many(&self, clock: &Clock, reqs: &[ReserveRequest<'_>]) -> Result<Vec<Reservation>> {
@@ -648,7 +652,16 @@ mod tests {
         let shared = crate::registry::shared_pool(&clock, &dev, "pmemcpy", 4096).unwrap();
         let state = WriteBehindState::attach(&clock, &shared, 1 << 20).unwrap();
         let serializer = pserial::by_name("bp4").unwrap();
-        let inner = HashtableLayout::new(&clock, &dev, shared, serializer, false, true, true);
+        let inner = HashtableLayout::new(
+            &clock,
+            &dev,
+            shared,
+            serializer,
+            false,
+            true,
+            true,
+            pmem_sim::FlushStrategy::Clwb,
+        );
         (dev, WriteBehindLayout::new(inner, state))
     }
 

@@ -50,11 +50,30 @@ pub struct SuperblockReport {
     pub root_ok: bool,
     pub layout_name: String,
     pub generation: u64,
+    /// Device profile the pool was last mounted on (`pmem_sim::profile`
+    /// registry id; 0 = unknown / pre-profile pool).
+    pub device_profile_id: u32,
+    /// Autotuned put-path flush strategy cached at mount (`FlushStrategy`
+    /// code; 0 = not yet tuned).
+    pub flush_strategy_code: u32,
 }
 
 impl SuperblockReport {
     pub fn ok(&self) -> bool {
         self.magic_ok && self.size_matches_device && self.heap_start_ok && self.root_ok
+    }
+
+    /// Human name of the recorded device profile ("unknown" for id 0 or an
+    /// unrecognised id).
+    pub fn device_profile_name(&self) -> &'static str {
+        pmem_sim::profile::profile_name_by_id(self.device_profile_id).unwrap_or("unknown")
+    }
+
+    /// Human name of the cached flush strategy ("unset" when not yet tuned).
+    pub fn flush_strategy_name(&self) -> &'static str {
+        pmem_sim::FlushStrategy::from_code(self.flush_strategy_code)
+            .map(|s| s.name())
+            .unwrap_or("unset")
     }
 }
 
@@ -84,6 +103,8 @@ pub fn read_superblock(dev: &PmemDevice) -> SuperblockReport {
                 .is_some_and(|end| end <= dev.size() as u64),
         layout_name: String::from_utf8_lossy(&name).into_owned(),
         generation: ru64(dev, sb::GENERATION),
+        device_profile_id: ru32(dev, sb::DEVICE_PROFILE),
+        flush_strategy_code: ru32(dev, sb::FLUSH_STRATEGY),
     }
 }
 

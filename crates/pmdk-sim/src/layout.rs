@@ -56,6 +56,13 @@ pub mod sb {
     /// Pool generation: bumped on every open; robust locks acquired under an
     /// older generation are considered released (crash-implicit unlock).
     pub const GENERATION: u64 = 192;
+    /// Device-profile id the pool was last mounted with (u32; see
+    /// `pmem_sim::profile`). 0 = unset (legacy pools).
+    pub const DEVICE_PROFILE: u64 = 200;
+    /// Autotuned flush-strategy code for that profile (u32; 0 = not yet
+    /// tuned). Re-probed whenever the mounting machine's profile differs
+    /// from `DEVICE_PROFILE`.
+    pub const FLUSH_STRATEGY: u64 = 204;
 }
 
 /// Lane header field offsets (relative to the lane base).

@@ -6,6 +6,7 @@ use crate::layout::*;
 use crate::tx::{LaneTable, Tx};
 use parking_lot::Mutex;
 use pmem_sim::flight::EventCode;
+use pmem_sim::profile::{self, FlushStrategy};
 use pmem_sim::{Clock, FlightRecorder, PmemDevice};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -111,6 +112,10 @@ pub struct PmemPool {
     pub(crate) lanes: LaneTable,
     layout: String,
     generation: u64,
+    /// Superblock-recorded device-profile id (see `pmem_sim::profile`).
+    device_profile_id: u32,
+    /// Flush strategy the mount autotuned (or read back) for that profile.
+    flush_strategy: FlushStrategy,
     pub fail_points: FailPoints,
     /// Always-on crash forensics ring (see `pmem_sim::flight`): lives in the
     /// pool's reserved flight region, records structural transitions with
@@ -143,6 +148,13 @@ impl PmemPool {
         sblk[sb::LAYOUT_LEN as usize..][..8].copy_from_slice(&(layout.len() as u64).to_le_bytes());
         sblk[sb::LAYOUT_NAME as usize..][..layout.len()].copy_from_slice(layout.as_bytes());
         sblk[sb::GENERATION as usize..][..8].copy_from_slice(&1u64.to_le_bytes());
+        // Device profile + autotuned flush strategy ride in the same
+        // superblock page — baking them into the create write costs nothing.
+        let device_profile_id = profile::profile_id(device.machine().profile_name());
+        let flush_strategy = profile::autotune_flush(device.machine().config());
+        sblk[sb::DEVICE_PROFILE as usize..][..4].copy_from_slice(&device_profile_id.to_le_bytes());
+        sblk[sb::FLUSH_STRATEGY as usize..][..4]
+            .copy_from_slice(&flush_strategy.code().to_le_bytes());
         device.write_meta(clock, 0, &sblk);
         device.persist(clock, 0, SUPERBLOCK_SIZE as usize);
 
@@ -162,6 +174,8 @@ impl PmemPool {
             device,
             layout: layout.to_string(),
             generation: 1,
+            device_profile_id,
+            flush_strategy,
             fail_points: FailPoints::default(),
             flight,
         }))
@@ -195,6 +209,23 @@ impl PmemPool {
 
         let generation =
             u64::from_le_bytes(sblk[sb::GENERATION as usize..][..8].try_into().unwrap()) + 1;
+        // Cached autotuner verdict: reuse it when the mounting machine's
+        // profile matches what the pool was last tuned for; otherwise (or
+        // for legacy/untuned pools) re-probe and persist the new verdict.
+        let stored_profile =
+            u32::from_le_bytes(sblk[sb::DEVICE_PROFILE as usize..][..4].try_into().unwrap());
+        let stored_strategy =
+            u32::from_le_bytes(sblk[sb::FLUSH_STRATEGY as usize..][..4].try_into().unwrap());
+        let current_profile = profile::profile_id(device.machine().profile_name());
+        let (device_profile_id, flush_strategy, retune) =
+            match FlushStrategy::from_code(stored_strategy) {
+                Some(s) if stored_profile == current_profile => (stored_profile, s, false),
+                _ => (
+                    current_profile,
+                    profile::autotune_flush(device.machine().config()),
+                    true,
+                ),
+            };
         let flight =
             FlightRecorder::attach_or_format(Arc::clone(&device), flight_start(), FLIGHT_SIZE);
         let pool = Arc::new(PmemPool {
@@ -203,10 +234,16 @@ impl PmemPool {
             device,
             layout: layout.to_string(),
             generation,
+            device_profile_id,
+            flush_strategy,
             fail_points: FailPoints::default(),
             flight,
         });
         pool.write_u64(clock, sb::GENERATION, generation);
+        if retune {
+            pool.write_u32(clock, sb::DEVICE_PROFILE, device_profile_id);
+            pool.write_u32(clock, sb::FLUSH_STRATEGY, flush_strategy.code());
+        }
         // Roll back / complete interrupted transactions, then re-sync the
         // allocator (recovery may have freed intent allocations).
         let recovered = pool.lanes.recover(clock, &pool)?;
@@ -234,6 +271,17 @@ impl PmemPool {
     /// Pool generation: 1 at create, +1 per open. Robust-lock epochs.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Device-profile id recorded in the superblock at create/last retune.
+    pub fn device_profile_id(&self) -> u32 {
+        self.device_profile_id
+    }
+
+    /// Flush strategy the autotuner selected for this pool's profile (or a
+    /// cached verdict read back from the superblock at open).
+    pub fn flush_strategy(&self) -> FlushStrategy {
+        self.flush_strategy
     }
 
     /// The pool's flight recorder (always attached; recording default-on).

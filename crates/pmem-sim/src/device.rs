@@ -9,6 +9,7 @@
 use crate::buffer::SharedBuffer;
 use crate::machine::Machine;
 use crate::persistence::PersistenceTracker;
+use crate::profile::FlushStrategy;
 use crate::time::Clock;
 use std::sync::Arc;
 
@@ -167,6 +168,23 @@ impl PmemDevice {
     /// flush + drain: the canonical persist sequence.
     pub fn persist(&self, clock: &Clock, off: usize, len: usize) {
         self.flush(clock, off, len);
+        self.drain(clock);
+    }
+
+    /// Persist with an explicit [`FlushStrategy`]: CLWB-batched flush or an
+    /// ntstore-style streaming writeback, each followed by the trailing
+    /// fence. `Clwb` is charge-for-charge identical to
+    /// [`PmemDevice::persist`].
+    pub fn persist_with(&self, clock: &Clock, off: usize, len: usize, strategy: FlushStrategy) {
+        match strategy {
+            FlushStrategy::Clwb => self.flush(clock, off, len),
+            FlushStrategy::Ntstore => {
+                self.machine.charge_ntstore(clock, len as u64);
+                if let Some(t) = &self.tracker {
+                    t.flush(&self.buf, off, len);
+                }
+            }
+        }
         self.drain(clock);
     }
 

@@ -89,6 +89,9 @@ pub enum EventCode {
     /// An armed fail point fired — the simulated power-cut moment. `site`
     /// names the site; this is usually the last event in a crashed image.
     FailPoint = 16,
+    /// Active device profile + chosen flush strategy at mount
+    /// (a = profile id, b = strategy code — see `pmem_sim::profile`).
+    ProfileMount = 17,
 }
 
 impl EventCode {
@@ -111,6 +114,7 @@ impl EventCode {
             14 => SplitRetire,
             15 => CountFold,
             16 => FailPoint,
+            17 => ProfileMount,
             _ => return None,
         })
     }
@@ -134,6 +138,7 @@ impl EventCode {
             SplitRetire => "split.retire",
             CountFold => "count.fold",
             FailPoint => "failpoint",
+            ProfileMount => "profile.mount",
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod machine;
 pub mod metrics;
 pub mod mmap;
 pub mod persistence;
+pub mod profile;
 pub mod rng;
 pub mod server;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use flight::{scan_ring, EventCode, FlightEvent, FlightRecorder};
 pub use machine::{Machine, MachineConfig};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, PhaseScope};
 pub use mmap::DaxMapping;
+pub use profile::{autotune_flush, DeviceProfile, FlushStrategy};
 pub use rng::DetRng;
 pub use server::{BandwidthServer, Server};
 pub use stats::{Stats, StatsSnapshot};

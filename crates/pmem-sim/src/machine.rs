@@ -25,6 +25,15 @@ use std::sync::{Arc, OnceLock};
 /// Tunable hardware constants.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
+    /// Name of the [`crate::profile::DeviceProfile`] these constants were
+    /// built from. Bench reports and pool superblocks record it so a run is
+    /// always attributable to one device model.
+    pub profile_name: &'static str,
+    /// Whether persists require explicit cache flushing. `false` models an
+    /// eADR platform: the cache hierarchy sits inside the persistence
+    /// domain, so flushes cost nothing while fences still order stores.
+    pub needs_flush: bool,
+
     /// Physical cores; ranks beyond this are time-multiplexed.
     pub cores: usize,
     /// Hardware threads (informational; SMT gives no extra copy throughput).
@@ -70,6 +79,10 @@ pub struct MachineConfig {
     pub flush_base: SimTime,
     /// Pipelined per-line cost of CLWB.
     pub flush_per_line: SimTime,
+    /// Fixed cost of initiating a streaming (ntstore-style) persist.
+    pub ntstore_base: SimTime,
+    /// Per-line cost of a non-temporal streaming store writeback.
+    pub ntstore_per_line: SimTime,
     /// Cost of a store fence.
     pub fence: SimTime,
 
@@ -99,6 +112,8 @@ impl MachineConfig {
     /// The paper's testbed (§4 "Testbed" + "Emulating PMEM").
     pub fn chameleon_skylake() -> Self {
         MachineConfig {
+            profile_name: "optane-gen1",
+            needs_flush: true,
             cores: 24,
             smt_threads: 48,
             pmem_read_latency: SimTime::from_nanos(300),
@@ -117,6 +132,11 @@ impl MachineConfig {
             cacheline: 64,
             flush_base: SimTime::from_nanos(30),
             flush_per_line: SimTime::from_nanos(1) / 2, // 0.5ns, pipelined CLWB
+            // Streaming stores on gen1 Optane pay a higher steady-state
+            // per-line cost than pipelined CLWB (van Renen et al.), so the
+            // autotuner keeps the classic CLWB path on this profile.
+            ntstore_base: SimTime::from_nanos(60),
+            ntstore_per_line: SimTime::from_nanos(1),
             fence: SimTime::from_nanos(30),
             net_latency: SimTime::from_nanos(900),
             net_bw: 7_000_000_000,
@@ -178,6 +198,11 @@ impl Machine {
 
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// The device-profile name this machine's constants were built from.
+    pub fn profile_name(&self) -> &'static str {
+        self.config.profile_name
     }
 
     /// Declare how many ranks are running (set by the MPI runner).
@@ -517,13 +542,34 @@ impl Machine {
     }
 
     /// Flush a byte range of cachelines toward the persistence domain.
+    /// Free (no time, no counter) on eADR profiles: the cache already sits
+    /// inside the persistence domain, so no writeback is ever issued.
     pub fn charge_flush(&self, clock: &Clock, bytes: u64) {
+        if !self.config.needs_flush {
+            return;
+        }
         let t0 = self.obs_start(clock);
         self.stats.flush_calls.fetch_add(1, Ordering::Relaxed);
         let lines = self.scaled_bytes(bytes).div_ceil(self.config.cacheline);
         let t = self.config.flush_base + self.config.flush_per_line * lines;
         clock.advance(self.cpu_scaled(t));
         self.prim_finish(clock, t0, "flush", bytes);
+    }
+
+    /// A streaming (non-temporal) persist of a byte range: one ntstore-style
+    /// whole-record writeback instead of per-line CLWB. Shares the
+    /// `flush_calls` counter with [`Machine::charge_flush`] — both are one
+    /// persist-initiation per call — and is likewise free on eADR profiles.
+    pub fn charge_ntstore(&self, clock: &Clock, bytes: u64) {
+        if !self.config.needs_flush {
+            return;
+        }
+        let t0 = self.obs_start(clock);
+        self.stats.flush_calls.fetch_add(1, Ordering::Relaxed);
+        let lines = self.scaled_bytes(bytes).div_ceil(self.config.cacheline);
+        let t = self.config.ntstore_base + self.config.ntstore_per_line * lines;
+        clock.advance(self.cpu_scaled(t));
+        self.prim_finish(clock, t0, "ntstore", bytes);
     }
 
     /// A store fence.

@@ -184,6 +184,22 @@ impl DaxMapping {
         self.device.persist(clock, self.base + off, len);
     }
 
+    /// Persist a range with an explicit flush strategy (see
+    /// [`crate::profile::FlushStrategy`]); `Clwb` is identical to
+    /// [`DaxMapping::persist`].
+    pub fn persist_with(
+        &self,
+        clock: &Clock,
+        off: usize,
+        len: usize,
+        strategy: crate::profile::FlushStrategy,
+    ) {
+        self.assert_mapped();
+        self.check_range(off, len);
+        self.device
+            .persist_with(clock, self.base + off, len, strategy);
+    }
+
     /// Tear down the mapping. Charges one munmap syscall. Subsequent
     /// accesses panic (the simulated SIGSEGV).
     pub fn unmap(&self, clock: &Clock) {
